@@ -1,0 +1,129 @@
+// MICRO — wall-clock microbenchmarks (google-benchmark) for Khazana's
+// local hot paths: these run on the real CPU, unlike the simulation
+// experiments, and catch regressions in the data structures every
+// operation touches (message codec, wire serialization, the address-map
+// tree, the page caches, the region directory).
+#include <benchmark/benchmark.h>
+
+#include "core/address_map.h"
+#include "core/region_directory.h"
+#include "net/message.h"
+#include "storage/memory_store.h"
+#include "storage/page_directory.h"
+
+namespace khz {
+namespace {
+
+void BM_MessageEncodeDecode(benchmark::State& state) {
+  net::Message m;
+  m.type = net::MsgType::kPageFetchResp;
+  m.src = 1;
+  m.dst = 2;
+  m.rpc_id = 42;
+  m.payload = Bytes(static_cast<std::size_t>(state.range(0)), 7);
+  for (auto _ : state) {
+    const Bytes wire = m.encode();
+    net::Message out;
+    benchmark::DoNotOptimize(net::Message::decode(wire, out));
+  }
+  state.SetBytesProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_MessageEncodeDecode)->Arg(64)->Arg(4096)->Arg(65536);
+
+void BM_EncoderPrimitives(benchmark::State& state) {
+  for (auto _ : state) {
+    Encoder e;
+    for (int i = 0; i < 64; ++i) {
+      e.u64(static_cast<std::uint64_t>(i));
+      e.addr({1, static_cast<std::uint64_t>(i)});
+    }
+    benchmark::DoNotOptimize(e.data().data());
+  }
+}
+BENCHMARK(BM_EncoderPrimitives);
+
+class BenchMapStore final : public core::MapPageStore {
+ public:
+  Bytes read_page(std::uint32_t index) override {
+    auto it = pages_.find(index);
+    return it == pages_.end() ? Bytes(4096, 0) : it->second;
+  }
+  void write_page(std::uint32_t index, const Bytes& data) override {
+    pages_[index] = data;
+  }
+  [[nodiscard]] std::uint32_t page_size() const override { return 4096; }
+
+ private:
+  std::map<std::uint32_t, Bytes> pages_;
+};
+
+void BM_AddressMapLookup(benchmark::State& state) {
+  BenchMapStore store;
+  core::AddressMap::format(store);
+  core::AddressMap map(store);
+  const auto n = static_cast<std::uint64_t>(state.range(0));
+  for (std::uint64_t i = 0; i < n; ++i) {
+    (void)map.insert({{0, i * 100}, 80}, {1});
+  }
+  std::uint64_t probe = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(map.lookup({0, (probe++ % n) * 100 + 10}));
+  }
+}
+BENCHMARK(BM_AddressMapLookup)->Arg(100)->Arg(1000)->Arg(10000);
+
+void BM_AddressMapInsert(benchmark::State& state) {
+  for (auto _ : state) {
+    state.PauseTiming();
+    BenchMapStore store;
+    core::AddressMap::format(store);
+    core::AddressMap map(store);
+    state.ResumeTiming();
+    for (std::uint64_t i = 0; i < 500; ++i) {
+      benchmark::DoNotOptimize(map.insert({{0, i * 100}, 80}, {1}).ok());
+    }
+  }
+  state.SetItemsProcessed(state.iterations() * 500);
+}
+BENCHMARK(BM_AddressMapInsert);
+
+void BM_MemoryStoreGet(benchmark::State& state) {
+  storage::MemoryStore store;
+  for (std::uint64_t i = 0; i < 1024; ++i) {
+    store.put({0, i * 4096}, Bytes(4096, 1));
+  }
+  std::uint64_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(store.get({0, (i++ % 1024) * 4096}));
+  }
+}
+BENCHMARK(BM_MemoryStoreGet);
+
+void BM_PageDirectoryEnsure(benchmark::State& state) {
+  storage::PageDirectory pd;
+  std::uint64_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(pd.ensure({0, (i++ % 4096) * 4096}));
+  }
+}
+BENCHMARK(BM_PageDirectoryEnsure);
+
+void BM_RegionDirectoryLookup(benchmark::State& state) {
+  core::RegionDirectory dir(2048);
+  for (std::uint64_t i = 0; i < 1024; ++i) {
+    core::RegionDescriptor d;
+    d.range = {{0, i << 20}, 1 << 20};
+    d.home_nodes = {static_cast<NodeId>(i % 8)};
+    dir.insert(d);
+  }
+  std::uint64_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(dir.lookup({0, ((i++ % 1024) << 20) + 512}));
+  }
+}
+BENCHMARK(BM_RegionDirectoryLookup);
+
+}  // namespace
+}  // namespace khz
+
+BENCHMARK_MAIN();

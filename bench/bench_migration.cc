@@ -1,0 +1,85 @@
+// ABL-MIGRATE — home migration as a placement policy knob.
+//
+// Section 2: "A major goal of this research is to develop caching policies
+// that balance the needs for load balancing, low latency access to data,
+// availability behavior, and resource constraints." Section 8 lists
+// "resource- and load-aware migration and replication policies" as the
+// research agenda. This ablation quantifies what migration buys: a region
+// homed across a WAN link is used intensively by a far cluster; we compare
+// steady-state write latency before and after migrating the region's home
+// into that cluster, and show the one-time cost of the move.
+#include "bench/bench_util.h"
+
+namespace {
+
+using namespace khz;        // NOLINT
+using namespace khz::bench; // NOLINT
+using core::SimWorld;
+
+}  // namespace
+
+int main() {
+  title("ABL-MIGRATE | bench_migration",
+        "Effect of migrating a region's home toward its users.\n"
+        "Nodes 0-1: cluster A; nodes 2-3: cluster B; 40 ms WAN between.");
+
+  SimWorld world({.nodes = 4});
+  for (NodeId a : {0u, 1u}) {
+    for (NodeId b : {2u, 3u}) {
+      world.net().set_link_pair(a, b, net::LinkProfile::wan());
+    }
+  }
+
+  // The region is born in cluster A (homed on node 0), but its workload
+  // lives in cluster B (writers 2 and 3).
+  auto base = world.create_region(0, 4096);
+  if (!base.ok()) return 1;
+  const AddressRange region{base.value(), 4096};
+  if (!world.put(0, region, fill(4096, 1)).ok()) return 1;
+
+  auto measure = [&](const char* phase) {
+    // 8 writes alternating between the two cluster-B nodes: each write
+    // must reach the home for ownership coordination.
+    TrafficMeter meter(world);
+    const Micros t0 = world.net().now();
+    for (int i = 0; i < 8; ++i) {
+      const NodeId writer = 2 + (i % 2);
+      if (!world.put(writer, region, fill(4096, static_cast<std::uint8_t>(i)))
+               .ok()) {
+        std::abort();
+      }
+    }
+    const Micros per_op = (world.net().now() - t0) / 8;
+    std::printf("%-34s %10s/write   %5.1f msgs/write\n", phase,
+                us(per_op).c_str(),
+                static_cast<double>(meter.delta().messages) / 8);
+  };
+
+  std::printf("\n");
+  measure("home in cluster A (over the WAN):");
+
+  TrafficMeter move_meter(world);
+  const Micros move_start = world.net().now();
+  if (!world.migrate(2, region.base, 2).ok()) {
+    std::printf("MIGRATION FAILED\n");
+    return 1;
+  }
+  const Micros move_time = world.net().now() - move_start;
+  const auto move_msgs = move_meter.delta().messages;
+  world.pump_for(1'000'000);  // hint/map updates settle (not charged)
+  std::printf("migrate home 0 -> 2:               %10s one-time, "
+              "%llu msgs\n",
+              us(move_time).c_str(),
+              static_cast<unsigned long long>(move_msgs));
+
+  measure("home in cluster B (local):");
+
+  std::printf(
+      "\nShape check vs paper: while the home sits across the WAN, every\n"
+      "ownership hand-off pays round trips at WAN latency; after migrating\n"
+      "the home into the cluster that uses the data, coordination is LAN-\n"
+      "local and write latency drops by orders of magnitude. The move\n"
+      "itself costs a few messages once — the basis for the load-aware\n"
+      "migration policies the paper lists as its research agenda.\n");
+  return 0;
+}

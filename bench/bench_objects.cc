@@ -1,0 +1,139 @@
+// APP-OBJ — Section 4.2: the distributed object runtime and the
+// replicate-vs-RPC decision.
+//
+// "It also could use location information exported from Khazana to decide
+// if it is more efficient to load a local copy of the object or perform a
+// remote invocation of the object on a node where it is already
+// physically instantiated."
+//
+// Sweeps object size and read/write mix, comparing always-local
+// (replicate) against always-remote (RPC) invocation from a node with no
+// replica, and showing what the kAuto policy picks. The crossover —
+// replication wins for small/read-mostly objects, RPC wins for large
+// objects touched once — is the figure-of-merit.
+#include "bench/bench_util.h"
+#include "obj/runtime.h"
+
+namespace {
+
+using namespace khz;        // NOLINT
+using namespace khz::bench; // NOLINT
+using core::SimWorld;
+using obj::InvokePolicy;
+using obj::ObjectRuntime;
+using obj::ObjectType;
+using obj::ObjRef;
+
+ObjectType blob_type() {
+  ObjectType t;
+  t.name = "blob";
+  t.methods["touch"] = {
+      [](Bytes& state, const Bytes&) -> Result<Bytes> {
+        if (!state.empty()) state[0] = static_cast<std::uint8_t>(state[0] + 1);
+        return Bytes{state.empty() ? std::uint8_t{0} : state[0]};
+      },
+      /*mutating=*/true};
+  t.methods["peek"] = {
+      [](Bytes& state, const Bytes&) -> Result<Bytes> {
+        return Bytes{state.empty() ? std::uint8_t{0} : state[0]};
+      },
+      /*mutating=*/false};
+  return t;
+}
+
+struct Setup {
+  std::unique_ptr<SimWorld> world;
+  std::vector<std::unique_ptr<ObjectRuntime>> runtimes;
+  ObjRef ref;
+};
+
+Setup make(std::uint32_t object_bytes) {
+  Setup s;
+  s.world = std::make_unique<SimWorld>(core::SimWorldOptions{.nodes = 3});
+  for (NodeId n = 0; n < 3; ++n) {
+    s.runtimes.push_back(std::make_unique<ObjectRuntime>(s.world->node(n)));
+    s.runtimes.back()->register_type(blob_type());
+  }
+  std::optional<Result<ObjRef>> created;
+  s.runtimes[0]->create("blob", Bytes(object_bytes, 1), object_bytes, {},
+                        [&](Result<ObjRef> r) { created = std::move(r); });
+  s.world->pump_until([&] { return created.has_value(); });
+  if (!created->ok()) std::abort();
+  s.ref = created->value();
+  return s;
+}
+
+/// Invokes `method` `count` times from node 2 under `policy`; returns
+/// total virtual time and messages.
+std::pair<Micros, std::uint64_t> drive(Setup& s, const std::string& method,
+                                       int count, InvokePolicy policy) {
+  TrafficMeter meter(*s.world);
+  const Micros t0 = s.world->net().now();
+  for (int i = 0; i < count; ++i) {
+    std::optional<Result<Bytes>> done;
+    s.runtimes[2]->invoke(s.ref, method, {}, policy,
+                          [&](Result<Bytes> r) { done = std::move(r); });
+    s.world->pump_until([&] { return done.has_value(); });
+    if (!done->ok()) std::abort();
+  }
+  return {s.world->net().now() - t0, meter.delta().messages};
+}
+
+}  // namespace
+
+int main() {
+  title("APP-OBJ | bench_objects",
+        "Replicate-vs-RPC invocation cost (Section 4.2): 10 invocations\n"
+        "from a node holding no replica; object home is one LAN hop away.");
+
+  std::printf("\nRead-only method ('peek'), by object size:\n\n");
+  table_header({"object size", "replicate: time", "msgs", "rpc: time",
+                "msgs", "auto picks"});
+  for (std::uint32_t size : {256u, 4096u, 65536u, 1u << 20}) {
+    auto local_setup = make(size);
+    const auto local = drive(local_setup, "peek", 10, InvokePolicy::kAlwaysLocal);
+    auto remote_setup = make(size);
+    const auto remote = drive(remote_setup, "peek", 10,
+                              InvokePolicy::kAlwaysRemote);
+    auto auto_setup = make(size);
+    (void)drive(auto_setup, "peek", 10, InvokePolicy::kAuto);
+    const auto& st = auto_setup.runtimes[2]->stats();
+    const bool picked_local = st.local_invokes >= st.remote_invokes;
+
+    char label[32];
+    if (size >= (1u << 20)) {
+      std::snprintf(label, sizeof(label), "%u MiB", size >> 20);
+    } else if (size >= 1024) {
+      std::snprintf(label, sizeof(label), "%u KiB", size >> 10);
+    } else {
+      std::snprintf(label, sizeof(label), "%u B", size);
+    }
+    cell(std::string(label));
+    cell(us(local.first)); cell(local.second);
+    cell(us(remote.first)); cell(remote.second);
+    cell(std::string(picked_local ? "replicate" : "rpc"));
+    endrow();
+  }
+
+  std::printf("\nMutating method ('touch'), 4 KiB object:\n\n");
+  table_header({"policy", "time (10 ops)", "messages"});
+  {
+    auto s1 = make(4096);
+    const auto local = drive(s1, "touch", 10, InvokePolicy::kAlwaysLocal);
+    cell(std::string("replicate")); cell(us(local.first)); cell(local.second);
+    endrow();
+    auto s2 = make(4096);
+    const auto remote = drive(s2, "touch", 10, InvokePolicy::kAlwaysRemote);
+    cell(std::string("rpc")); cell(us(remote.first)); cell(remote.second);
+    endrow();
+  }
+
+  std::printf(
+      "\nShape check vs paper: for small objects, replication amortizes —\n"
+      "after the first fetch every local invocation is free, while RPC\n"
+      "pays a round trip each time. For large objects invoked rarely, the\n"
+      "one-time transfer dominates and RPC wins; mutating methods shift\n"
+      "the balance toward RPC (write-backs / ownership traffic). kAuto\n"
+      "follows Khazana's location data to land on the cheap side.\n");
+  return 0;
+}

@@ -1,0 +1,76 @@
+// Shared helpers for the experiment harness.
+//
+// Each bench binary reproduces one figure or design claim from the paper
+// (see DESIGN.md Section 5 and EXPERIMENTS.md). The quantities reported are
+// virtual time and message counts from the deterministic simulator, so
+// every run prints identical numbers.
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "core/client.h"
+
+namespace khz::bench {
+
+inline void title(const std::string& name, const std::string& what) {
+  std::printf("\n================================================================\n");
+  std::printf("%s\n%s\n", name.c_str(), what.c_str());
+  std::printf("================================================================\n");
+}
+
+inline void table_header(const std::vector<std::string>& cols) {
+  for (const auto& c : cols) std::printf("%-18s", c.c_str());
+  std::printf("\n");
+  for (std::size_t i = 0; i < cols.size(); ++i) std::printf("%-18s", "----");
+  std::printf("\n");
+}
+
+inline void cell(const std::string& s) { std::printf("%-18s", s.c_str()); }
+inline void cell(double v) { std::printf("%-18.2f", v); }
+inline void cell(std::uint64_t v) {
+  std::printf("%-18llu", static_cast<unsigned long long>(v));
+}
+inline void cell(std::int64_t v) {
+  std::printf("%-18lld", static_cast<long long>(v));
+}
+inline void endrow() { std::printf("\n"); }
+
+inline std::string us(Micros t) {
+  char buf[32];
+  if (t >= 1000) {
+    std::snprintf(buf, sizeof(buf), "%.2f ms", static_cast<double>(t) / 1000);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%lld us", static_cast<long long>(t));
+  }
+  return buf;
+}
+
+inline Bytes fill(std::size_t n, std::uint8_t v) { return Bytes(n, v); }
+
+/// Messages and bytes sent between two stat snapshots.
+struct TrafficDelta {
+  std::uint64_t messages;
+  std::uint64_t bytes;
+};
+
+class TrafficMeter {
+ public:
+  explicit TrafficMeter(core::SimWorld& world) : world_(world) { reset(); }
+  void reset() {
+    msgs_ = world_.net().stats().messages_sent;
+    bytes_ = world_.net().stats().bytes_sent;
+  }
+  [[nodiscard]] TrafficDelta delta() const {
+    return {world_.net().stats().messages_sent - msgs_,
+            world_.net().stats().bytes_sent - bytes_};
+  }
+
+ private:
+  core::SimWorld& world_;
+  std::uint64_t msgs_ = 0;
+  std::uint64_t bytes_ = 0;
+};
+
+}  // namespace khz::bench

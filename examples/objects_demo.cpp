@@ -1,0 +1,145 @@
+// Distributed objects demo (paper, Section 4.2).
+//
+// A bank-account object type lives in Khazana regions. Clustered
+// application instances on three nodes invoke methods on shared objects;
+// the runtime transparently inserts Khazana locking and uses Khazana's
+// location information to decide, per invocation, whether to replicate the
+// object locally or ship the call to a node that already holds it.
+//
+//   $ ./examples/objects_demo
+#include <cstdio>
+
+#include "core/client.h"
+#include "obj/runtime.h"
+
+using namespace khz;        // NOLINT
+using namespace khz::core;  // NOLINT
+using namespace khz::obj;   // NOLINT
+
+namespace {
+
+ObjectType account_type() {
+  ObjectType t;
+  t.name = "account";
+  t.methods["deposit"] = {
+      [](Bytes& state, const Bytes& args) -> Result<Bytes> {
+        Decoder sd(state);
+        std::int64_t balance = sd.i64();
+        Decoder ad(args);
+        balance += ad.i64();
+        Encoder ns;
+        ns.i64(balance);
+        state = ns.data();
+        Encoder out;
+        out.i64(balance);
+        return std::move(out).take();
+      },
+      true};
+  t.methods["withdraw"] = {
+      [](Bytes& state, const Bytes& args) -> Result<Bytes> {
+        Decoder sd(state);
+        std::int64_t balance = sd.i64();
+        Decoder ad(args);
+        const std::int64_t amount = ad.i64();
+        if (amount > balance) return ErrorCode::kConflict;  // overdraft
+        balance -= amount;
+        Encoder ns;
+        ns.i64(balance);
+        state = ns.data();
+        Encoder out;
+        out.i64(balance);
+        return std::move(out).take();
+      },
+      true};
+  t.methods["balance"] = {
+      [](Bytes& state, const Bytes&) -> Result<Bytes> {
+        Decoder sd(state);
+        Encoder out;
+        out.i64(sd.i64());
+        return std::move(out).take();
+      },
+      false};
+  return t;
+}
+
+Bytes i64(std::int64_t v) {
+  Encoder e;
+  e.i64(v);
+  return std::move(e).take();
+}
+
+std::int64_t as_i64(const Bytes& b) {
+  Decoder d(b);
+  return d.i64();
+}
+
+}  // namespace
+
+int main() {
+  SimWorld world({.nodes = 3});
+  std::vector<std::unique_ptr<ObjectRuntime>> runtimes;
+  for (NodeId n = 0; n < 3; ++n) {
+    runtimes.push_back(std::make_unique<ObjectRuntime>(world.node(n)));
+    runtimes.back()->register_type(account_type());
+  }
+
+  auto run = [&](NodeId n, auto&& fn) {
+    // Helper: run an async runtime call to completion on the simulator.
+    bool done = false;
+    fn(runtimes[n].get(), [&] { done = true; });
+    world.pump_until([&] { return done; });
+  };
+
+  // Create a shared account object on node 0 with a strict-consistency
+  // region and two replicas.
+  RegionAttrs attrs;
+  attrs.min_replicas = 2;
+  ObjRef account;
+  run(0, [&](ObjectRuntime* rt, auto done) {
+    rt->create("account", i64(1000), 64, attrs, [&, done](Result<ObjRef> r) {
+      if (r) account = r.value();
+      done();
+    });
+  });
+  std::printf("account object created at %s, balance 1000\n",
+              account.addr.str().c_str());
+
+  // Three bank branches (nodes) hammer the same account. Every invocation
+  // runs under a Khazana write lock, so balances never interleave badly.
+  std::int64_t last = 0;
+  for (int round = 0; round < 3; ++round) {
+    for (NodeId n = 0; n < 3; ++n) {
+      run(n, [&](ObjectRuntime* rt, auto done) {
+        rt->invoke(account, "deposit", i64(10 * (n + 1)),
+                   InvokePolicy::kAuto, [&, done](Result<Bytes> r) {
+                     if (r) last = as_i64(r.value());
+                     done();
+                   });
+      });
+    }
+  }
+  std::printf("after 3 rounds of deposits from 3 branches: balance %lld\n",
+              static_cast<long long>(last));  // 1000 + 3*(10+20+30) = 1180
+
+  // Overdraft protection is just object logic; the runtime returns the
+  // method's error across the network like any other result.
+  run(2, [&](ObjectRuntime* rt, auto done) {
+    rt->invoke(account, "withdraw", i64(1'000'000), InvokePolicy::kAuto,
+               [&, done](Result<Bytes> r) {
+                 std::printf("huge withdrawal from node 2: %s\n",
+                             r.ok() ? "accepted?!"
+                                    : std::string(to_string(r.error())).c_str());
+                 done();
+               });
+  });
+
+  for (NodeId n = 0; n < 3; ++n) {
+    const auto& s = runtimes[n]->stats();
+    std::printf(
+        "node %u runtime stats: local=%llu remote=%llu served-for-peers=%llu\n",
+        n, static_cast<unsigned long long>(s.local_invokes),
+        static_cast<unsigned long long>(s.remote_invokes),
+        static_cast<unsigned long long>(s.remote_served));
+  }
+  return 0;
+}

@@ -1,0 +1,83 @@
+// Web-cache demo: the weak-consistency client class from Section 3.3.
+//
+// "We plan to experiment with even more relaxed models for applications
+// such as web caches... Such applications typically can tolerate data that
+// is temporarily out-of-date (i.e., one or two versions old) as long as
+// they get fast response."
+//
+// A region of "cached pages" is created with the eventual-consistency
+// protocol. An origin node republishes content while edge nodes serve
+// reads with zero blocking; the demo measures how stale each edge read is
+// and how quickly the gossip/anti-entropy traffic converges the replicas.
+//
+//   $ ./examples/web_cache
+#include <cstdio>
+#include <cstring>
+
+#include "core/client.h"
+
+using namespace khz;        // NOLINT
+using namespace khz::core;  // NOLINT
+
+namespace {
+Bytes page_with_version(std::uint32_t version) {
+  Bytes b(4096, 0);
+  std::memcpy(b.data(), &version, sizeof(version));
+  return b;
+}
+std::uint32_t version_of(const Bytes& b) {
+  std::uint32_t v = 0;
+  std::memcpy(&v, b.data(), sizeof(v));
+  return v;
+}
+}  // namespace
+
+int main() {
+  SimWorld world({.nodes = 4});
+  // Edge nodes are far from the origin.
+  for (NodeId edge : {1u, 2u, 3u}) {
+    world.net().set_link_pair(0, edge, net::LinkProfile::wan());
+  }
+
+  SimClient origin(world, 0);
+
+  RegionAttrs attrs;
+  attrs.level = ConsistencyLevel::kEventual;
+  attrs.protocol = consistency::ProtocolId::kEventual;
+  auto region = origin.create_region(4096, attrs);
+  if (!region) return 1;
+  const AddressRange page{region.value(), 4096};
+  (void)origin.put(page, page_with_version(0));
+
+  std::vector<SimClient> edges;
+  for (NodeId n = 1; n < 4; ++n) edges.emplace_back(world, n);
+  // Warm the edge caches.
+  for (auto& e : edges) (void)e.get(page);
+
+  std::printf("origin publishes new versions; edges keep serving:\n");
+  for (std::uint32_t v = 1; v <= 5; ++v) {
+    (void)origin.put(page, page_with_version(v));
+    // Edges read immediately (fast response, possibly stale)...
+    for (std::size_t i = 0; i < edges.size(); ++i) {
+      auto r = edges[i].get(page);
+      if (r) {
+        std::printf("  v%u published: edge %zu sees v%u%s\n", v, i + 1,
+                    version_of(r.value()),
+                    version_of(r.value()) == v ? "" : "  (stale, serving on)");
+      }
+    }
+    // ...and converge shortly after as gossip / anti-entropy arrives.
+    world.pump_for(300'000);  // 300 ms of virtual time
+    std::uint32_t converged = 0;
+    for (auto& e : edges) {
+      auto r = e.get(page);
+      if (r && version_of(r.value()) == v) ++converged;
+    }
+    std::printf("  after 300 ms: %u/3 edges converged to v%u\n", converged, v);
+  }
+
+  std::printf("\nmessages per edge read are zero once cached — the region's\n"
+              "eventual protocol grants read locks from the local replica\n"
+              "without any network round trip.\n");
+  return 0;
+}

@@ -1,0 +1,43 @@
+// Clock abstraction.
+//
+// Node logic never reads wall time directly: in simulation the clock is the
+// discrete-event scheduler's virtual time (deterministic tests, reproducible
+// latency benchmarks); under the TCP transport it is the steady clock.
+#pragma once
+
+#include <chrono>
+
+#include "common/types.h"
+
+namespace khz {
+
+class Clock {
+ public:
+  virtual ~Clock() = default;
+  /// Current time in microseconds. Only differences are meaningful.
+  [[nodiscard]] virtual Micros now() const = 0;
+};
+
+/// Real time, for the TCP transport path.
+class SteadyClock final : public Clock {
+ public:
+  [[nodiscard]] Micros now() const override {
+    return std::chrono::duration_cast<std::chrono::microseconds>(
+               std::chrono::steady_clock::now().time_since_epoch())
+        .count();
+  }
+};
+
+/// Manually advanced time, owned by the simulator.
+class ManualClock final : public Clock {
+ public:
+  [[nodiscard]] Micros now() const override { return now_; }
+  void advance_to(Micros t) {
+    if (t > now_) now_ = t;
+  }
+
+ private:
+  Micros now_ = 0;
+};
+
+}  // namespace khz

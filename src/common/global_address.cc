@@ -1,0 +1,28 @@
+#include "common/global_address.h"
+
+#include <cstdio>
+
+namespace khz {
+
+std::string GlobalAddress::str() const {
+  char buf[36];
+  std::snprintf(buf, sizeof(buf), "%016llx:%016llx",
+                static_cast<unsigned long long>(hi),
+                static_cast<unsigned long long>(lo));
+  return buf;
+}
+
+std::optional<GlobalAddress> GlobalAddress::parse(const std::string& text) {
+  unsigned long long h = 0;
+  unsigned long long l = 0;
+  if (std::sscanf(text.c_str(), "%16llx:%16llx", &h, &l) != 2) {
+    return std::nullopt;
+  }
+  return GlobalAddress{h, l};
+}
+
+std::string AddressRange::str() const {
+  return "[" + base.str() + " +" + std::to_string(size) + ")";
+}
+
+}  // namespace khz

@@ -1,0 +1,111 @@
+// 128-bit global addresses.
+//
+// Khazana regions are "addressed" using 128-bit identifiers (paper,
+// Section 2); there is no correspondence between Khazana addresses and a
+// client's virtual addresses. This header provides the 128-bit address type
+// with the arithmetic the rest of the system needs (offset math, page
+// alignment, range overlap) plus parsing/formatting for diagnostics.
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <string>
+
+namespace khz {
+
+/// A 128-bit Khazana global address.
+struct GlobalAddress {
+  std::uint64_t hi = 0;
+  std::uint64_t lo = 0;
+
+  constexpr GlobalAddress() = default;
+  constexpr GlobalAddress(std::uint64_t high, std::uint64_t low)
+      : hi(high), lo(low) {}
+  /// Implicit widening from a 64-bit offset keeps call sites readable.
+  constexpr GlobalAddress(std::uint64_t low) : hi(0), lo(low) {}  // NOLINT
+
+  friend constexpr auto operator<=>(const GlobalAddress&,
+                                    const GlobalAddress&) = default;
+
+  [[nodiscard]] constexpr bool is_zero() const { return hi == 0 && lo == 0; }
+
+  /// Address + byte offset, with carry into the high word.
+  [[nodiscard]] constexpr GlobalAddress plus(std::uint64_t delta) const {
+    GlobalAddress r{hi, lo + delta};
+    if (r.lo < lo) ++r.hi;  // carry
+    return r;
+  }
+
+  /// Address - byte offset, with borrow from the high word.
+  [[nodiscard]] constexpr GlobalAddress minus(std::uint64_t delta) const {
+    GlobalAddress r{hi, lo - delta};
+    if (r.lo > lo) --r.hi;  // borrow
+    return r;
+  }
+
+  /// Byte distance to `later`, which must not precede this address by more
+  /// than 2^64 (all Khazana regions are far smaller).
+  [[nodiscard]] constexpr std::uint64_t distance_to(
+      const GlobalAddress& later) const {
+    return later.lo - lo;  // modular arithmetic handles the carry correctly
+  }
+
+  /// Rounds down to a multiple of `page_size` (power of two).
+  [[nodiscard]] constexpr GlobalAddress page_floor(
+      std::uint32_t page_size) const {
+    return {hi, lo & ~static_cast<std::uint64_t>(page_size - 1)};
+  }
+
+  /// Rounds up to a multiple of `page_size` (power of two).
+  [[nodiscard]] constexpr GlobalAddress page_ceil(
+      std::uint32_t page_size) const {
+    return plus(page_size - 1).page_floor(page_size);
+  }
+
+  /// Formats as "hhhh...:llll..." hexadecimal.
+  [[nodiscard]] std::string str() const;
+
+  /// Parses the format produced by str().
+  static std::optional<GlobalAddress> parse(const std::string& text);
+};
+
+/// A contiguous range [base, base+size) of global address space.
+struct AddressRange {
+  GlobalAddress base;
+  std::uint64_t size = 0;
+
+  friend constexpr bool operator==(const AddressRange&,
+                                   const AddressRange&) = default;
+
+  [[nodiscard]] constexpr GlobalAddress end() const { return base.plus(size); }
+
+  [[nodiscard]] constexpr bool contains(const GlobalAddress& a) const {
+    return base <= a && a < end();
+  }
+
+  [[nodiscard]] constexpr bool contains_range(const AddressRange& r) const {
+    return base <= r.base && r.end() <= end();
+  }
+
+  [[nodiscard]] constexpr bool overlaps(const AddressRange& r) const {
+    return base < r.end() && r.base < end();
+  }
+
+  [[nodiscard]] std::string str() const;
+};
+
+}  // namespace khz
+
+template <>
+struct std::hash<khz::GlobalAddress> {
+  std::size_t operator()(const khz::GlobalAddress& a) const noexcept {
+    // Splitmix-style combine of the two words.
+    std::uint64_t x = a.lo + 0x9e3779b97f4a7c15ULL * (a.hi + 1);
+    x ^= x >> 30;
+    x *= 0xbf58476d1ce4e5b9ULL;
+    x ^= x >> 27;
+    return static_cast<std::size_t>(x);
+  }
+};

@@ -1,0 +1,38 @@
+// Leveled logging.
+//
+// Lightweight printf-style logger; everything routes through a process-wide
+// sink so tests can silence or capture output. Default level is kWarn to
+// keep benchmark output clean; protocol traces (e.g. the Figure 2 step
+// trace) use their own explicit channels rather than the logger.
+#pragma once
+
+#include <cstdarg>
+#include <string>
+
+namespace khz {
+
+enum class LogLevel : int { kTrace = 0, kDebug, kInfo, kWarn, kError, kOff };
+
+namespace log_internal {
+void emit(LogLevel level, const char* fmt, ...)
+    __attribute__((format(printf, 2, 3)));
+}  // namespace log_internal
+
+void set_log_level(LogLevel level);
+LogLevel log_level();
+
+#define KHZ_LOG(level, ...)                                 \
+  do {                                                      \
+    if (static_cast<int>(level) >=                          \
+        static_cast<int>(::khz::log_level())) {             \
+      ::khz::log_internal::emit((level), __VA_ARGS__);      \
+    }                                                       \
+  } while (0)
+
+#define KHZ_TRACE(...) KHZ_LOG(::khz::LogLevel::kTrace, __VA_ARGS__)
+#define KHZ_DEBUG(...) KHZ_LOG(::khz::LogLevel::kDebug, __VA_ARGS__)
+#define KHZ_INFO(...) KHZ_LOG(::khz::LogLevel::kInfo, __VA_ARGS__)
+#define KHZ_WARN(...) KHZ_LOG(::khz::LogLevel::kWarn, __VA_ARGS__)
+#define KHZ_ERROR(...) KHZ_LOG(::khz::LogLevel::kError, __VA_ARGS__)
+
+}  // namespace khz

@@ -1,0 +1,107 @@
+// Error codes and a small expected-style Result<T>.
+//
+// Khazana's failure-handling contract (paper, Section 3.5) distinguishes
+// errors on resource-acquiring operations (reflected back to the client)
+// from errors on resource-releasing operations (retried in the background).
+// Every fallible API in this codebase returns Result<T> or reports an
+// ErrorCode through a completion callback.
+#pragma once
+
+#include <cassert>
+#include <string_view>
+#include <utility>
+#include <variant>
+
+namespace khz {
+
+enum class ErrorCode : std::uint8_t {
+  kOk = 0,
+  kTimeout,          // operation retried until the failure timeout expired
+  kNoSpace,          // no unreserved address space / no backing storage
+  kNotReserved,      // address range is not part of any reserved region
+  kNotAllocated,     // reserved but no physical storage allocated
+  kAlreadyReserved,  // overlapping reservation exists
+  kAccessDenied,     // region access-control check failed
+  kBadLock,          // lock context invalid or mode insufficient for the op
+  kConflict,         // consistency manager refused the lock (conflict)
+  kUnreachable,      // no replica of the data or metadata is reachable
+  kBadArgument,      // malformed request (size 0, unaligned page size, ...)
+  kNotFound,         // named entity does not exist (kfs paths, objects)
+  kExists,           // named entity already exists
+  kCorrupt,          // on-disk or wire data failed validation
+  kInternal,         // invariant violation; indicates a bug
+};
+
+[[nodiscard]] constexpr std::string_view to_string(ErrorCode e) {
+  switch (e) {
+    case ErrorCode::kOk: return "ok";
+    case ErrorCode::kTimeout: return "timeout";
+    case ErrorCode::kNoSpace: return "no-space";
+    case ErrorCode::kNotReserved: return "not-reserved";
+    case ErrorCode::kNotAllocated: return "not-allocated";
+    case ErrorCode::kAlreadyReserved: return "already-reserved";
+    case ErrorCode::kAccessDenied: return "access-denied";
+    case ErrorCode::kBadLock: return "bad-lock";
+    case ErrorCode::kConflict: return "conflict";
+    case ErrorCode::kUnreachable: return "unreachable";
+    case ErrorCode::kBadArgument: return "bad-argument";
+    case ErrorCode::kNotFound: return "not-found";
+    case ErrorCode::kExists: return "exists";
+    case ErrorCode::kCorrupt: return "corrupt";
+    case ErrorCode::kInternal: return "internal";
+  }
+  return "unknown";
+}
+
+/// Minimal expected-style result: either a value or an ErrorCode.
+template <typename T>
+class [[nodiscard]] Result {
+ public:
+  Result(T value) : v_(std::move(value)) {}                   // NOLINT
+  Result(ErrorCode e) : v_(e) { assert(e != ErrorCode::kOk); }  // NOLINT
+
+  [[nodiscard]] bool ok() const { return std::holds_alternative<T>(v_); }
+  explicit operator bool() const { return ok(); }
+
+  [[nodiscard]] ErrorCode error() const {
+    return ok() ? ErrorCode::kOk : std::get<ErrorCode>(v_);
+  }
+
+  [[nodiscard]] T& value() & {
+    assert(ok());
+    return std::get<T>(v_);
+  }
+  [[nodiscard]] const T& value() const& {
+    assert(ok());
+    return std::get<T>(v_);
+  }
+  [[nodiscard]] T&& value() && {
+    assert(ok());
+    return std::get<T>(std::move(v_));
+  }
+
+  [[nodiscard]] T value_or(T fallback) const& {
+    return ok() ? std::get<T>(v_) : std::move(fallback);
+  }
+
+ private:
+  std::variant<T, ErrorCode> v_;
+};
+
+/// Result specialization for operations with no payload.
+class [[nodiscard]] Status {
+ public:
+  Status() : e_(ErrorCode::kOk) {}
+  Status(ErrorCode e) : e_(e) {}  // NOLINT
+
+  [[nodiscard]] bool ok() const { return e_ == ErrorCode::kOk; }
+  explicit operator bool() const { return ok(); }
+  [[nodiscard]] ErrorCode error() const { return e_; }
+
+  friend bool operator==(const Status&, const Status&) = default;
+
+ private:
+  ErrorCode e_;
+};
+
+}  // namespace khz

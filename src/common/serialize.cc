@@ -1,0 +1,4 @@
+// serialize.h is header-only; this translation unit exists so the common
+// library has a home for any future out-of-line serialization helpers and to
+// verify the header is self-contained.
+#include "common/serialize.h"

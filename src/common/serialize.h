@@ -1,0 +1,153 @@
+// Wire-format serialization.
+//
+// All Khazana inter-node messages and persistent structures (address-map
+// tree nodes, region descriptors, KFS inodes) are encoded with this pair of
+// classes. The format is little-endian fixed-width integers with
+// length-prefixed strings/blobs: simple, versionable via message-level type
+// tags, and byte-order independent so heterogeneous nodes interoperate
+// (one of the paper's motivations for a common substrate).
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/global_address.h"
+
+namespace khz {
+
+using Bytes = std::vector<std::uint8_t>;
+
+/// Appends primitive values to a byte buffer in wire format.
+class Encoder {
+ public:
+  Encoder() = default;
+  explicit Encoder(Bytes initial) : buf_(std::move(initial)) {}
+
+  void u8(std::uint8_t v) { buf_.push_back(v); }
+  void u16(std::uint16_t v) { put_le(v); }
+  void u32(std::uint32_t v) { put_le(v); }
+  void u64(std::uint64_t v) { put_le(v); }
+  void i64(std::int64_t v) { put_le(static_cast<std::uint64_t>(v)); }
+  void boolean(bool v) { u8(v ? 1 : 0); }
+
+  void addr(const GlobalAddress& a) {
+    u64(a.hi);
+    u64(a.lo);
+  }
+  void range(const AddressRange& r) {
+    addr(r.base);
+    u64(r.size);
+  }
+
+  /// Length-prefixed blob.
+  void bytes(std::span<const std::uint8_t> b) {
+    u32(static_cast<std::uint32_t>(b.size()));
+    buf_.insert(buf_.end(), b.begin(), b.end());
+  }
+  void str(const std::string& s) {
+    u32(static_cast<std::uint32_t>(s.size()));
+    buf_.insert(buf_.end(), s.begin(), s.end());
+  }
+
+  /// Raw append with no length prefix (caller knows the size).
+  void raw(std::span<const std::uint8_t> b) {
+    buf_.insert(buf_.end(), b.begin(), b.end());
+  }
+
+  [[nodiscard]] const Bytes& data() const& { return buf_; }
+  [[nodiscard]] Bytes take() && { return std::move(buf_); }
+  [[nodiscard]] std::size_t size() const { return buf_.size(); }
+
+ private:
+  template <typename T>
+  void put_le(T v) {
+    for (std::size_t i = 0; i < sizeof(T); ++i) {
+      buf_.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+    }
+  }
+
+  Bytes buf_;
+};
+
+/// Reads primitive values back out of a wire-format buffer.
+///
+/// A decode past the end of the buffer sets the error flag and returns
+/// zeros; callers check ok() once after decoding a whole message rather
+/// than after every field.
+class Decoder {
+ public:
+  explicit Decoder(std::span<const std::uint8_t> data) : data_(data) {}
+
+  std::uint8_t u8() { return get_le<std::uint8_t>(); }
+  std::uint16_t u16() { return get_le<std::uint16_t>(); }
+  std::uint32_t u32() { return get_le<std::uint32_t>(); }
+  std::uint64_t u64() { return get_le<std::uint64_t>(); }
+  std::int64_t i64() { return static_cast<std::int64_t>(u64()); }
+  bool boolean() { return u8() != 0; }
+
+  GlobalAddress addr() {
+    GlobalAddress a;
+    a.hi = u64();
+    a.lo = u64();
+    return a;
+  }
+  AddressRange range() {
+    AddressRange r;
+    r.base = addr();
+    r.size = u64();
+    return r;
+  }
+
+  Bytes bytes() {
+    const std::uint32_t n = u32();
+    if (!check(n)) return {};
+    Bytes out(data_.begin() + static_cast<std::ptrdiff_t>(pos_),
+              data_.begin() + static_cast<std::ptrdiff_t>(pos_ + n));
+    pos_ += n;
+    return out;
+  }
+  std::string str() {
+    const std::uint32_t n = u32();
+    if (!check(n)) return {};
+    std::string out(reinterpret_cast<const char*>(data_.data() + pos_), n);
+    pos_ += n;
+    return out;
+  }
+
+  /// Remaining undecoded bytes.
+  [[nodiscard]] std::span<const std::uint8_t> rest() const {
+    return ok() ? data_.subspan(pos_) : std::span<const std::uint8_t>{};
+  }
+
+  [[nodiscard]] bool ok() const { return !error_; }
+  [[nodiscard]] bool at_end() const { return ok() && pos_ == data_.size(); }
+
+ private:
+  bool check(std::size_t n) {
+    if (error_ || data_.size() - pos_ < n) {
+      error_ = true;
+      return false;
+    }
+    return true;
+  }
+
+  template <typename T>
+  T get_le() {
+    if (!check(sizeof(T))) return T{};
+    T v{};
+    for (std::size_t i = 0; i < sizeof(T); ++i) {
+      v = static_cast<T>(v | static_cast<T>(data_[pos_ + i]) << (8 * i));
+    }
+    pos_ += sizeof(T);
+    return v;
+  }
+
+  std::span<const std::uint8_t> data_;
+  std::size_t pos_ = 0;
+  bool error_ = false;
+};
+
+}  // namespace khz

@@ -1,0 +1,31 @@
+// Basic scalar types shared across the Khazana implementation.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+namespace khz {
+
+/// Identifies one Khazana daemon (peer) in the system.
+using NodeId = std::uint32_t;
+
+/// Sentinel meaning "no node".
+inline constexpr NodeId kNoNode = std::numeric_limits<NodeId>::max();
+
+/// Identifies one cluster of closely-connected nodes.
+using ClusterId = std::uint32_t;
+
+/// Monotonic version counter attached to replicated page contents.
+using Version = std::uint64_t;
+
+/// Correlates an RPC request with its response.
+using RpcId = std::uint64_t;
+
+/// Simulated or real time, in microseconds.
+using Micros = std::int64_t;
+
+/// Default Khazana page size: 4 KiB, matching the most common VM page size
+/// (paper, Section 2).
+inline constexpr std::uint32_t kDefaultPageSize = 4096;
+
+}  // namespace khz

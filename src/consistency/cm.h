@@ -1,0 +1,153 @@
+// Consistency Manager framework (paper, Section 3.3).
+//
+// "Program modules called Consistency Managers (CMs) run at each of the
+// replica sites and cooperate to implement the required level of
+// consistency among the replicas... [Khazana] obtains the local consistency
+// manager's permission before granting such requests. The CM, in response
+// to such requests, checks if they conflict with ongoing operations. If
+// necessary, it delays granting the locks until the conflict is resolved."
+//
+// The framework follows Brun-Cottan & Makpangou's separation: generic
+// Khazana machinery (storage, location, messaging) is provided to the
+// protocol through the CmHost interface; everything protocol-specific lives
+// in a ConsistencyManager implementation. New protocols plug in by
+// registering a factory ("plugging in new protocols or consistency managers
+// is only a matter of registering them with Khazana", Section 5).
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/result.h"
+#include "common/rng.h"
+#include "common/serialize.h"
+#include "common/types.h"
+#include "consistency/lock.h"
+#include "storage/page_directory.h"
+
+namespace khz::consistency {
+
+/// Consistency protocol selector stored in region attributes.
+enum class ProtocolId : std::uint8_t {
+  kCrew = 1,      // Concurrent Read Exclusive Write (the paper's prototype)
+  kRelease = 2,   // release consistency (used for the address map)
+  kEventual = 3,  // Bayou-like last-writer-wins gossip
+};
+
+[[nodiscard]] std::string_view to_string(ProtocolId p);
+
+/// Services Khazana provides to a protocol implementation.
+class CmHost {
+ public:
+  virtual ~CmHost() = default;
+
+  [[nodiscard]] virtual NodeId self() const = 0;
+
+  /// Sends a protocol payload to the peer CM for `page` on `peer`.
+  virtual void send_cm(NodeId peer, ProtocolId protocol,
+                       const GlobalAddress& page, Bytes payload) = 0;
+
+  /// Page metadata entry (sharers, owner, holds, state, version).
+  virtual storage::PageInfo& page_info(const GlobalAddress& page) = 0;
+
+  /// Local copy of the page contents, or nullptr if not resident.
+  virtual const Bytes* page_data(const GlobalAddress& page) = 0;
+
+  /// Installs a copy of the page locally (into the storage hierarchy).
+  virtual void store_page(const GlobalAddress& page, Bytes data) = 0;
+
+  /// Removes the local copy (invalidation).
+  virtual void drop_page(const GlobalAddress& page) = 0;
+
+  /// Region attributes the protocol needs, resolved from cached
+  /// descriptors. `home_of` is the primary home; `alternate_homes`
+  /// lists the others (paper: a region has a non-exhaustive list of
+  /// home nodes).
+  [[nodiscard]] virtual NodeId home_of(const GlobalAddress& page) = 0;
+  /// Authoritative: does THIS node home the page's region right now?
+  /// (home_of may fall back to heuristics; this never does.)
+  [[nodiscard]] virtual bool is_home(const GlobalAddress& page) = 0;
+  [[nodiscard]] virtual std::vector<NodeId> alternate_homes(
+      const GlobalAddress& page) = 0;
+  [[nodiscard]] virtual std::uint32_t page_size_of(
+      const GlobalAddress& page) = 0;
+  [[nodiscard]] virtual std::uint32_t min_replicas_of(
+      const GlobalAddress& page) = 0;
+
+  /// All nodes currently believed to be members.
+  [[nodiscard]] virtual std::vector<NodeId> membership() = 0;
+
+  /// The protocol changed the page's copyset (ownership transfer, dropped
+  /// replica, dirty release). The node uses this to re-check the region's
+  /// minimum-replica guarantee (paper, Section 3.5).
+  virtual void note_copyset_change(const GlobalAddress& page) = 0;
+
+  [[nodiscard]] virtual Micros now() const = 0;
+  virtual std::uint64_t schedule(Micros delay, std::function<void()> fn) = 0;
+  virtual void cancel(std::uint64_t timer_id) = 0;
+  [[nodiscard]] virtual Rng& rng() = 0;
+
+  /// How long a protocol should wait on a single remote exchange before
+  /// retrying, and how many times, before reporting failure upward.
+  [[nodiscard]] virtual Micros rpc_timeout() const = 0;
+  [[nodiscard]] virtual int max_retries() const = 0;
+};
+
+using GrantCallback = std::function<void(Status)>;
+
+/// One protocol instance per (node, protocol); page state is keyed
+/// internally by address.
+class ConsistencyManager {
+ public:
+  virtual ~ConsistencyManager() = default;
+
+  [[nodiscard]] virtual ProtocolId id() const = 0;
+  [[nodiscard]] virtual std::string_view name() const = 0;
+
+  /// Client declared intent to access `page` in `mode`. The CM must
+  /// eventually invoke `done` (possibly immediately) with the grant
+  /// decision. A granted lock increments the page's hold counters.
+  virtual void acquire(const GlobalAddress& page, LockMode mode,
+                       GrantCallback done) = 0;
+
+  /// Lock released. `dirty` reports whether the holder wrote the page.
+  virtual void release(const GlobalAddress& page, LockMode mode,
+                       bool dirty) = 0;
+
+  /// Protocol message from the peer CM on `from`.
+  virtual void on_message(NodeId from, const GlobalAddress& page,
+                          Decoder& d) = 0;
+
+  /// Storage wants to drop the local copy entirely. Return false to veto
+  /// (e.g. this is the last copy anywhere). A true return must leave the
+  /// sharer lists consistent (paper, Section 3.4).
+  virtual bool on_evict(const GlobalAddress& page) = 0;
+
+  /// Failure detector verdict: `node` is gone; clean up protocol state.
+  virtual void on_node_down(NodeId node) = 0;
+};
+
+/// Factory registry keyed by ProtocolId.
+class ProtocolRegistry {
+ public:
+  using Factory =
+      std::function<std::unique_ptr<ConsistencyManager>(CmHost&)>;
+
+  static ProtocolRegistry& instance();
+
+  void register_protocol(ProtocolId id, Factory factory);
+  [[nodiscard]] std::unique_ptr<ConsistencyManager> create(
+      ProtocolId id, CmHost& host) const;
+  [[nodiscard]] bool known(ProtocolId id) const;
+
+ private:
+  std::vector<std::pair<ProtocolId, Factory>> factories_;
+};
+
+/// Registers the three built-in protocols (idempotent).
+void register_builtin_protocols();
+
+}  // namespace khz::consistency

@@ -1,0 +1,248 @@
+#include "consistency/eventual.h"
+
+#include <algorithm>
+
+namespace khz::consistency {
+
+namespace {
+using PS = storage::PageState;
+}
+
+EventualManager::EventualManager(CmHost& host) : host_(host) {
+  host_.schedule(kAntiEntropyInterval, [this] { anti_entropy_tick(); });
+}
+
+void EventualManager::send(NodeId to, const GlobalAddress& page, Sub sub,
+                           const std::function<void(Encoder&)>& body) {
+  Encoder e;
+  e.u8(static_cast<std::uint8_t>(sub));
+  if (body) body(e);
+  host_.send_cm(to, ProtocolId::kEventual, page, std::move(e).take());
+}
+
+void EventualManager::acquire(const GlobalAddress& page, LockMode mode,
+                              GrantCallback done) {
+  auto& st = state(page);
+  st.waiters.push_back({mode, std::move(done)});
+  try_grant(page);
+}
+
+void EventualManager::try_grant(const GlobalAddress& page) {
+  auto& st = state(page);
+  auto& info = host_.page_info(page);
+  const bool is_home = host_.home_of(page) == host_.self();
+
+  if (host_.page_data(page) == nullptr) {
+    if (is_home) {
+      host_.store_page(page, Bytes(host_.page_size_of(page), 0));
+      info.homed_locally = true;
+      info.owner = host_.self();
+    } else {
+      if (!st.fetch_outstanding) send_fetch(page);
+      return;
+    }
+  }
+  if (info.state == PS::kInvalid) info.state = PS::kShared;
+
+  std::deque<Waiter> ready;
+  ready.swap(st.waiters);
+  for (auto& w : ready) {
+    if (w.mode == LockMode::kRead) {
+      ++info.read_holds;
+    } else {
+      ++info.write_holds;
+    }
+    w.done(Status{});
+  }
+}
+
+void EventualManager::send_fetch(const GlobalAddress& page) {
+  auto& st = state(page);
+  st.fetch_outstanding = true;
+  NodeId target = host_.home_of(page);
+  if (st.retries > 0) {
+    const auto alts = host_.alternate_homes(page);
+    if (!alts.empty()) {
+      target = alts[static_cast<std::size_t>(st.retries - 1) % alts.size()];
+    }
+  }
+  send(target, page, Sub::kFetchReq);
+  st.fetch_timer = host_.schedule(host_.rpc_timeout(), [this, page] {
+    auto& s = state(page);
+    if (!s.fetch_outstanding) return;
+    s.fetch_timer = 0;
+    s.fetch_outstanding = false;
+    if (++s.retries > host_.max_retries()) {
+      s.retries = 0;
+      std::deque<Waiter> waiters;
+      waiters.swap(s.waiters);
+      for (auto& w : waiters) w.done(ErrorCode::kUnreachable);
+      return;
+    }
+    send_fetch(page);
+  });
+}
+
+void EventualManager::release(const GlobalAddress& page, LockMode mode,
+                              bool dirty) {
+  auto& info = host_.page_info(page);
+  if (mode == LockMode::kRead) {
+    if (info.read_holds > 0) --info.read_holds;
+  } else {
+    if (info.write_holds > 0) --info.write_holds;
+  }
+  if (!is_write(mode) || !dirty) return;
+
+  auto& st = state(page);
+  st.stamp = Stamp{st.stamp.counter + 1, host_.self()};
+  info.version = st.stamp.counter;
+
+  // Epidemic push: the home plus kPushFanout random peers.
+  std::set<NodeId> targets;
+  const NodeId home = host_.home_of(page);
+  if (home != host_.self()) targets.insert(home);
+  const auto members = host_.membership();
+  if (!members.empty()) {
+    for (int i = 0; i < kPushFanout; ++i) {
+      const NodeId pick =
+          members[host_.rng().below(members.size())];
+      if (pick != host_.self()) targets.insert(pick);
+    }
+  }
+  for (NodeId n : targets) gossip_to(n, page);
+}
+
+void EventualManager::gossip_to(NodeId peer, const GlobalAddress& page) {
+  const Bytes* data = host_.page_data(page);
+  if (data == nullptr) return;
+  const Stamp s = state(page).stamp;
+  send(peer, page, Sub::kGossip, [&](Encoder& e) {
+    e.u64(s.counter);
+    e.u32(s.writer);
+    e.bytes(*data);
+  });
+}
+
+void EventualManager::anti_entropy_tick() {
+  const auto members = host_.membership();
+  if (members.size() > 1) {
+    // Compare digests for a random sample of locally known pages with one
+    // random peer.
+    NodeId peer = members[host_.rng().below(members.size())];
+    while (peer == host_.self() && members.size() > 1) {
+      peer = members[host_.rng().below(members.size())];
+    }
+    if (peer != host_.self()) {
+      for (const auto& [page, st] : pages_) {
+        if (host_.page_data(page) == nullptr) continue;
+        const Stamp s = st.stamp;
+        send(peer, page, Sub::kDigest, [&](Encoder& e) {
+          e.u64(s.counter);
+          e.u32(s.writer);
+        });
+      }
+    }
+  }
+  host_.schedule(kAntiEntropyInterval, [this] { anti_entropy_tick(); });
+}
+
+void EventualManager::on_message(NodeId from, const GlobalAddress& page,
+                                 Decoder& d) {
+  const auto sub = static_cast<Sub>(d.u8());
+  auto& st = state(page);
+  auto& info = host_.page_info(page);
+
+  switch (sub) {
+    case Sub::kFetchReq: {
+      if (host_.page_data(page) == nullptr) {
+        if (host_.home_of(page) == host_.self()) {
+          host_.store_page(page, Bytes(host_.page_size_of(page), 0));
+          info.homed_locally = true;
+          info.owner = host_.self();
+          if (info.state == PS::kInvalid) {
+            info.state = PS::kShared;
+          }
+        } else {
+          send(from, page, Sub::kNack, [](Encoder& e) {
+            e.u8(static_cast<std::uint8_t>(ErrorCode::kNotFound));
+          });
+          break;
+        }
+      }
+      info.sharers.insert(from);
+      gossip_to(from, page);
+      break;
+    }
+
+    case Sub::kGossip: {
+      Stamp s;
+      s.counter = d.u64();
+      s.writer = d.u32();
+      Bytes data = d.bytes();
+      if (st.fetch_timer != 0) {
+        host_.cancel(st.fetch_timer);
+        st.fetch_timer = 0;
+      }
+      st.fetch_outstanding = false;
+      st.retries = 0;
+      // Install when strictly newer, or on a cold miss (no local copy yet,
+      // whatever the stamp says — a fresh replica of the initial version).
+      const bool cold = host_.page_data(page) == nullptr;
+      if ((s > st.stamp || cold) && !info.locked()) {
+        st.stamp = std::max(st.stamp, s);
+        info.version = st.stamp.counter;
+        host_.store_page(page, std::move(data));
+        info.state = PS::kShared;
+      }
+      info.sharers.insert(from);
+      try_grant(page);
+      break;
+    }
+
+    case Sub::kDigest: {
+      Stamp s;
+      s.counter = d.u64();
+      s.writer = d.u32();
+      if (s > st.stamp) {
+        send(from, page, Sub::kWant);
+      } else if (st.stamp > s) {
+        gossip_to(from, page);
+      }
+      break;
+    }
+
+    case Sub::kWant: {
+      gossip_to(from, page);
+      break;
+    }
+
+    case Sub::kNack: {
+      const auto e = static_cast<ErrorCode>(d.u8());
+      if (st.fetch_timer != 0) {
+        host_.cancel(st.fetch_timer);
+        st.fetch_timer = 0;
+      }
+      st.fetch_outstanding = false;
+      std::deque<Waiter> waiters;
+      waiters.swap(st.waiters);
+      for (auto& w : waiters) w.done(e);
+      break;
+    }
+  }
+}
+
+bool EventualManager::on_evict(const GlobalAddress& page) {
+  auto& info = host_.page_info(page);
+  if (info.locked()) return false;
+  if (host_.home_of(page) == host_.self()) return false;
+  info.state = PS::kInvalid;
+  return true;
+}
+
+void EventualManager::on_node_down(NodeId node) {
+  for (auto& [page, st] : pages_) {
+    host_.page_info(page).sharers.erase(node);
+  }
+}
+
+}  // namespace khz::consistency

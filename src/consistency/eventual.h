@@ -1,0 +1,85 @@
+// Eventual consistency (paper, Section 3.3 / Section 7).
+//
+// "We plan to experiment with even more relaxed models for applications
+// such as web caches and some database query engines... Such applications
+// typically can tolerate data that is temporarily out-of-date (i.e., one or
+// two versions old) as long as they get fast response." The paper also
+// points at Bayou's weak protocol for mobile data.
+//
+// This protocol grants every lock immediately from whatever copy is at
+// hand (fetching one only on a true cold miss), stamps each write with a
+// Lamport (counter, writer) pair, pushes new values epidemically to a few
+// peers on release, and runs periodic anti-entropy digests so every replica
+// converges to the last-writer-wins value. Staleness is observable and is
+// measured by bench_consistency.
+#pragma once
+
+#include <deque>
+#include <map>
+#include <set>
+
+#include "consistency/cm.h"
+
+namespace khz::consistency {
+
+class EventualManager final : public ConsistencyManager {
+ public:
+  explicit EventualManager(CmHost& host);
+
+  [[nodiscard]] ProtocolId id() const override {
+    return ProtocolId::kEventual;
+  }
+  [[nodiscard]] std::string_view name() const override { return "eventual"; }
+
+  void acquire(const GlobalAddress& page, LockMode mode,
+               GrantCallback done) override;
+  void release(const GlobalAddress& page, LockMode mode, bool dirty) override;
+  void on_message(NodeId from, const GlobalAddress& page,
+                  Decoder& d) override;
+  bool on_evict(const GlobalAddress& page) override;
+  void on_node_down(NodeId node) override;
+
+  enum class Sub : std::uint8_t {
+    kFetchReq = 1,  // cold miss -> home
+    kGossip,        // counter, writer, bytes: install if newer
+    kDigest,        // counter, writer: anti-entropy probe
+    kWant,          // "your digest is newer than my copy; send it"
+    kNack,
+  };
+
+  /// Gossip fan-out on each dirty release.
+  static constexpr int kPushFanout = 2;
+  /// Anti-entropy period (virtual/real microseconds).
+  static constexpr Micros kAntiEntropyInterval = 50'000;
+
+ private:
+  struct Stamp {
+    std::uint64_t counter = 0;
+    NodeId writer = kNoNode;
+    friend auto operator<=>(const Stamp&, const Stamp&) = default;
+  };
+  struct Waiter {
+    LockMode mode;
+    GrantCallback done;
+  };
+  struct PageState {
+    Stamp stamp;
+    std::deque<Waiter> waiters;
+    bool fetch_outstanding = false;
+    std::uint64_t fetch_timer = 0;
+    int retries = 0;
+  };
+
+  PageState& state(const GlobalAddress& page) { return pages_[page]; }
+  void try_grant(const GlobalAddress& page);
+  void send_fetch(const GlobalAddress& page);
+  void gossip_to(NodeId peer, const GlobalAddress& page);
+  void anti_entropy_tick();
+  void send(NodeId to, const GlobalAddress& page, Sub sub,
+            const std::function<void(Encoder&)>& body = {});
+
+  CmHost& host_;
+  std::map<GlobalAddress, PageState> pages_;
+};
+
+}  // namespace khz::consistency

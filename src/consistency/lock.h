@@ -1,0 +1,49 @@
+// Lock modes and lock contexts (paper, Section 2).
+//
+// "lock and unlock parts of regions in a specified mode (e.g., read-only,
+// read-write etc). The lock operation returns a lock context, which must be
+// used during subsequent read and write operations to the region. Lock
+// operations indicate the caller's intention to access a portion of a
+// region. These operations do not themselves enforce any concurrency
+// control policy... The consistency protocol ultimately decides the
+// concurrency control policy based on these stated intentions."
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+#include "common/global_address.h"
+
+namespace khz::consistency {
+
+enum class LockMode : std::uint8_t {
+  kNone = 0,
+  kRead,         // read-only intention
+  kWrite,        // read-write intention (exclusive under CREW)
+  kWriteShared,  // concurrent-writer intention (release/eventual protocols)
+};
+
+[[nodiscard]] constexpr bool is_write(LockMode m) {
+  return m == LockMode::kWrite || m == LockMode::kWriteShared;
+}
+
+[[nodiscard]] constexpr std::string_view to_string(LockMode m) {
+  switch (m) {
+    case LockMode::kNone: return "none";
+    case LockMode::kRead: return "read";
+    case LockMode::kWrite: return "write";
+    case LockMode::kWriteShared: return "write-shared";
+  }
+  return "?";
+}
+
+/// Handle returned by lock(); required by read()/write()/unlock().
+struct LockContext {
+  std::uint64_t id = 0;
+  AddressRange range;
+  LockMode mode = LockMode::kNone;
+
+  [[nodiscard]] bool valid() const { return id != 0; }
+};
+
+}  // namespace khz::consistency

@@ -1,0 +1,282 @@
+#include "consistency/release.h"
+
+#include <algorithm>
+
+namespace khz::consistency {
+
+namespace {
+using PS = storage::PageState;
+}
+
+void ReleaseManager::send(NodeId to, const GlobalAddress& page, Sub sub,
+                          const std::function<void(Encoder&)>& body) {
+  Encoder e;
+  e.u8(static_cast<std::uint8_t>(sub));
+  if (body) body(e);
+  host_.send_cm(to, ProtocolId::kRelease, page, std::move(e).take());
+}
+
+void ReleaseManager::acquire(const GlobalAddress& page, LockMode mode,
+                             GrantCallback done) {
+  auto& st = state(page);
+  st.waiters.push_back({mode, std::move(done)});
+  try_grant(page);
+}
+
+void ReleaseManager::try_grant(const GlobalAddress& page) {
+  auto& st = state(page);
+  auto& info = host_.page_info(page);
+  const bool is_home = host_.home_of(page) == host_.self();
+
+  // Under release consistency any node with a valid (possibly stale) copy
+  // may grant any mode immediately; there is no exclusive state. The only
+  // reason to wait is having no copy at all.
+  const bool have_copy =
+      info.state != PS::kInvalid || host_.page_data(page) != nullptr ||
+      is_home;
+  if (!have_copy) {
+    if (!st.fetch_outstanding) send_fetch(page);
+    return;
+  }
+  if (is_home && host_.page_data(page) == nullptr) {
+    // First touch at the home: materialize a zero page.
+    host_.store_page(page, Bytes(host_.page_size_of(page), 0));
+    info.owner = host_.self();
+    info.homed_locally = true;
+  }
+  if (info.state == PS::kInvalid) info.state = PS::kShared;
+
+  std::deque<Waiter> ready;
+  ready.swap(st.waiters);
+  for (auto& w : ready) {
+    if (w.mode == LockMode::kRead) {
+      ++info.read_holds;
+    } else {
+      ++info.write_holds;
+    }
+    w.done(Status{});
+  }
+}
+
+void ReleaseManager::send_fetch(const GlobalAddress& page) {
+  auto& st = state(page);
+  st.fetch_outstanding = true;
+  NodeId target = host_.home_of(page);
+  if (st.retries > 0) {
+    const auto alts = host_.alternate_homes(page);
+    if (!alts.empty()) {
+      target = alts[static_cast<std::size_t>(st.retries - 1) % alts.size()];
+    }
+  }
+  send(target, page, Sub::kFetchReq);
+  st.fetch_timer = host_.schedule(host_.rpc_timeout(),
+                                  [this, page] { on_fetch_timeout(page); });
+}
+
+void ReleaseManager::on_fetch_timeout(GlobalAddress page) {
+  auto& st = state(page);
+  if (!st.fetch_outstanding) return;
+  st.fetch_timer = 0;
+  st.fetch_outstanding = false;
+  if (++st.retries > host_.max_retries()) {
+    st.retries = 0;
+    std::deque<Waiter> waiters;
+    waiters.swap(st.waiters);
+    for (auto& w : waiters) w.done(ErrorCode::kUnreachable);
+    return;
+  }
+  send_fetch(page);
+}
+
+void ReleaseManager::release(const GlobalAddress& page, LockMode mode,
+                             bool dirty) {
+  auto& info = host_.page_info(page);
+  if (mode == LockMode::kRead) {
+    if (info.read_holds > 0) --info.read_holds;
+  } else {
+    if (info.write_holds > 0) --info.write_holds;
+  }
+  if (!is_write(mode) || !dirty) return;
+
+  info.dirty = true;
+  if (host_.home_of(page) == host_.self()) {
+    // Local release at the home: bump the version and propagate.
+    ++info.version;
+    info.dirty = false;
+    const Bytes* data = host_.page_data(page);
+    if (data == nullptr) return;
+    for (NodeId n : info.sharers) {
+      if (n == host_.self()) continue;
+      send(n, page, Sub::kUpdate, [&](Encoder& e) {
+        e.u64(info.version);
+        e.bytes(*data);
+      });
+    }
+    host_.note_copyset_change(page);
+    return;
+  }
+
+  // Remote writer: ship the whole page back to the home. Queued and
+  // retried in the background on failure — release-side errors are never
+  // reflected to the client (Section 3.5).
+  auto& st = state(page);
+  const Bytes* data = host_.page_data(page);
+  if (data == nullptr) return;
+  if (!st.writeback_pending) ++pending_writebacks_;
+  st.writeback_pending = true;
+  st.writeback_data = *data;
+  send_writeback(page);
+}
+
+void ReleaseManager::send_writeback(const GlobalAddress& page) {
+  auto& st = state(page);
+  if (!st.writeback_pending) return;
+  send(host_.home_of(page), page, Sub::kWriteBack,
+       [&st](Encoder& e) { e.bytes(st.writeback_data); });
+  st.writeback_timer = host_.schedule(host_.rpc_timeout(), [this, page] {
+    // No ack yet: keep retrying in the background, forever.
+    auto& s = state(page);
+    s.writeback_timer = 0;
+    if (s.writeback_pending) send_writeback(page);
+  });
+}
+
+void ReleaseManager::on_message(NodeId from, const GlobalAddress& page,
+                                Decoder& d) {
+  const auto sub = static_cast<Sub>(d.u8());
+  auto& st = state(page);
+  auto& info = host_.page_info(page);
+
+  switch (sub) {
+    case Sub::kFetchReq: {
+      if (host_.home_of(page) != host_.self() &&
+          host_.page_data(page) == nullptr) {
+        send(from, page, Sub::kNack, [](Encoder& e) {
+          e.u8(static_cast<std::uint8_t>(ErrorCode::kNotFound));
+        });
+        break;
+      }
+      if (host_.page_data(page) == nullptr) {
+        host_.store_page(page, Bytes(host_.page_size_of(page), 0));
+        info.homed_locally = true;
+        info.owner = host_.self();
+        if (info.state == PS::kInvalid) info.state = PS::kShared;
+      }
+      const Bytes* data = host_.page_data(page);
+      info.sharers.insert(from);
+      send(from, page, Sub::kData, [&](Encoder& e) {
+        e.u64(info.version);
+        e.bytes(*data);
+      });
+      host_.note_copyset_change(page);
+      break;
+    }
+
+    case Sub::kData: {
+      const Version v = d.u64();
+      Bytes data = d.bytes();
+      if (st.fetch_timer != 0) {
+        host_.cancel(st.fetch_timer);
+        st.fetch_timer = 0;
+      }
+      st.fetch_outstanding = false;
+      st.retries = 0;
+      if (v >= info.version) {
+        host_.store_page(page, std::move(data));
+        info.version = v;
+        info.state = PS::kShared;
+      }
+      try_grant(page);
+      break;
+    }
+
+    case Sub::kWriteBack: {
+      Bytes data = d.bytes();
+      // Home orders concurrent write-backs by arrival (last-writer-wins at
+      // page granularity; map mutations are routed through one node so
+      // this never loses structured updates in practice — see DESIGN.md).
+      host_.store_page(page, std::move(data));
+      ++info.version;
+      info.homed_locally = true;
+      info.owner = host_.self();
+      if (info.state == PS::kInvalid) info.state = PS::kShared;
+      info.sharers.insert(from);
+      send(from, page, Sub::kWriteBackAck);
+      const Bytes* stored = host_.page_data(page);
+      for (NodeId n : info.sharers) {
+        if (n == host_.self() || n == from) continue;
+        send(n, page, Sub::kUpdate, [&](Encoder& e) {
+          e.u64(info.version);
+          e.bytes(*stored);
+        });
+      }
+      host_.note_copyset_change(page);
+      break;
+    }
+
+    case Sub::kWriteBackAck: {
+      if (st.writeback_timer != 0) {
+        host_.cancel(st.writeback_timer);
+        st.writeback_timer = 0;
+      }
+      if (st.writeback_pending) {
+        st.writeback_pending = false;
+        st.writeback_data.clear();
+        if (pending_writebacks_ > 0) --pending_writebacks_;
+      }
+      info.dirty = false;
+      break;
+    }
+
+    case Sub::kUpdate: {
+      const Version v = d.u64();
+      Bytes data = d.bytes();
+      if (v > info.version && !info.locked() && !st.writeback_pending) {
+        host_.store_page(page, std::move(data));
+        info.version = v;
+        info.state = PS::kShared;
+      }
+      break;
+    }
+
+    case Sub::kDropCopy: {
+      info.sharers.erase(from);
+      host_.note_copyset_change(page);
+      break;
+    }
+
+    case Sub::kNack: {
+      const auto e = static_cast<ErrorCode>(d.u8());
+      if (st.fetch_timer != 0) {
+        host_.cancel(st.fetch_timer);
+        st.fetch_timer = 0;
+      }
+      st.fetch_outstanding = false;
+      std::deque<Waiter> waiters;
+      waiters.swap(st.waiters);
+      for (auto& w : waiters) w.done(e);
+      break;
+    }
+  }
+}
+
+bool ReleaseManager::on_evict(const GlobalAddress& page) {
+  auto& info = host_.page_info(page);
+  if (info.locked()) return false;
+  if (host_.home_of(page) == host_.self()) return false;  // authoritative
+  auto it = pages_.find(page);
+  if (it != pages_.end() && it->second.writeback_pending) return false;
+  if (info.state != PS::kInvalid) {
+    send(host_.home_of(page), page, Sub::kDropCopy);
+    info.state = PS::kInvalid;
+  }
+  return true;
+}
+
+void ReleaseManager::on_node_down(NodeId node) {
+  for (auto& [page, st] : pages_) {
+    host_.page_info(page).sharers.erase(node);
+  }
+}
+
+}  // namespace khz::consistency

@@ -1,0 +1,85 @@
+// Release consistency (paper, Sections 3.3 and 3.1).
+//
+// "For example, for the address map tree nodes, we use a release consistent
+// protocol" — readers may use a cached (possibly momentarily stale) copy
+// with no communication; writers buffer modifications locally and propagate
+// them when they release the lock. The page's home node is the permanent
+// owner and update serialization point: write-backs flow to the home, which
+// orders them, bumps the version, and multicasts the new contents to the
+// sharer set.
+//
+// Failure semantics follow Section 3.5: a fetch (resource acquisition) that
+// cannot reach the home fails back to the caller after retries, while a
+// write-back (resource release) is retried in the background until it
+// succeeds.
+#pragma once
+
+#include <deque>
+#include <map>
+
+#include "consistency/cm.h"
+
+namespace khz::consistency {
+
+class ReleaseManager final : public ConsistencyManager {
+ public:
+  explicit ReleaseManager(CmHost& host) : host_(host) {}
+
+  [[nodiscard]] ProtocolId id() const override {
+    return ProtocolId::kRelease;
+  }
+  [[nodiscard]] std::string_view name() const override { return "release"; }
+
+  void acquire(const GlobalAddress& page, LockMode mode,
+               GrantCallback done) override;
+  void release(const GlobalAddress& page, LockMode mode, bool dirty) override;
+  void on_message(NodeId from, const GlobalAddress& page,
+                  Decoder& d) override;
+  bool on_evict(const GlobalAddress& page) override;
+  void on_node_down(NodeId node) override;
+
+  enum class Sub : std::uint8_t {
+    kFetchReq = 1,  // requester -> home
+    kData,          // home -> requester: version, bytes
+    kWriteBack,     // writer -> home: bytes
+    kWriteBackAck,  // home -> writer
+    kUpdate,        // home -> sharers: version, bytes
+    kDropCopy,      // sharer -> home
+    kNack,          // home -> requester: ErrorCode
+  };
+
+  /// Number of write-backs queued for background retry (observability).
+  [[nodiscard]] std::size_t pending_writebacks() const {
+    return pending_writebacks_;
+  }
+
+ private:
+  struct Waiter {
+    LockMode mode;
+    GrantCallback done;
+  };
+  struct PageState {
+    std::deque<Waiter> waiters;
+    bool fetch_outstanding = false;
+    std::uint64_t fetch_timer = 0;
+    int retries = 0;
+    // Background-retried write-back (release-side failure handling).
+    bool writeback_pending = false;
+    Bytes writeback_data;
+    std::uint64_t writeback_timer = 0;
+  };
+
+  PageState& state(const GlobalAddress& page) { return pages_[page]; }
+  void try_grant(const GlobalAddress& page);
+  void send_fetch(const GlobalAddress& page);
+  void on_fetch_timeout(GlobalAddress page);
+  void send_writeback(const GlobalAddress& page);
+  void send(NodeId to, const GlobalAddress& page, Sub sub,
+            const std::function<void(Encoder&)>& body = {});
+
+  CmHost& host_;
+  std::map<GlobalAddress, PageState> pages_;
+  std::size_t pending_writebacks_ = 0;
+};
+
+}  // namespace khz::consistency

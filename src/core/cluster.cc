@@ -1,0 +1,50 @@
+#include "core/cluster.h"
+
+namespace khz::core {
+
+void ClusterState::publish(const GlobalAddress& base, std::uint64_t size,
+                           NodeId node) {
+  Hint& h = hints_[base];
+  h.size = size;
+  h.nodes.insert(node);
+}
+
+void ClusterState::retract(const GlobalAddress& base, NodeId node) {
+  auto it = hints_.find(base);
+  if (it == hints_.end()) return;
+  it->second.nodes.erase(node);
+  if (it->second.nodes.empty()) hints_.erase(it);
+}
+
+std::vector<NodeId> ClusterState::hint(const GlobalAddress& addr) const {
+  auto it = hints_.upper_bound(addr);
+  if (it == hints_.begin()) return {};
+  --it;
+  const AddressRange range{it->first, it->second.size};
+  if (!range.contains(addr)) return {};
+  return {it->second.nodes.begin(), it->second.nodes.end()};
+}
+
+void ClusterState::report_free_space(NodeId node, std::uint64_t pool_bytes) {
+  free_space_[node] = pool_bytes;
+}
+
+std::uint64_t ClusterState::free_space_of(NodeId node) const {
+  auto it = free_space_.find(node);
+  return it == free_space_.end() ? 0 : it->second;
+}
+
+std::optional<NodeId> ClusterState::best_pool_node(
+    std::uint64_t min_bytes) const {
+  std::optional<NodeId> best;
+  std::uint64_t best_size = min_bytes;
+  for (const auto& [node, size] : free_space_) {
+    if (size >= best_size) {
+      best = node;
+      best_size = size;
+    }
+  }
+  return best;
+}
+
+}  // namespace khz::core

@@ -1,0 +1,498 @@
+#include "core/node.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "common/log.h"
+
+namespace khz::core {
+
+using consistency::LockContext;
+using consistency::LockMode;
+using consistency::ProtocolId;
+using net::Message;
+using net::MsgType;
+using storage::PageState;
+
+namespace {
+
+bool is_response(MsgType t) {
+  switch (t) {
+    case MsgType::kJoinResp:
+    case MsgType::kReserveResp:
+    case MsgType::kUnreserveResp:
+    case MsgType::kSpaceResp:
+    case MsgType::kDescLookupResp:
+    case MsgType::kHintQueryResp:
+    case MsgType::kClusterWalkResp:
+    case MsgType::kAllocResp:
+    case MsgType::kFreeResp:
+    case MsgType::kGetAttrResp:
+    case MsgType::kSetAttrResp:
+    case MsgType::kPageFetchResp:
+    case MsgType::kMapMutateResp:
+    case MsgType::kLocateResp:
+    case MsgType::kObjInvokeResp:
+    case MsgType::kMigrateResp:
+    case MsgType::kMigrateDataResp:
+    case MsgType::kReplicateToResp:
+    case MsgType::kPong:
+      return true;
+    default:
+      return false;
+  }
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Construction / bootstrap
+// ---------------------------------------------------------------------------
+
+Node::Node(NodeConfig config, net::Transport& transport)
+    : config_(std::move(config)),
+      transport_(transport),
+      rng_(config_.seed + config_.id * 7919),
+      storage_(config_.ram_pages,
+               config_.disk_dir.empty()
+                   ? nullptr
+                   : std::make_unique<storage::DiskStore>(config_.disk_dir,
+                                                          config_.disk_pages)),
+      regions_(1024) {
+  consistency::register_builtin_protocols();
+  members_.insert(config_.id);
+  for (NodeId p : config_.peers) members_.insert(p);
+  storage_.set_evict_hook([this](const GlobalAddress& page,
+                                 const Bytes& data) {
+    return evict_hook(page, data);
+  });
+  transport_.set_handler([this](Message m) { on_message(std::move(m)); });
+}
+
+Node::~Node() = default;
+
+void Node::start() {
+  if (started_) return;
+  started_ = true;
+  recover_meta();
+
+  if (config_.id == config_.genesis) {
+    // Bootstrap region 0: the address map lives in Khazana itself
+    // (Section 3.1). On restart an already formatted map is recovered from
+    // the persistent store.
+    map_store_ = std::make_unique<LocalMapStore>(*this);
+    map_ = std::make_unique<AddressMap>(*map_store_);
+    homed_regions_[kMapRegionBase] = map_region_descriptor(config_.genesis);
+    if (!map_->formatted()) {
+      AddressMap::format(*map_store_);
+      (void)map_->insert({kMapRegionBase, kMapRegionSize},
+                         {config_.genesis});
+    }
+  } else {
+    // Join the system through the genesis node (best-effort; static
+    // membership from config.peers already covers the common case).
+    rpc(config_.genesis, MsgType::kJoinReq, {},
+        [this](bool ok, Decoder& d) {
+          if (!ok) return;
+          const std::uint32_t n = d.u32();
+          for (std::uint32_t i = 0; i < n && d.ok(); ++i) {
+            members_.insert(d.u32());
+          }
+        });
+  }
+
+  if (config_.ping_interval > 0) {
+    transport_.schedule(config_.ping_interval, [this] { ping_tick(); });
+  }
+}
+
+// ---------------------------------------------------------------------------
+// CmHost implementation
+// ---------------------------------------------------------------------------
+
+void Node::send_cm(NodeId peer, ProtocolId protocol, const GlobalAddress& page,
+                   Bytes payload) {
+  Encoder e;
+  e.u8(static_cast<std::uint8_t>(protocol));
+  e.addr(page);
+  e.raw(payload);
+  Message m;
+  m.type = MsgType::kCm;
+  m.dst = peer;
+  m.payload = std::move(e).take();
+  if (peer == config_.id) {
+    // Self-sends loop back through the scheduler so protocol handlers are
+    // never re-entered from within themselves.
+    m.src = config_.id;
+    transport_.schedule(0, [this, m = std::move(m)]() mutable {
+      on_message(std::move(m));
+    });
+    return;
+  }
+  transport_.send(std::move(m));
+}
+
+storage::PageInfo& Node::page_info(const GlobalAddress& page) {
+  return pages_.ensure(page);
+}
+
+const Bytes* Node::page_data(const GlobalAddress& page) {
+  return storage_.get(page);
+}
+
+void Node::store_page(const GlobalAddress& page, Bytes data) {
+  storage_.put(page, std::move(data));
+  if (pages_.ensure(page).homed_locally) {
+    // Write-through for pages this node homes: their latest contents must
+    // survive a restart (the page directory's persistent subset,
+    // Section 3.4).
+    (void)storage_.flush(page);
+  }
+}
+
+void Node::drop_page(const GlobalAddress& page) { storage_.erase(page); }
+
+NodeId Node::home_of(const GlobalAddress& page) {
+  if (AddressRange{kMapRegionBase, kMapRegionSize}.contains(page)) {
+    return config_.genesis;
+  }
+  auto it = homed_regions_.upper_bound(page);
+  if (it != homed_regions_.begin()) {
+    auto& [base, desc] = *std::prev(it);
+    if (desc.range.contains(page)) return config_.id;
+  }
+  if (auto desc = regions_.lookup(page)) return desc->primary_home();
+  // Last resort: the cluster manager can route or Nack; retries recover.
+  return config_.cluster_manager;
+}
+
+bool Node::is_home(const GlobalAddress& page) {
+  if (AddressRange{kMapRegionBase, kMapRegionSize}.contains(page)) {
+    return config_.id == config_.genesis;
+  }
+  auto it = homed_regions_.upper_bound(page);
+  return it != homed_regions_.begin() &&
+         std::prev(it)->second.range.contains(page);
+}
+
+std::vector<NodeId> Node::alternate_homes(const GlobalAddress& page) {
+  if (AddressRange{kMapRegionBase, kMapRegionSize}.contains(page)) return {};
+  auto it = homed_regions_.upper_bound(page);
+  if (it != homed_regions_.begin()) {
+    auto& [base, desc] = *std::prev(it);
+    if (desc.range.contains(page)) return desc.alternates();
+  }
+  if (auto desc = regions_.lookup(page)) return desc->alternates();
+  return {};
+}
+
+std::uint32_t Node::page_size_of(const GlobalAddress& page) {
+  if (AddressRange{kMapRegionBase, kMapRegionSize}.contains(page)) {
+    return kDefaultPageSize;
+  }
+  auto it = homed_regions_.upper_bound(page);
+  if (it != homed_regions_.begin()) {
+    auto& [base, desc] = *std::prev(it);
+    if (desc.range.contains(page)) return desc.attrs.page_size;
+  }
+  if (auto desc = regions_.lookup(page)) return desc->attrs.page_size;
+  return kDefaultPageSize;
+}
+
+std::uint32_t Node::min_replicas_of(const GlobalAddress& page) {
+  auto it = homed_regions_.upper_bound(page);
+  if (it != homed_regions_.begin()) {
+    auto& [base, desc] = *std::prev(it);
+    if (desc.range.contains(page)) return desc.attrs.min_replicas;
+  }
+  if (auto desc = regions_.lookup(page)) return desc->attrs.min_replicas;
+  return 1;
+}
+
+std::vector<NodeId> Node::membership() {
+  std::vector<NodeId> out;
+  for (NodeId n : members_) {
+    if (!down_nodes_.contains(n)) out.push_back(n);
+  }
+  return out;
+}
+
+void Node::note_copyset_change(const GlobalAddress& page) {
+  // Defer so replica maintenance never runs inside a protocol handler.
+  transport_.schedule(0, [this, page] { maintain_replicas(page); });
+}
+
+Micros Node::now() const { return transport_.clock().now(); }
+
+std::uint64_t Node::schedule(Micros delay, std::function<void()> fn) {
+  return transport_.schedule(delay, std::move(fn));
+}
+
+void Node::cancel(std::uint64_t timer_id) { transport_.cancel(timer_id); }
+
+consistency::ConsistencyManager* Node::cm_for(ProtocolId protocol) {
+  auto it = cms_.find(protocol);
+  if (it != cms_.end()) return it->second.get();
+  auto cm = consistency::ProtocolRegistry::instance().create(protocol, *this);
+  if (!cm) return nullptr;
+  auto* raw = cm.get();
+  cms_.emplace(protocol, std::move(cm));
+  return raw;
+}
+
+// ---------------------------------------------------------------------------
+// Storage integration
+// ---------------------------------------------------------------------------
+
+bool Node::evict_hook(const GlobalAddress& page, const Bytes& data) {
+  (void)data;
+  // "it must invoke the consistency protocol associated with the page to
+  // update the list of sharers, push any dirty data to remote nodes"
+  // (Section 3.4).
+  auto* info = pages_.find(page);
+  if (info == nullptr) return true;  // untracked page: free to drop
+  // Map region pages use the release protocol.
+  ProtocolId protocol = ProtocolId::kRelease;
+  if (!AddressRange{kMapRegionBase, kMapRegionSize}.contains(page)) {
+    auto desc = regions_.lookup(page);
+    if (!desc) {
+      auto it = homed_regions_.upper_bound(page);
+      if (it != homed_regions_.begin() &&
+          std::prev(it)->second.range.contains(page)) {
+        desc = std::prev(it)->second;
+      }
+    }
+    if (desc) protocol = desc->attrs.protocol;
+  }
+  auto* cm = cm_for(protocol);
+  if (cm == nullptr) return true;
+  const bool allowed = cm->on_evict(page);
+  if (allowed) pages_.erase(page);
+  return allowed;
+}
+
+void Node::materialize_region_pages(const RegionDescriptor& desc,
+                                    const AddressRange& range) {
+  const std::uint32_t psz = desc.attrs.page_size;
+  for (GlobalAddress p = range.base.page_floor(psz); p < range.end();
+       p = p.plus(psz)) {
+    auto& info = pages_.ensure(p);
+    info.homed_locally = true;
+    info.home = config_.id;
+    if (storage_.get(p) == nullptr) {
+      info.owner = config_.id;
+      info.state = PageState::kShared;
+      info.sharers.insert(config_.id);
+      store_page(p, Bytes(psz, 0));
+    }
+    if (desc.attrs.min_replicas > 1) maintain_replicas(p);
+  }
+}
+
+void Node::release_region_pages(const RegionDescriptor& desc,
+                                const AddressRange& range) {
+  const std::uint32_t psz = desc.attrs.page_size;
+  for (GlobalAddress p = range.base.page_floor(psz); p < range.end();
+       p = p.plus(psz)) {
+    if (auto* info = pages_.find(p)) {
+      for (NodeId sharer : info->sharers) {
+        if (sharer == config_.id) continue;
+        Message m;
+        m.type = MsgType::kReplicaDrop;
+        m.dst = sharer;
+        Encoder e;
+        e.addr(p);
+        m.payload = std::move(e).take();
+        transport_.send(std::move(m));
+      }
+    }
+    storage_.erase(p);
+    pages_.erase(p);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// LocalMapStore: address-map pages live in region 0 of this very store
+// ---------------------------------------------------------------------------
+
+Bytes Node::LocalMapStore::read_page(std::uint32_t index) {
+  const GlobalAddress addr = kMapRegionBase.plus(
+      static_cast<std::uint64_t>(index) * kDefaultPageSize);
+  if (const Bytes* data = node_.storage_.get(addr)) return *data;
+  return Bytes(kDefaultPageSize, 0);
+}
+
+void Node::LocalMapStore::write_page(std::uint32_t index, const Bytes& data) {
+  const GlobalAddress addr = kMapRegionBase.plus(
+      static_cast<std::uint64_t>(index) * kDefaultPageSize);
+  auto* cm = node_.cm_for(ProtocolId::kRelease);
+  // At the map's home node the release protocol grants synchronously.
+  bool granted = false;
+  cm->acquire(addr, LockMode::kWrite, [&granted](Status s) {
+    granted = s.ok();
+  });
+  assert(granted);
+  auto& info = node_.pages_.ensure(addr);
+  info.homed_locally = true;
+  info.home = node_.config_.id;
+  if (info.owner == kNoNode) info.owner = node_.config_.id;
+  node_.store_page(addr, data);
+  cm->release(addr, LockMode::kWrite, /*dirty=*/true);
+}
+
+// ---------------------------------------------------------------------------
+// Messaging plumbing
+// ---------------------------------------------------------------------------
+
+void Node::on_message(Message msg) {
+  if (down_nodes_.contains(msg.src)) mark_node_up(msg.src);
+
+  if (is_response(msg.type)) {
+    auto it = pending_rpcs_.find(msg.rpc_id);
+    if (it == pending_rpcs_.end()) return;  // late response; already timed out
+    PendingRpc pending = std::move(it->second);
+    pending_rpcs_.erase(it);
+    if (pending.timer != 0) transport_.cancel(pending.timer);
+    Decoder d(msg.payload);
+    pending.handler(true, d);
+    return;
+  }
+
+  handle_request(msg);
+}
+
+void Node::handle_request(const Message& msg) {
+  switch (msg.type) {
+    case MsgType::kCm: {
+      Decoder d(msg.payload);
+      const auto protocol = static_cast<ProtocolId>(d.u8());
+      const GlobalAddress page = d.addr();
+      if (auto* cm = cm_for(protocol)) cm->on_message(msg.src, page, d);
+      return;
+    }
+    case MsgType::kPing: {
+      respond(msg, MsgType::kPong, {});
+      return;
+    }
+    case MsgType::kJoinReq: return on_join_req(msg);
+    case MsgType::kReserveReq: return on_reserve_req(msg);
+    case MsgType::kUnreserveReq: return on_unreserve_req(msg);
+    case MsgType::kSpaceReq: return on_space_req(msg);
+    case MsgType::kMapMutateReq: return on_map_mutate_req(msg);
+    case MsgType::kDescLookupReq: return on_desc_lookup_req(msg);
+    case MsgType::kHintQueryReq: return on_hint_query_req(msg);
+    case MsgType::kHintPublish: return on_hint_publish(msg);
+    case MsgType::kClusterWalkReq: return on_cluster_walk_req(msg);
+    case MsgType::kAllocReq: return on_alloc_req(msg);
+    case MsgType::kFreeReq: return on_free_req(msg);
+    case MsgType::kGetAttrReq: return on_attr_req(msg, /*set=*/false);
+    case MsgType::kSetAttrReq: return on_attr_req(msg, /*set=*/true);
+    case MsgType::kLocateReq: return on_locate_req(msg);
+    case MsgType::kReplicaPush: return on_replica_push(msg);
+    case MsgType::kReplicaDrop: return on_replica_drop(msg);
+    case MsgType::kObjInvokeReq: {
+      if (obj_handler_) obj_handler_(msg);
+      return;
+    }
+    case MsgType::kMigrateReq: return on_migrate_req(msg);
+    case MsgType::kReplicateToReq: return on_replicate_to_req(msg);
+    case MsgType::kMigrateData: return on_migrate_data(msg);
+    case MsgType::kLeave: {
+      members_.erase(msg.src);
+      down_nodes_.erase(msg.src);
+      missed_pongs_.erase(msg.src);
+      for (auto& [_, cm] : cms_) cm->on_node_down(msg.src);
+      return;
+    }
+    case MsgType::kNodeListGossip: {
+      Decoder d(msg.payload);
+      const std::uint32_t n = d.u32();
+      for (std::uint32_t i = 0; i < n && d.ok(); ++i) members_.insert(d.u32());
+      return;
+    }
+    default:
+      KHZ_WARN("node %u: unhandled message type %u from %u", config_.id,
+               static_cast<unsigned>(msg.type), msg.src);
+  }
+}
+
+void Node::rpc(NodeId dst, MsgType type, Bytes payload, RespHandler handler) {
+  const RpcId id = next_rpc_id_++;
+  Message m;
+  m.type = type;
+  m.dst = dst;
+  m.rpc_id = id;
+  m.payload = std::move(payload);
+
+  PendingRpc pending;
+  pending.handler = std::move(handler);
+  pending.timer = transport_.schedule(config_.rpc_timeout, [this, id] {
+    auto it = pending_rpcs_.find(id);
+    if (it == pending_rpcs_.end()) return;
+    PendingRpc p = std::move(it->second);
+    pending_rpcs_.erase(it);
+    Decoder empty(std::span<const std::uint8_t>{});
+    p.handler(false, empty);
+  });
+  pending_rpcs_.emplace(id, std::move(pending));
+
+  if (dst == config_.id) {
+    m.src = config_.id;
+    transport_.schedule(0, [this, m = std::move(m)]() mutable {
+      on_message(std::move(m));
+    });
+  } else {
+    transport_.send(std::move(m));
+  }
+}
+
+void Node::respond(const Message& req, MsgType type, Bytes payload) {
+  Message m;
+  m.type = type;
+  m.dst = req.src;
+  m.rpc_id = req.rpc_id;
+  m.payload = std::move(payload);
+  if (m.dst == config_.id) {
+    m.src = config_.id;
+    transport_.schedule(0, [this, m = std::move(m)]() mutable {
+      on_message(std::move(m));
+    });
+  } else {
+    transport_.send(std::move(m));
+  }
+}
+
+void Node::app_rpc(NodeId dst, net::MsgType type, Bytes payload,
+                   AppRespHandler handler) {
+  rpc(dst, type, std::move(payload), std::move(handler));
+}
+
+void Node::app_respond(const net::Message& req, net::MsgType type,
+                       Bytes payload) {
+  respond(req, type, std::move(payload));
+}
+
+void Node::send_reliable(NodeId dst, MsgType type, Bytes payload) {
+  const std::uint64_t rid = next_reliable_id_++;
+  reliable_[rid] = ReliableSend{dst, type, std::move(payload)};
+  reliable_attempt(rid);
+}
+
+void Node::reliable_attempt(std::uint64_t rid) {
+  auto it = reliable_.find(rid);
+  if (it == reliable_.end()) return;
+  const ReliableSend& rs = it->second;
+  // Keep trying until an ack arrives ("the Khazana system keeps trying the
+  // operation in the background until it succeeds", Section 3.5).
+  rpc(rs.dst, rs.type, rs.payload, [this, rid](bool ok, Decoder&) {
+    if (ok) {
+      reliable_.erase(rid);
+      return;
+    }
+    ++stats_.background_retries;
+    transport_.schedule(config_.rpc_timeout,
+                        [this, rid] { reliable_attempt(rid); });
+  });
+}
+
+}  // namespace khz::core

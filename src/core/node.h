@@ -1,0 +1,407 @@
+// The Khazana daemon (paper, Sections 2-3).
+//
+// "the Khazana service is implemented by a dynamically changing set of
+// cooperating daemon processes... there is no notion of a 'server' in a
+// Khazana system — all Khazana nodes are peers that cooperate to provide
+// the illusion of a unified resource."
+//
+// One Node is one peer. It owns the local storage hierarchy, the per-node
+// page and region directories, the consistency managers for every protocol
+// in use, the client operation suite (reserve / allocate / lock / read /
+// write / attributes), the three-level location lookup of Section 3.2, the
+// cluster-manager role when so configured, and the failure-handling
+// machinery of Section 3.5 (acquire ops retried then reflected; release ops
+// retried in the background until they succeed).
+//
+// Execution model: all entry points (client API calls, transport messages,
+// timers) run in the node's single-threaded execution context; client API
+// completion callbacks fire in that context too. The SimWorld / TcpWorld
+// wrappers provide blocking convenience APIs on top.
+#pragma once
+
+#include <algorithm>
+#include <deque>
+#include <filesystem>
+#include <functional>
+#include <map>
+#include <memory>
+#include <optional>
+#include <set>
+#include <unordered_map>
+#include <vector>
+
+#include "common/result.h"
+#include "common/rng.h"
+#include "consistency/cm.h"
+#include "core/address_map.h"
+#include "core/cluster.h"
+#include "core/region.h"
+#include "core/region_directory.h"
+#include "net/transport.h"
+#include "storage/hierarchy.h"
+#include "storage/page_directory.h"
+
+namespace khz::core {
+
+struct NodeConfig {
+  NodeId id = 0;
+  /// The node that bootstraps region 0 / the address map and (by default)
+  /// acts as the single cluster's manager.
+  NodeId genesis = 0;
+  NodeId cluster_manager = 0;
+  /// "Each cluster has one or more designated cluster managers"
+  /// (Section 3.1). When non-empty this overrides cluster_manager; entry 0
+  /// is the primary. Every manager accumulates location hints; address
+  /// space is partitioned between them (manager k grants chunk numbers
+  /// congruent to k mod M) so grants never collide. The address map's
+  /// authority remains the genesis node.
+  std::vector<NodeId> cluster_managers;
+  /// Initial membership (all peers, including self).
+  std::vector<NodeId> peers;
+
+  std::size_t ram_pages = 4096;
+  /// Empty: diskless node (no persistence). Otherwise the DiskStore root.
+  std::filesystem::path disk_dir;
+  std::size_t disk_pages = 0;  // 0 = unbounded
+
+  Micros rpc_timeout = 200'000;  // per-exchange timeout before a retry
+  int max_retries = 3;           // acquire-side retries before failing back
+  /// 0 disables the failure-detector ping loop.
+  Micros ping_interval = 0;
+
+  std::uint64_t seed = 42;
+  std::uint32_t principal = 0;  // identity for ACL checks
+};
+
+/// Per-node operation counters (observability for tests and benches).
+struct NodeStats {
+  std::uint64_t reserves = 0;
+  std::uint64_t locks_granted = 0;
+  std::uint64_t locks_failed = 0;
+  std::uint64_t reads = 0;
+  std::uint64_t writes = 0;
+  std::uint64_t resolve_cache_hits = 0;   // region-directory hit
+  std::uint64_t resolve_manager_hits = 0; // cluster-manager hint hit
+  std::uint64_t resolve_map_walks = 0;    // address-map tree walks
+  std::uint64_t resolve_cluster_walks = 0;
+  std::uint64_t replica_pushes = 0;
+  std::uint64_t background_retries = 0;
+};
+
+class Node final : public consistency::CmHost {
+ public:
+  Node(NodeConfig config, net::Transport& transport);
+  ~Node() override;
+
+  Node(const Node&) = delete;
+  Node& operator=(const Node&) = delete;
+
+  /// Bootstraps the node: the genesis node formats (or recovers) the
+  /// address map; all nodes recover persistent state from disk and start
+  /// background loops.
+  void start();
+
+  // --- client operations (asynchronous; callbacks fire in node context) --
+  using StatusCb = std::function<void(Status)>;
+  using ReserveCb = std::function<void(Result<GlobalAddress>)>;
+  using LockCb = std::function<void(Result<consistency::LockContext>)>;
+  using AttrCb = std::function<void(Result<RegionAttrs>)>;
+  using LocateCb = std::function<void(Result<std::vector<NodeId>>)>;
+
+  /// Reserves `size` bytes of global address space as a new region homed
+  /// on this node (Section 2: reserve/unreserve).
+  void reserve(std::uint64_t size, const RegionAttrs& attrs, ReserveCb cb);
+
+  /// Releases a reservation. Release-type: always accepted; remote errors
+  /// are retried in the background (Section 3.5).
+  void unreserve(const GlobalAddress& base, StatusCb cb);
+
+  /// Allocates backing storage for (part of) a reserved region.
+  void allocate(const AddressRange& range, StatusCb cb);
+
+  /// Frees backing storage. Release-type.
+  void deallocate(const AddressRange& range, StatusCb cb);
+
+  /// Locks [range) in `mode`; returns a lock context on success. The
+  /// consistency protocol of the enclosing region decides when the grant
+  /// is safe (Section 3.3).
+  void lock(const AddressRange& range, consistency::LockMode mode,
+            LockCb cb);
+
+  /// Releases a lock context. Local effects are immediate; propagation is
+  /// the protocol's business (and is retried in the background on
+  /// failure).
+  void unlock(const consistency::LockContext& ctx);
+
+  /// Reads from the locked range. Synchronous: locked pages are resident
+  /// and pinned.
+  [[nodiscard]] Result<Bytes> read(const consistency::LockContext& ctx,
+                                   std::uint64_t offset, std::uint64_t len);
+
+  /// Writes into the locked range (requires a write-mode context).
+  Status write(const consistency::LockContext& ctx, std::uint64_t offset,
+               std::span<const std::uint8_t> data);
+
+  void getattr(const GlobalAddress& base, AttrCb cb);
+  void setattr(const GlobalAddress& base, const RegionAttrs& attrs,
+               StatusCb cb);
+
+  /// Where is this datum? Returns the nodes holding copies (home +
+  /// sharers), for clients that explicitly query location (Section 2:
+  /// replicate-vs-RPC decisions in the object runtime).
+  void locate(const GlobalAddress& addr, LocateCb cb);
+
+  /// Moves a region's home (directory authority, descriptor and resident
+  /// page copies) to `new_home`. Stale descriptors elsewhere recover via
+  /// the normal bounce + re-resolve path ("regions do not migrate home
+  /// nodes often, so the cached value is most likely accurate",
+  /// Section 3.2). The region's address never changes.
+  void migrate(const GlobalAddress& base, NodeId new_home, StatusCb cb);
+
+  /// Client guidance hook ("Khazana is responsive to guidance from its
+  /// clients", Section 1; "Flexibility: Khazana must provide 'hooks'",
+  /// Section 2): asks the region's home to push current copies of the
+  /// region's pages onto `target`, e.g. ahead of a workload shift. The
+  /// copies join the page copysets like any replica.
+  void replicate_to(const GlobalAddress& base, NodeId target, StatusCb cb);
+
+  /// Gracefully departs the system ("Machines can dynamically enter and
+  /// leave Khazana and contribute/reclaim local resources", Section 3):
+  /// every region homed here migrates to a surviving peer (round-robin),
+  /// hints are retracted, and peers drop this node from membership. The
+  /// genesis node cannot leave (it is the map's authority — a limitation
+  /// the paper's single-cluster prototype shares).
+  void leave(StatusCb cb);
+
+  // --- introspection ----------------------------------------------------
+  [[nodiscard]] NodeId id() const { return config_.id; }
+  [[nodiscard]] const NodeConfig& config() const { return config_; }
+  [[nodiscard]] const NodeStats& stats() const { return stats_; }
+  NodeStats& stats() { return stats_; }
+  [[nodiscard]] storage::StorageHierarchy& storage() { return storage_; }
+  [[nodiscard]] storage::PageDirectory& page_directory() { return pages_; }
+  [[nodiscard]] RegionDirectory& region_directory() { return regions_; }
+  [[nodiscard]] const std::set<NodeId>& members() const { return members_; }
+  /// All cluster managers, primary first.
+  [[nodiscard]] std::vector<NodeId> managers() const {
+    if (!config_.cluster_managers.empty()) return config_.cluster_managers;
+    return {config_.cluster_manager};
+  }
+  [[nodiscard]] bool is_manager() const {
+    const auto ms = managers();
+    return std::find(ms.begin(), ms.end(), config_.id) != ms.end();
+  }
+  /// Manager-side address map (null elsewhere). Tests/benches inspect it.
+  [[nodiscard]] AddressMap* address_map() { return map_.get(); }
+  [[nodiscard]] ClusterState& cluster_state() { return cluster_; }
+
+  /// Pending background (release-side) retry operations.
+  [[nodiscard]] std::size_t background_queue_depth() const {
+    return reliable_.size();
+  }
+
+  // --- application-layer messaging (distributed object runtime) ---------
+  using AppRespHandler = std::function<void(bool ok, Decoder& d)>;
+  /// Handler for kObjInvokeReq messages (installed by obj::ObjectRuntime).
+  void set_obj_invoke_handler(
+      std::function<void(const net::Message&)> handler) {
+    obj_handler_ = std::move(handler);
+  }
+  /// RPC / response plumbing exposed to the object runtime.
+  void app_rpc(NodeId dst, net::MsgType type, Bytes payload,
+               AppRespHandler handler);
+  void app_respond(const net::Message& req, net::MsgType type, Bytes payload);
+
+  // --- CmHost -----------------------------------------------------------
+  [[nodiscard]] NodeId self() const override { return config_.id; }
+  void send_cm(NodeId peer, consistency::ProtocolId protocol,
+               const GlobalAddress& page, Bytes payload) override;
+  storage::PageInfo& page_info(const GlobalAddress& page) override;
+  const Bytes* page_data(const GlobalAddress& page) override;
+  void store_page(const GlobalAddress& page, Bytes data) override;
+  void drop_page(const GlobalAddress& page) override;
+  [[nodiscard]] NodeId home_of(const GlobalAddress& page) override;
+  [[nodiscard]] bool is_home(const GlobalAddress& page) override;
+  [[nodiscard]] std::vector<NodeId> alternate_homes(
+      const GlobalAddress& page) override;
+  [[nodiscard]] std::uint32_t page_size_of(const GlobalAddress& page) override;
+  [[nodiscard]] std::uint32_t min_replicas_of(
+      const GlobalAddress& page) override;
+  std::vector<NodeId> membership() override;
+  void note_copyset_change(const GlobalAddress& page) override;
+  [[nodiscard]] Micros now() const override;
+  std::uint64_t schedule(Micros delay, std::function<void()> fn) override;
+  void cancel(std::uint64_t timer_id) override;
+  [[nodiscard]] Rng& rng() override { return rng_; }
+  [[nodiscard]] Micros rpc_timeout() const override {
+    return config_.rpc_timeout;
+  }
+  [[nodiscard]] int max_retries() const override {
+    return config_.max_retries;
+  }
+
+ private:
+  // -- map page store over region-0 pages (manager side) ------------------
+  class LocalMapStore final : public MapPageStore {
+   public:
+    explicit LocalMapStore(Node& node) : node_(node) {}
+    [[nodiscard]] Bytes read_page(std::uint32_t index) override;
+    void write_page(std::uint32_t index, const Bytes& data) override;
+    [[nodiscard]] std::uint32_t page_size() const override {
+      return kDefaultPageSize;
+    }
+
+   private:
+    Node& node_;
+  };
+
+  using DescCb = std::function<void(Result<RegionDescriptor>)>;
+  using RespHandler = std::function<void(bool ok, Decoder& d)>;
+
+  // Messaging.
+  void on_message(net::Message msg);
+  void handle_request(const net::Message& msg);
+  void rpc(NodeId dst, net::MsgType type, Bytes payload, RespHandler handler);
+  /// Retries across `candidates` until a response arrives or `attempts`
+  /// sends have failed (acquire-side retry policy, Section 3.5).
+  void rpc_retry(std::vector<NodeId> candidates, net::MsgType type,
+                 Bytes payload, int attempts, RespHandler handler);
+  void respond(const net::Message& req, net::MsgType type, Bytes payload);
+  /// Fire-and-forget with background retry until acked (release-side ops).
+  void send_reliable(NodeId dst, net::MsgType type, Bytes payload);
+  void reliable_attempt(std::uint64_t rid);
+
+  // Request handlers (by message type).
+  void on_reserve_req(const net::Message& m);
+  void on_unreserve_req(const net::Message& m);
+  void on_space_req(const net::Message& m);
+  void on_map_mutate_req(const net::Message& m);
+  void on_desc_lookup_req(const net::Message& m);
+  void on_hint_query_req(const net::Message& m);
+  void on_hint_publish(const net::Message& m);
+  void on_cluster_walk_req(const net::Message& m);
+  void on_alloc_req(const net::Message& m);
+  void on_free_req(const net::Message& m);
+  void on_attr_req(const net::Message& m, bool set);
+  void on_locate_req(const net::Message& m);
+  void on_replica_push(const net::Message& m);
+  void on_replica_drop(const net::Message& m);
+  void on_join_req(const net::Message& m);
+  void on_migrate_req(const net::Message& m);
+  void on_migrate_data(const net::Message& m);
+  void on_replicate_to_req(const net::Message& m);
+
+  // Three-level location lookup (Section 3.2).
+  void resolve(const GlobalAddress& addr, DescCb cb);
+  void resolve_via_manager(const GlobalAddress& addr, DescCb cb);
+  void resolve_via_map_walk(const GlobalAddress& addr, DescCb cb);
+  void map_walk_step(std::uint32_t page_index, GlobalAddress addr, int depth,
+                     DescCb cb);
+  void resolve_via_cluster_walk(const GlobalAddress& addr, DescCb cb);
+  void fetch_descriptor(std::vector<NodeId> candidates, std::size_t next,
+                        const GlobalAddress& addr, DescCb cb);
+
+  // Map page access for the tree walk (readers replicate map pages via the
+  // release protocol).
+  void fetch_map_page(std::uint32_t index,
+                      std::function<void(Result<Bytes>)> cb);
+
+  // Local reservation machinery.
+  /// Publishes (or retracts) a location hint for `range` held by this node
+  /// to every cluster manager, piggybacking the current pool size.
+  void publish_hint(const AddressRange& range, bool retract);
+  [[nodiscard]] std::optional<GlobalAddress> carve_from_pool(
+      std::uint64_t size);
+  void finish_reserve(const AddressRange& range, const RegionAttrs& attrs,
+                      ReserveCb cb);
+  [[nodiscard]] std::uint64_t pool_bytes() const;
+
+  // Lock machinery.
+  void start_lock_op(const RegionDescriptor& desc, const AddressRange& range,
+                     consistency::LockMode mode, LockCb cb);
+  void lock_next_page(std::shared_ptr<struct LockOp> op);
+  [[nodiscard]] consistency::ConsistencyManager* cm_for(
+      consistency::ProtocolId protocol);
+
+  // Storage integration.
+  bool evict_hook(const GlobalAddress& page, const Bytes& data);
+  void materialize_region_pages(const RegionDescriptor& desc,
+                                const AddressRange& range);
+  void release_region_pages(const RegionDescriptor& desc,
+                            const AddressRange& range);
+
+  // Replica maintenance (Section 3.5: minimum primary replicas).
+  void maintain_replicas(const GlobalAddress& page);
+
+  // Failure detection.
+  void ping_tick();
+  void mark_node_down(NodeId node);
+  void mark_node_up(NodeId node);
+
+  // Persistence of node metadata across restarts.
+  void persist_meta();
+  void recover_meta();
+
+  NodeConfig config_;
+  net::Transport& transport_;
+  Rng rng_;
+
+  storage::StorageHierarchy storage_;
+  storage::PageDirectory pages_;
+  RegionDirectory regions_;
+  ClusterState cluster_;
+
+  /// Regions homed on this node: authoritative descriptors.
+  std::map<GlobalAddress, RegionDescriptor> homed_regions_;
+  /// Locally reserved-but-unused address space pool (Section 3.1).
+  std::vector<AddressRange> pool_;
+  /// Manager only: bytes granted so far out of this manager's private
+  /// slab of the global space (manager k owns a disjoint slab, so
+  /// concurrent managers never hand out overlapping chunks).
+  std::uint64_t granted_bytes_ = 0;
+
+  std::unique_ptr<LocalMapStore> map_store_;
+  std::unique_ptr<AddressMap> map_;
+
+  std::map<consistency::ProtocolId,
+           std::unique_ptr<consistency::ConsistencyManager>>
+      cms_;
+
+  // RPC bookkeeping.
+  RpcId next_rpc_id_ = 1;
+  struct PendingRpc {
+    RespHandler handler;
+    std::uint64_t timer = 0;
+  };
+  std::unordered_map<RpcId, PendingRpc> pending_rpcs_;
+
+  // Background reliable sends (release-side retry queue).
+  struct ReliableSend {
+    NodeId dst;
+    net::MsgType type;
+    Bytes payload;
+  };
+  std::map<std::uint64_t, ReliableSend> reliable_;
+  std::uint64_t next_reliable_id_ = 1;
+
+  // Active lock contexts.
+  struct ActiveLock {
+    consistency::LockContext ctx;
+    consistency::ProtocolId protocol;
+    std::vector<GlobalAddress> pages;
+    std::set<GlobalAddress> dirty;
+    std::uint32_t page_size = kDefaultPageSize;
+  };
+  std::unordered_map<std::uint64_t, ActiveLock> active_locks_;
+  std::uint64_t next_lock_id_ = 1;
+
+  std::set<NodeId> members_;
+  std::set<NodeId> down_nodes_;
+  std::map<NodeId, int> missed_pongs_;
+  std::function<void(const net::Message&)> obj_handler_;
+
+  NodeStats stats_;
+  bool started_ = false;
+};
+
+}  // namespace khz::core

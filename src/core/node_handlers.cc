@@ -1,0 +1,834 @@
+// Request handlers, replica maintenance, failure detection, and metadata
+// persistence for core::Node.
+#include <algorithm>
+
+#include "common/log.h"
+#include "core/node.h"
+
+namespace khz::core {
+
+using consistency::ProtocolId;
+using net::Message;
+using net::MsgType;
+using storage::PageState;
+
+namespace {
+constexpr std::uint8_t kStatusOk = 0;
+std::uint8_t to_wire(ErrorCode e) { return static_cast<std::uint8_t>(e); }
+ErrorCode from_wire(std::uint8_t b) { return static_cast<ErrorCode>(b); }
+
+Bytes status_payload(ErrorCode e) {
+  Encoder enc;
+  enc.u8(to_wire(e));
+  return std::move(enc).take();
+}
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Membership
+// ---------------------------------------------------------------------------
+
+void Node::on_join_req(const Message& m) {
+  members_.insert(m.src);
+  Encoder e;
+  e.u32(static_cast<std::uint32_t>(members_.size()));
+  for (NodeId n : members_) e.u32(n);
+  respond(m, MsgType::kJoinResp, std::move(e).take());
+  // Gossip the updated membership so existing nodes learn of the joiner.
+  for (NodeId n : members_) {
+    if (n == config_.id || n == m.src) continue;
+    Encoder g;
+    g.u32(static_cast<std::uint32_t>(members_.size()));
+    for (NodeId x : members_) g.u32(x);
+    Message gm;
+    gm.type = MsgType::kNodeListGossip;
+    gm.dst = n;
+    gm.payload = std::move(g).take();
+    transport_.send(std::move(gm));
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Address space
+// ---------------------------------------------------------------------------
+
+void Node::on_reserve_req(const Message& m) {
+  Decoder d(m.payload);
+  const std::uint64_t size = d.u64();
+  const RegionAttrs attrs = RegionAttrs::decode(d);
+  // Serve a remote client's reserve exactly like a local one; this node
+  // becomes the region's home.
+  reserve(size, attrs, [this, m](Result<GlobalAddress> r) {
+    Encoder e;
+    e.u8(to_wire(r.ok() ? ErrorCode::kOk : r.error()));
+    e.addr(r.ok() ? r.value() : GlobalAddress{});
+    respond(m, MsgType::kReserveResp, std::move(e).take());
+  });
+}
+
+void Node::on_unreserve_req(const Message& m) {
+  Decoder d(m.payload);
+  const GlobalAddress base = d.addr();
+  auto it = homed_regions_.find(base);
+  if (it == homed_regions_.end()) {
+    // Not (or no longer) homed here; ack so the sender stops retrying.
+    respond(m, MsgType::kUnreserveResp, status_payload(ErrorCode::kOk));
+    return;
+  }
+  const RegionDescriptor desc = it->second;
+  release_region_pages(desc, desc.range);
+  homed_regions_.erase(it);
+  regions_.invalidate(base);
+  pool_.push_back(desc.range);
+  persist_meta();
+  Encoder map_req;
+  map_req.u8(2);  // erase
+  map_req.range(desc.range);
+  map_req.u32(0);
+  send_reliable(config_.genesis, MsgType::kMapMutateReq,
+                std::move(map_req).take());
+  respond(m, MsgType::kUnreserveResp, status_payload(ErrorCode::kOk));
+}
+
+void Node::publish_hint(const AddressRange& range, bool retract) {
+  for (NodeId manager : managers()) {
+    Encoder hint;
+    hint.addr(range.base);
+    hint.u64(range.size);
+    hint.u32(config_.id);
+    hint.u64(pool_bytes());
+    hint.boolean(retract);
+    Message m;
+    m.type = MsgType::kHintPublish;
+    m.dst = manager;
+    m.payload = std::move(hint).take();
+    if (m.dst == config_.id) {
+      m.src = config_.id;
+      transport_.schedule(0, [this, m = std::move(m)]() mutable {
+        on_message(std::move(m));
+      });
+    } else {
+      transport_.send(std::move(m));
+    }
+  }
+}
+
+void Node::on_space_req(const Message& m) {
+  Decoder d(m.payload);
+  const std::uint64_t want = d.u64();
+  if (!is_manager()) {
+    respond(m, MsgType::kSpaceResp,
+            status_payload(ErrorCode::kBadArgument));
+    return;
+  }
+  // Each manager owns a private slab of the 128-bit space (manager k:
+  // [kFirstClientAddress + k*kManagerSlab, ...)) and bumps within it, so
+  // concurrent managers never grant overlapping chunks without any
+  // coordination. The slab is 2^45 bytes: inexhaustible at this scale.
+  constexpr std::uint64_t kManagerSlab = 1ull << 45;
+  const auto ms = managers();
+  const std::uint64_t my_index = static_cast<std::uint64_t>(
+      std::find(ms.begin(), ms.end(), config_.id) - ms.begin());
+  const std::uint64_t granted =
+      std::max<std::uint64_t>(want, kPoolChunkSize);
+  const GlobalAddress base =
+      kFirstClientAddress.plus(my_index * kManagerSlab + granted_bytes_);
+  granted_bytes_ += granted;
+  cluster_.report_free_space(m.src, granted);
+  persist_meta();
+  Encoder e;
+  e.u8(kStatusOk);
+  e.addr(base);
+  e.u64(granted);
+  respond(m, MsgType::kSpaceResp, std::move(e).take());
+}
+
+void Node::on_map_mutate_req(const Message& m) {
+  Decoder d(m.payload);
+  const std::uint8_t op = d.u8();
+  const AddressRange range = d.range();
+  std::vector<NodeId> homes;
+  const std::uint32_t n = d.u32();
+  for (std::uint32_t i = 0; i < n && d.ok(); ++i) homes.push_back(d.u32());
+
+  if (map_ == nullptr) {
+    respond(m, MsgType::kMapMutateResp,
+            status_payload(ErrorCode::kBadArgument));
+    return;
+  }
+  Status s;
+  switch (op) {
+    case 1: s = map_->insert(range, homes); break;
+    case 2: s = map_->erase(range.base); break;
+    case 3: s = map_->update_homes(range.base, homes); break;
+    default: s = ErrorCode::kBadArgument; break;
+  }
+  // Duplicate deliveries of reliable sends are expected; report them as
+  // success so the sender's retry loop terminates.
+  if (s.error() == ErrorCode::kAlreadyReserved && op == 1) s = Status{};
+  if (s.error() == ErrorCode::kNotFound && (op == 2 || op == 3)) s = Status{};
+  respond(m, MsgType::kMapMutateResp, status_payload(s.error()));
+}
+
+// ---------------------------------------------------------------------------
+// Location
+// ---------------------------------------------------------------------------
+
+void Node::on_desc_lookup_req(const Message& m) {
+  Decoder d(m.payload);
+  const GlobalAddress addr = d.addr();
+  auto it = homed_regions_.upper_bound(addr);
+  if (it != homed_regions_.begin()) {
+    const auto& [base, desc] = *std::prev(it);
+    if (desc.range.contains(addr)) {
+      Encoder e;
+      e.u8(kStatusOk);
+      desc.encode(e);
+      respond(m, MsgType::kDescLookupResp, std::move(e).take());
+      return;
+    }
+  }
+  respond(m, MsgType::kDescLookupResp, status_payload(ErrorCode::kNotFound));
+}
+
+void Node::on_hint_query_req(const Message& m) {
+  Decoder d(m.payload);
+  const GlobalAddress addr = d.addr();
+  const auto nodes = cluster_.hint(addr);
+  Encoder e;
+  e.u8(kStatusOk);
+  e.u32(static_cast<std::uint32_t>(nodes.size()));
+  for (NodeId n : nodes) e.u32(n);
+  respond(m, MsgType::kHintQueryResp, std::move(e).take());
+}
+
+void Node::on_hint_publish(const Message& m) {
+  Decoder d(m.payload);
+  const GlobalAddress base = d.addr();
+  const std::uint64_t size = d.u64();
+  const NodeId subject = d.u32();
+  const std::uint64_t pool = d.u64();
+  const bool retract = d.boolean();
+  if (retract) {
+    cluster_.retract(base, subject);
+  } else {
+    cluster_.publish(base, size, subject);
+  }
+  cluster_.report_free_space(m.src, pool);
+}
+
+void Node::on_cluster_walk_req(const Message& m) {
+  Decoder d(m.payload);
+  const GlobalAddress addr = d.addr();
+  Encoder e;
+  auto it = homed_regions_.upper_bound(addr);
+  if (it != homed_regions_.begin() &&
+      std::prev(it)->second.range.contains(addr)) {
+    e.boolean(true);
+    std::prev(it)->second.encode(e);
+  } else if (auto cached = regions_.lookup(addr)) {
+    e.boolean(true);
+    cached->encode(e);
+  } else {
+    e.boolean(false);
+  }
+  respond(m, MsgType::kClusterWalkResp, std::move(e).take());
+}
+
+void Node::on_locate_req(const Message& m) {
+  Decoder d(m.payload);
+  const GlobalAddress addr = d.addr();
+  auto it = homed_regions_.upper_bound(addr);
+  if (it == homed_regions_.begin() ||
+      !std::prev(it)->second.range.contains(addr)) {
+    respond(m, MsgType::kLocateResp, status_payload(ErrorCode::kNotFound));
+    return;
+  }
+  const RegionDescriptor& desc = std::prev(it)->second;
+  const GlobalAddress page = desc.page_of(addr);
+  std::set<NodeId> holders;
+  if (auto* info = pages_.find(page)) {
+    holders = info->sharers;
+    if (info->owner != kNoNode) holders.insert(info->owner);
+  }
+  Encoder e;
+  e.u8(kStatusOk);
+  e.u32(static_cast<std::uint32_t>(holders.size()));
+  for (NodeId n : holders) e.u32(n);
+  respond(m, MsgType::kLocateResp, std::move(e).take());
+}
+
+// ---------------------------------------------------------------------------
+// Storage allocation
+// ---------------------------------------------------------------------------
+
+void Node::on_alloc_req(const Message& m) {
+  Decoder d(m.payload);
+  const AddressRange range = d.range();
+  auto it = homed_regions_.upper_bound(range.base);
+  if (it == homed_regions_.begin() ||
+      !std::prev(it)->second.range.contains_range(range)) {
+    respond(m, MsgType::kAllocResp, status_payload(ErrorCode::kNotFound));
+    return;
+  }
+  auto& desc = std::prev(it)->second;
+  materialize_region_pages(desc, range);
+  desc.allocated = true;
+  regions_.insert(desc);
+  persist_meta();
+  respond(m, MsgType::kAllocResp, status_payload(ErrorCode::kOk));
+}
+
+void Node::on_free_req(const Message& m) {
+  Decoder d(m.payload);
+  const AddressRange range = d.range();
+  auto it = homed_regions_.upper_bound(range.base);
+  if (it != homed_regions_.begin() &&
+      std::prev(it)->second.range.contains_range(range)) {
+    release_region_pages(std::prev(it)->second, range);
+  }
+  respond(m, MsgType::kFreeResp, status_payload(ErrorCode::kOk));
+}
+
+// ---------------------------------------------------------------------------
+// Attributes
+// ---------------------------------------------------------------------------
+
+void Node::on_attr_req(const Message& m, bool set) {
+  Decoder d(m.payload);
+  const GlobalAddress addr = d.addr();
+  auto it = homed_regions_.upper_bound(addr);
+  if (it == homed_regions_.begin() ||
+      !std::prev(it)->second.range.contains(addr)) {
+    respond(m, set ? MsgType::kSetAttrResp : MsgType::kGetAttrResp,
+            status_payload(ErrorCode::kNotFound));
+    return;
+  }
+  RegionDescriptor& desc = std::prev(it)->second;
+  if (!set) {
+    Encoder e;
+    e.u8(kStatusOk);
+    desc.attrs.encode(e);
+    respond(m, MsgType::kGetAttrResp, std::move(e).take());
+    return;
+  }
+  RegionAttrs attrs = RegionAttrs::decode(d);
+  const std::uint32_t principal = d.u32();
+  if (!desc.attrs.acl.allows(principal, /*write=*/true)) {
+    respond(m, MsgType::kSetAttrResp,
+            status_payload(ErrorCode::kAccessDenied));
+    return;
+  }
+  // Page size and protocol are fixed at reserve time in the current
+  // prototype ("Currently all instances of an object must be accessed
+  // using the same consistency mechanisms", Section 2); the mutable
+  // attributes are the level, ACL and replication factor.
+  attrs.page_size = desc.attrs.page_size;
+  attrs.protocol = desc.attrs.protocol;
+  desc.attrs = attrs;
+  regions_.insert(desc);
+  persist_meta();
+  respond(m, MsgType::kSetAttrResp, status_payload(ErrorCode::kOk));
+}
+
+// ---------------------------------------------------------------------------
+// Replica maintenance (Section 3.5: minimum primary replicas)
+// ---------------------------------------------------------------------------
+
+void Node::on_replica_push(const Message& m) {
+  Decoder d(m.payload);
+  RegionDescriptor desc = RegionDescriptor::decode(d);
+  const GlobalAddress page = d.addr();
+  const Version version = d.u64();
+  const bool from_owner = d.boolean();
+  Bytes data = d.bytes();
+  if (!d.ok()) return;
+
+  regions_.insert(desc);
+  auto& info = pages_.ensure(page);
+
+  if (from_owner && desc.primary_home() == config_.id) {
+    // The exclusive owner pushed its dirty data back and demoted itself to
+    // a shared copy; the home becomes the owner again and fans out
+    // further replicas as needed.
+    info.homed_locally = true;
+    info.home = config_.id;
+    info.owner = config_.id;
+    info.state = PageState::kShared;
+    info.version = std::max(info.version, version);
+    info.sharers.insert(config_.id);
+    info.sharers.insert(m.src);
+    store_page(page, std::move(data));
+    maintain_replicas(page);
+    return;
+  }
+
+  // Plain replica install.
+  if (info.locked()) return;  // never clobber data under an active lock
+  info.home = desc.primary_home();
+  info.state = PageState::kShared;
+  info.version = std::max(info.version, version);
+  store_page(page, std::move(data));
+}
+
+void Node::on_replica_drop(const Message& m) {
+  Decoder d(m.payload);
+  const GlobalAddress page = d.addr();
+  auto* info = pages_.find(page);
+  if (info != nullptr) {
+    if (info->locked()) return;
+    info->state = PageState::kInvalid;
+  }
+  storage_.erase(page);
+  pages_.erase(page);
+}
+
+void Node::maintain_replicas(const GlobalAddress& page) {
+  if (AddressRange{kMapRegionBase, kMapRegionSize}.contains(page)) return;
+
+  auto* info = pages_.find(page);
+  if (info == nullptr) return;
+
+  // Home side: top the copyset up to min_replicas.
+  auto it = homed_regions_.upper_bound(page);
+  if (it != homed_regions_.begin() &&
+      std::prev(it)->second.range.contains(page)) {
+    RegionDescriptor& desc = std::prev(it)->second;
+    const std::uint32_t target = desc.attrs.min_replicas;
+    if (target <= 1) return;
+    if (info->state == PageState::kInvalid) return;  // owner holds the data
+    const Bytes* data = storage_.get(page);
+    if (data == nullptr) return;
+    info->sharers.insert(config_.id);
+
+    // Ring order starting after this node: spreads replicas instead of
+    // dog-piling the lowest node ids.
+    std::vector<NodeId> candidates = membership();
+    std::sort(candidates.begin(), candidates.end());
+    const auto pivot = std::upper_bound(candidates.begin(), candidates.end(),
+                                        config_.id);
+    std::rotate(candidates.begin(), pivot, candidates.end());
+
+    std::vector<NodeId> new_replicas;
+    for (NodeId n : candidates) {
+      if (info->sharers.size() + new_replicas.size() >= target) break;
+      if (n == config_.id || info->sharers.contains(n)) continue;
+      new_replicas.push_back(n);
+    }
+    // Once copies exist beyond this node, the page is no longer exclusive
+    // here: demote so the next local write runs the full invalidation
+    // round against the pushed replicas.
+    if ((!new_replicas.empty() || info->sharers.size() > 1) &&
+        info->state == PageState::kExclusive) {
+      info->state = PageState::kShared;
+    }
+    for (NodeId n : new_replicas) {
+      Encoder e;
+      desc.encode(e);
+      e.addr(page);
+      e.u64(info->version);
+      e.boolean(false);
+      e.bytes(*data);
+      Message m;
+      m.type = MsgType::kReplicaPush;
+      m.dst = n;
+      m.payload = std::move(e).take();
+      transport_.send(std::move(m));
+      info->sharers.insert(n);
+      ++stats_.replica_pushes;
+      // Record the replica as an alternate home so lookups and failure
+      // fallbacks can find it (the map entry's home list is
+      // non-exhaustive by design).
+      if (std::find(desc.home_nodes.begin(), desc.home_nodes.end(), n) ==
+              desc.home_nodes.end() &&
+          desc.home_nodes.size() < AddressMap::kMaxHomes) {
+        desc.home_nodes.push_back(n);
+        regions_.insert(desc);
+        Encoder map_req;
+        map_req.u8(3);  // update_homes
+        map_req.range(desc.range);
+        map_req.u32(static_cast<std::uint32_t>(desc.home_nodes.size()));
+        for (NodeId h : desc.home_nodes) map_req.u32(h);
+        send_reliable(config_.genesis, MsgType::kMapMutateReq,
+                      std::move(map_req).take());
+      }
+    }
+    return;
+  }
+
+  // Owner side: after a dirty release on a region with a replication
+  // requirement, ship the data back to the home and demote to a shared
+  // copy so the home can maintain the replica set and serialize the next
+  // writer.
+  if (info->owner == config_.id && info->state == PageState::kExclusive) {
+    const std::uint32_t target = min_replicas_of(page);
+    if (target <= 1) return;
+    auto desc = regions_.lookup(page);
+    if (!desc) return;
+    const Bytes* data = storage_.get(page);
+    if (data == nullptr) return;
+    Encoder e;
+    desc->encode(e);
+    e.addr(page);
+    e.u64(info->version);
+    e.boolean(true);  // from_owner
+    e.bytes(*data);
+    Message m;
+    m.type = MsgType::kReplicaPush;
+    m.dst = desc->primary_home();
+    m.payload = std::move(e).take();
+    transport_.send(std::move(m));
+    info->state = PageState::kShared;
+    ++stats_.replica_pushes;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Region home migration
+// ---------------------------------------------------------------------------
+
+void Node::on_migrate_req(const Message& m) {
+  Decoder d(m.payload);
+  const GlobalAddress base = d.addr();
+  const NodeId new_home = d.u32();
+
+  auto it = homed_regions_.find(base);
+  if (it == homed_regions_.end()) {
+    respond(m, MsgType::kMigrateResp, status_payload(ErrorCode::kNotFound));
+    return;
+  }
+  if (new_home == config_.id) {  // no-op move
+    respond(m, MsgType::kMigrateResp, status_payload(ErrorCode::kOk));
+    return;
+  }
+  RegionDescriptor desc = it->second;
+
+  // Refuse while any page is locked here (migration needs local
+  // quiescence; remote holders are fine — their CREW state rides along).
+  const std::uint32_t psz = desc.attrs.page_size;
+  for (GlobalAddress p = desc.range.base; p < desc.range.end();
+       p = p.plus(psz)) {
+    if (auto* info = pages_.find(p); info != nullptr && info->locked()) {
+      respond(m, MsgType::kMigrateResp,
+              status_payload(ErrorCode::kConflict));
+      return;
+    }
+  }
+
+  // Package the descriptor plus per-page directory state and whatever
+  // current page contents this node holds.
+  desc.home_nodes.erase(
+      std::remove(desc.home_nodes.begin(), desc.home_nodes.end(), new_home),
+      desc.home_nodes.end());
+  desc.home_nodes.insert(desc.home_nodes.begin(), new_home);
+  Encoder e;
+  desc.encode(e);
+  std::vector<GlobalAddress> page_list;
+  for (GlobalAddress p = desc.range.base; p < desc.range.end();
+       p = p.plus(psz)) {
+    if (pages_.find(p) != nullptr) page_list.push_back(p);
+  }
+  e.u32(static_cast<std::uint32_t>(page_list.size()));
+  for (const auto& p : page_list) {
+    const auto* info = pages_.find(p);
+    e.addr(p);
+    e.u64(info->version);
+    e.u32(info->owner == config_.id ? new_home : info->owner);
+    std::set<NodeId> sharers = info->sharers;
+    if (sharers.erase(config_.id) > 0) sharers.insert(new_home);
+    e.u32(static_cast<std::uint32_t>(sharers.size()));
+    for (NodeId s : sharers) e.u32(s);
+    const bool valid_here = info->state != PageState::kInvalid;
+    const Bytes* data = valid_here ? storage_.get(p) : nullptr;
+    e.boolean(data != nullptr);
+    if (data != nullptr) e.bytes(*data);
+  }
+
+  rpc_retry({new_home}, MsgType::kMigrateData, std::move(e).take(),
+            config_.max_retries,
+            [this, m, base, new_home](bool ok, Decoder& resp) {
+              if (!ok || from_wire(resp.u8()) != ErrorCode::kOk) {
+                respond(m, MsgType::kMigrateResp,
+                        status_payload(ErrorCode::kUnreachable));
+                return;
+              }
+              // Hand-off complete: drop authority, keep a fresh cache
+              // entry pointing at the new home, release local page state.
+              auto it2 = homed_regions_.find(base);
+              if (it2 != homed_regions_.end()) {
+                RegionDescriptor moved = it2->second;
+                const std::uint32_t psz2 = moved.attrs.page_size;
+                for (GlobalAddress p = moved.range.base;
+                     p < moved.range.end(); p = p.plus(psz2)) {
+                  storage_.erase(p);
+                  pages_.erase(p);
+                }
+                moved.home_nodes.erase(
+                    std::remove(moved.home_nodes.begin(),
+                                moved.home_nodes.end(), new_home),
+                    moved.home_nodes.end());
+                moved.home_nodes.insert(moved.home_nodes.begin(), new_home);
+                regions_.insert(moved);
+                homed_regions_.erase(it2);
+                persist_meta();
+
+                // Update the map and the manager's hints.
+                Encoder map_req;
+                map_req.u8(3);  // update_homes
+                map_req.range(moved.range);
+                map_req.u32(
+                    static_cast<std::uint32_t>(moved.home_nodes.size()));
+                for (NodeId h : moved.home_nodes) map_req.u32(h);
+                send_reliable(config_.genesis, MsgType::kMapMutateReq,
+                              std::move(map_req).take());
+                publish_hint(moved.range, /*retract=*/true);
+              }
+              respond(m, MsgType::kMigrateResp,
+                      status_payload(ErrorCode::kOk));
+            });
+}
+
+void Node::on_migrate_data(const Message& m) {
+  Decoder d(m.payload);
+  RegionDescriptor desc = RegionDescriptor::decode(d);
+  if (!d.ok() || desc.primary_home() != config_.id) {
+    respond(m, MsgType::kMigrateDataResp,
+            status_payload(ErrorCode::kBadArgument));
+    return;
+  }
+  homed_regions_[desc.range.base] = desc;
+  regions_.insert(desc);
+
+  const std::uint32_t npages = d.u32();
+  for (std::uint32_t i = 0; i < npages && d.ok(); ++i) {
+    const GlobalAddress p = d.addr();
+    const Version version = d.u64();
+    const NodeId owner = d.u32();
+    std::set<NodeId> sharers;
+    const std::uint32_t nsharers = d.u32();
+    for (std::uint32_t s = 0; s < nsharers && d.ok(); ++s) {
+      sharers.insert(d.u32());
+    }
+    const bool has_data = d.boolean();
+    Bytes data;
+    if (has_data) data = d.bytes();
+    if (!d.ok()) break;
+
+    auto& info = pages_.ensure(p);
+    info.homed_locally = true;
+    info.home = config_.id;
+    info.version = std::max(info.version, version);
+    info.owner = owner;
+    info.sharers = std::move(sharers);
+    if (has_data) {
+      info.state = PageState::kShared;
+      store_page(p, std::move(data));
+    } else if (info.state == PageState::kInvalid && owner == config_.id) {
+      // We are recorded owner but got no bytes (old home had none):
+      // materialize zeros so reads have something to serve.
+      store_page(p, Bytes(desc.attrs.page_size, 0));
+      info.state = PageState::kShared;
+    }
+  }
+  persist_meta();
+
+  // Advertise the new home.
+  publish_hint(desc.range, /*retract=*/false);
+
+  respond(m, MsgType::kMigrateDataResp, status_payload(ErrorCode::kOk));
+}
+
+// ---------------------------------------------------------------------------
+// Client-guided replication (the Section 2 "hooks")
+// ---------------------------------------------------------------------------
+
+void Node::on_replicate_to_req(const Message& m) {
+  Decoder d(m.payload);
+  const GlobalAddress base = d.addr();
+  const NodeId target = d.u32();
+
+  auto it = homed_regions_.find(base);
+  if (it == homed_regions_.end()) {
+    respond(m, MsgType::kReplicateToResp,
+            status_payload(ErrorCode::kNotFound));
+    return;
+  }
+  RegionDescriptor& desc = it->second;
+  if (target == config_.id) {
+    respond(m, MsgType::kReplicateToResp, status_payload(ErrorCode::kOk));
+    return;
+  }
+  const std::uint32_t psz = desc.attrs.page_size;
+  for (GlobalAddress p = desc.range.base; p < desc.range.end();
+       p = p.plus(psz)) {
+    auto* info = pages_.find(p);
+    if (info == nullptr || info->state == PageState::kInvalid) {
+      continue;  // no current copy here (an exclusive owner holds it)
+    }
+    const Bytes* data = storage_.get(p);
+    if (data == nullptr) continue;
+    Encoder e;
+    desc.encode(e);
+    e.addr(p);
+    e.u64(info->version);
+    e.boolean(false);
+    e.bytes(*data);
+    Message push;
+    push.type = MsgType::kReplicaPush;
+    push.dst = target;
+    push.payload = std::move(e).take();
+    transport_.send(std::move(push));
+    info->sharers.insert(target);
+    // A pushed copy means the page is no longer exclusive here.
+    if (info->state == PageState::kExclusive) {
+      info->state = PageState::kShared;
+    }
+    ++stats_.replica_pushes;
+  }
+  respond(m, MsgType::kReplicateToResp, status_payload(ErrorCode::kOk));
+}
+
+// ---------------------------------------------------------------------------
+// Graceful departure
+// ---------------------------------------------------------------------------
+
+void Node::leave(StatusCb cb) {
+  if (config_.id == config_.genesis) {
+    cb(ErrorCode::kBadArgument);  // the map authority cannot depart
+    return;
+  }
+  // Round-robin migration targets among the other live members.
+  std::vector<NodeId> targets;
+  for (NodeId n : membership()) {
+    if (n != config_.id) targets.push_back(n);
+  }
+  if (targets.empty()) {
+    cb(ErrorCode::kUnreachable);
+    return;
+  }
+  auto bases = std::make_shared<std::vector<GlobalAddress>>();
+  for (const auto& [base, _] : homed_regions_) bases->push_back(base);
+
+  auto finish = [this, cb]() {
+    for (NodeId n : members_) {
+      if (n == config_.id) continue;
+      Message lm;
+      lm.type = MsgType::kLeave;
+      lm.dst = n;
+      transport_.send(std::move(lm));
+    }
+    cb(Status{});
+  };
+
+  // Migrate homed regions one at a time; a failed hand-off aborts the
+  // departure (the operator can retry — data must never be orphaned).
+  auto step = std::make_shared<std::function<void(std::size_t)>>();
+  *step = [this, bases, targets, finish, step, cb](std::size_t i) {
+    if (i >= bases->size()) {
+      finish();
+      return;
+    }
+    const NodeId target = targets[i % targets.size()];
+    migrate((*bases)[i], target, [this, i, step, cb](Status s) {
+      if (!s.ok()) {
+        cb(s);
+        return;
+      }
+      (*step)(i + 1);
+    });
+  };
+  (*step)(0);
+}
+
+// ---------------------------------------------------------------------------
+// Failure detection
+// ---------------------------------------------------------------------------
+
+void Node::ping_tick() {
+  for (NodeId n : members_) {
+    if (n == config_.id) continue;
+    rpc(n, MsgType::kPing, {}, [this, n](bool ok, Decoder&) {
+      if (ok) {
+        missed_pongs_[n] = 0;
+        if (down_nodes_.contains(n)) mark_node_up(n);
+        return;
+      }
+      if (++missed_pongs_[n] >= 3 && !down_nodes_.contains(n)) {
+        mark_node_down(n);
+      }
+    });
+  }
+  transport_.schedule(config_.ping_interval, [this] { ping_tick(); });
+}
+
+void Node::mark_node_down(NodeId node) {
+  KHZ_INFO("node %u: peer %u presumed down", config_.id, node);
+  down_nodes_.insert(node);
+  for (auto& [_, cm] : cms_) cm->on_node_down(node);
+}
+
+void Node::mark_node_up(NodeId node) {
+  down_nodes_.erase(node);
+  missed_pongs_[node] = 0;
+}
+
+// ---------------------------------------------------------------------------
+// Metadata persistence (restart recovery)
+// ---------------------------------------------------------------------------
+
+void Node::persist_meta() {
+  auto* disk = storage_.disk();
+  if (disk == nullptr) return;
+  Encoder e;
+  e.u64(granted_bytes_);
+  e.u32(static_cast<std::uint32_t>(pool_.size()));
+  for (const auto& r : pool_) e.range(r);
+  e.u32(static_cast<std::uint32_t>(homed_regions_.size()));
+  for (const auto& [base, desc] : homed_regions_) desc.encode(e);
+  const auto homed_pages = pages_.homed_pages();
+  e.u32(static_cast<std::uint32_t>(homed_pages.size()));
+  for (const auto& p : homed_pages) {
+    e.addr(p);
+    const auto* info = pages_.find(p);
+    e.u64(info != nullptr ? info->version : 0);
+  }
+  (void)disk->put_meta("node_state", e.data());
+}
+
+void Node::recover_meta() {
+  auto* disk = storage_.disk();
+  if (disk == nullptr) return;
+  const auto blob = disk->get_meta("node_state");
+  if (!blob) return;
+  Decoder d(*blob);
+  granted_bytes_ = d.u64();
+  const std::uint32_t npool = d.u32();
+  for (std::uint32_t i = 0; i < npool && d.ok(); ++i) {
+    pool_.push_back(d.range());
+  }
+  const std::uint32_t nregions = d.u32();
+  for (std::uint32_t i = 0; i < nregions && d.ok(); ++i) {
+    RegionDescriptor desc = RegionDescriptor::decode(d);
+    homed_regions_[desc.range.base] = desc;
+    regions_.insert(desc);
+  }
+  const std::uint32_t npages = d.u32();
+  for (std::uint32_t i = 0; i < npages && d.ok(); ++i) {
+    const GlobalAddress p = d.addr();
+    const Version v = d.u64();
+    auto& info = pages_.ensure(p);
+    info.homed_locally = true;
+    info.home = config_.id;
+    info.owner = config_.id;
+    info.version = v;
+    // Volatile copies elsewhere died with the crash from this node's point
+    // of view; the copyset restarts at just us.
+    info.state = disk->contains(p) ? PageState::kShared : PageState::kInvalid;
+    info.sharers = {config_.id};
+  }
+  if (!d.ok()) {
+    KHZ_WARN("node %u: corrupt node_state metadata ignored", config_.id);
+  }
+}
+
+}  // namespace khz::core

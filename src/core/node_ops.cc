@@ -1,0 +1,875 @@
+// Client operations, location resolution, request handlers, replica
+// maintenance, failure detection and metadata persistence for core::Node.
+// (node.cc holds construction, messaging plumbing and the CmHost glue.)
+#include <algorithm>
+#include <cassert>
+
+#include "common/log.h"
+#include "core/node.h"
+
+namespace khz::core {
+
+using consistency::LockContext;
+using consistency::LockMode;
+using consistency::ProtocolId;
+using consistency::is_write;
+using net::Message;
+using net::MsgType;
+using storage::PageState;
+
+namespace {
+ErrorCode from_wire(std::uint8_t b) { return static_cast<ErrorCode>(b); }
+
+bool valid_page_size(std::uint32_t s) {
+  return s >= kDefaultPageSize && s <= (1u << 20) && (s & (s - 1)) == 0;
+}
+
+/// The paper treats "desired consistency level" and "consistency protocol"
+/// as separate attributes: the level states the requirement, the protocol
+/// the mechanism. When a client states only the level, pick the matching
+/// built-in protocol; when both are given they must be compatible (a
+/// protocol may exceed the requested level, never undercut it).
+Result<RegionAttrs> reconcile_consistency(RegionAttrs attrs) {
+  // Third-party (registered) protocols are taken at the client's word:
+  // the plugin author owns the level guarantee.
+  if (attrs.protocol != ProtocolId::kCrew &&
+      attrs.protocol != ProtocolId::kRelease &&
+      attrs.protocol != ProtocolId::kEventual) {
+    return attrs;
+  }
+  const auto strength = [](ProtocolId p) {
+    switch (p) {
+      case ProtocolId::kCrew: return 2;
+      case ProtocolId::kRelease: return 1;
+      case ProtocolId::kEventual: return 0;
+    }
+    return -1;
+  };
+  const int required = attrs.level == ConsistencyLevel::kStrict    ? 2
+                       : attrs.level == ConsistencyLevel::kRelaxed ? 1
+                                                                   : 0;
+  if (attrs.protocol == ProtocolId::kCrew &&
+      attrs.level != ConsistencyLevel::kStrict) {
+    // Protocol left at its default but a weaker level was requested:
+    // choose the protocol that implements that level.
+    attrs.protocol = attrs.level == ConsistencyLevel::kRelaxed
+                         ? ProtocolId::kRelease
+                         : ProtocolId::kEventual;
+    return attrs;
+  }
+  if (strength(attrs.protocol) < required) return ErrorCode::kBadArgument;
+  return attrs;
+}
+}  // namespace
+
+/// In-flight multi-page lock acquisition. Pages are acquired in address
+/// order (deadlock avoidance); a failure releases everything granted so
+/// far and reflects the error to the client.
+struct LockOp {
+  AddressRange range;
+  LockMode mode;
+  RegionDescriptor desc;
+  std::vector<GlobalAddress> pages;
+  std::size_t next = 0;
+  bool relocated = false;  // one re-resolve after a stale-home bounce
+  Node::LockCb cb;
+};
+
+// ---------------------------------------------------------------------------
+// rpc_retry
+// ---------------------------------------------------------------------------
+
+void Node::rpc_retry(std::vector<NodeId> candidates, MsgType type,
+                     Bytes payload, int attempts, RespHandler handler) {
+  if (attempts <= 0 || candidates.empty()) {
+    Decoder empty(std::span<const std::uint8_t>{});
+    handler(false, empty);
+    return;
+  }
+  const NodeId target = candidates.front();
+  std::rotate(candidates.begin(), candidates.begin() + 1, candidates.end());
+  rpc(target, type, payload,
+      [this, candidates = std::move(candidates), type, payload, attempts,
+       handler = std::move(handler)](bool ok, Decoder& d) mutable {
+        if (ok) {
+          handler(true, d);
+          return;
+        }
+        rpc_retry(std::move(candidates), type, std::move(payload),
+                  attempts - 1, std::move(handler));
+      });
+}
+
+// ---------------------------------------------------------------------------
+// Address-space management: reserve / unreserve
+// ---------------------------------------------------------------------------
+
+std::optional<GlobalAddress> Node::carve_from_pool(std::uint64_t size) {
+  // `size` is already page-aligned; carve an aligned base so large-page
+  // regions start on a page boundary. Alignment slack stays in the pool.
+  for (std::size_t i = 0; i < pool_.size(); ++i) {
+    AddressRange& r = pool_[i];
+    const GlobalAddress base = r.base;
+    if (r.size < size) continue;
+    r.base = base.plus(size);
+    r.size -= size;
+    if (r.size == 0) pool_.erase(pool_.begin() + static_cast<long>(i));
+    return base;
+  }
+  return std::nullopt;
+}
+
+std::uint64_t Node::pool_bytes() const {
+  std::uint64_t total = 0;
+  for (const auto& r : pool_) total += r.size;
+  return total;
+}
+
+void Node::reserve(std::uint64_t size, const RegionAttrs& raw_attrs,
+                   ReserveCb cb) {
+  if (size == 0 || !valid_page_size(raw_attrs.page_size)) {
+    cb(ErrorCode::kBadArgument);
+    return;
+  }
+  if (!consistency::ProtocolRegistry::instance().known(raw_attrs.protocol)) {
+    cb(ErrorCode::kBadArgument);
+    return;
+  }
+  auto reconciled = reconcile_consistency(raw_attrs);
+  if (!reconciled) {
+    cb(reconciled.error());
+    return;
+  }
+  const RegionAttrs attrs = reconciled.value();
+  const std::uint64_t aligned =
+      (size + attrs.page_size - 1) / attrs.page_size * attrs.page_size;
+
+  if (auto base = carve_from_pool(aligned)) {
+    finish_reserve({*base, aligned}, attrs, std::move(cb));
+    return;
+  }
+
+  // Local pool dry: ask the cluster manager for a large chunk of
+  // unreserved space to manage locally (Section 3.1).
+  const std::uint64_t chunk = std::max<std::uint64_t>(kPoolChunkSize, aligned);
+  Encoder e;
+  e.u64(chunk);
+  rpc_retry(managers(), MsgType::kSpaceReq, std::move(e).take(),
+            config_.max_retries + static_cast<int>(managers().size()),
+            [this, aligned, attrs, cb = std::move(cb)](bool ok,
+                                                       Decoder& d) mutable {
+              if (!ok) {
+                cb(ErrorCode::kUnreachable);
+                return;
+              }
+              const ErrorCode err = from_wire(d.u8());
+              if (err != ErrorCode::kOk) {
+                cb(err);
+                return;
+              }
+              const GlobalAddress base = d.addr();
+              const std::uint64_t granted = d.u64();
+              pool_.push_back({base, granted});
+              persist_meta();
+              if (auto carved = carve_from_pool(aligned)) {
+                finish_reserve({*carved, aligned}, attrs, std::move(cb));
+              } else {
+                cb(ErrorCode::kNoSpace);
+              }
+            });
+}
+
+void Node::finish_reserve(const AddressRange& range, const RegionAttrs& attrs,
+                          ReserveCb cb) {
+  RegionDescriptor desc;
+  desc.range = range;
+  desc.attrs = attrs;
+  desc.home_nodes = {config_.id};
+  homed_regions_[range.base] = desc;
+  regions_.insert(desc);
+  persist_meta();
+  ++stats_.reserves;
+
+  // Register the reservation with the address map (background-reliable;
+  // the map is a hint structure and tolerates lag) and publish a location
+  // hint to the cluster manager.
+  Encoder map_req;
+  map_req.u8(1);  // insert
+  map_req.range(range);
+  map_req.u32(1);
+  map_req.u32(config_.id);
+  send_reliable(config_.genesis, MsgType::kMapMutateReq,
+                std::move(map_req).take());
+
+  publish_hint(range, /*retract=*/false);
+
+  cb(range.base);
+}
+
+void Node::unreserve(const GlobalAddress& base, StatusCb cb) {
+  resolve(base, [this, base, cb = std::move(cb)](
+                    Result<RegionDescriptor> r) mutable {
+    if (!r) {
+      cb(r.error());
+      return;
+    }
+    const RegionDescriptor desc = r.value();
+    if (desc.range.base != base) {
+      cb(ErrorCode::kBadArgument);
+      return;
+    }
+    if (desc.primary_home() == config_.id) {
+      release_region_pages(desc, desc.range);
+      homed_regions_.erase(base);
+      regions_.invalidate(base);
+      pool_.push_back(desc.range);  // reclaim into the local pool
+      persist_meta();
+      Encoder map_req;
+      map_req.u8(2);  // erase
+      map_req.range(desc.range);
+      map_req.u32(0);
+      send_reliable(config_.genesis, MsgType::kMapMutateReq,
+                    std::move(map_req).take());
+      publish_hint(desc.range, /*retract=*/true);
+      cb(Status{});
+      return;
+    }
+    // Remote home: release-type semantics — accept now, deliver reliably
+    // in the background (Section 3.5).
+    Encoder e;
+    e.addr(base);
+    send_reliable(desc.primary_home(), MsgType::kUnreserveReq,
+                  std::move(e).take());
+    regions_.invalidate(base);
+    cb(Status{});
+  });
+}
+
+// ---------------------------------------------------------------------------
+// Storage allocation: allocate / deallocate
+// ---------------------------------------------------------------------------
+
+void Node::allocate(const AddressRange& range, StatusCb cb) {
+  if (range.size == 0) {
+    cb(ErrorCode::kBadArgument);
+    return;
+  }
+  resolve(range.base, [this, range, cb = std::move(cb)](
+                          Result<RegionDescriptor> r) mutable {
+    if (!r) {
+      cb(r.error());
+      return;
+    }
+    const RegionDescriptor desc = r.value();
+    if (!desc.range.contains_range(range)) {
+      cb(ErrorCode::kBadArgument);
+      return;
+    }
+    if (!desc.attrs.acl.allows(config_.principal, /*write=*/true)) {
+      cb(ErrorCode::kAccessDenied);
+      return;
+    }
+    if (desc.primary_home() == config_.id) {
+      materialize_region_pages(desc, range);
+      auto it = homed_regions_.find(desc.range.base);
+      if (it != homed_regions_.end()) it->second.allocated = true;
+      persist_meta();
+      cb(Status{});
+      return;
+    }
+    Encoder e;
+    e.range(range);
+    rpc_retry(desc.home_nodes, MsgType::kAllocReq, std::move(e).take(),
+              config_.max_retries,
+              [this, base = desc.range.base, cb = std::move(cb)](
+                  bool ok, Decoder& d) mutable {
+                if (!ok) {
+                  cb(ErrorCode::kUnreachable);
+                  return;
+                }
+                const ErrorCode err = from_wire(d.u8());
+                if (err == ErrorCode::kOk) {
+                  // Refresh the cached descriptor's allocated bit.
+                  regions_.invalidate(base);
+                }
+                cb(err == ErrorCode::kOk ? Status{} : Status{err});
+              });
+  });
+}
+
+void Node::deallocate(const AddressRange& range, StatusCb cb) {
+  if (range.size == 0) {
+    cb(ErrorCode::kBadArgument);
+    return;
+  }
+  resolve(range.base, [this, range, cb = std::move(cb)](
+                          Result<RegionDescriptor> r) mutable {
+    if (!r) {
+      cb(r.error());
+      return;
+    }
+    const RegionDescriptor desc = r.value();
+    if (!desc.range.contains_range(range)) {
+      cb(ErrorCode::kBadArgument);
+      return;
+    }
+    if (desc.primary_home() == config_.id) {
+      release_region_pages(desc, range);
+      cb(Status{});
+      return;
+    }
+    Encoder e;
+    e.range(range);
+    send_reliable(desc.primary_home(), MsgType::kFreeReq,
+                  std::move(e).take());
+    cb(Status{});
+  });
+}
+
+// ---------------------------------------------------------------------------
+// Locking and data access
+// ---------------------------------------------------------------------------
+
+void Node::lock(const AddressRange& range, LockMode mode, LockCb cb) {
+  if (range.size == 0 || mode == LockMode::kNone) {
+    cb(ErrorCode::kBadArgument);
+    return;
+  }
+  resolve(range.base, [this, range, mode, cb = std::move(cb)](
+                          Result<RegionDescriptor> r) mutable {
+    if (!r) {
+      ++stats_.locks_failed;
+      cb(r.error());
+      return;
+    }
+    RegionDescriptor desc = r.value();
+    if (!desc.range.contains_range(range)) {
+      cb(ErrorCode::kBadArgument);
+      return;
+    }
+    if (!desc.attrs.acl.allows(config_.principal, is_write(mode))) {
+      cb(ErrorCode::kAccessDenied);
+      return;
+    }
+    if (desc.allocated) {
+      start_lock_op(desc, range, mode, std::move(cb));
+      return;
+    }
+    // The cached descriptor may predate allocation; fetch a fresh copy
+    // from the home before failing (region directory staleness is
+    // expected, Section 3.2).
+    regions_.invalidate(desc.range.base);
+    Encoder e;
+    e.addr(range.base);
+    rpc_retry(desc.home_nodes, MsgType::kDescLookupReq, std::move(e).take(),
+              config_.max_retries,
+              [this, range, mode, cb = std::move(cb)](bool ok,
+                                                      Decoder& d) mutable {
+                if (!ok) {
+                  ++stats_.locks_failed;
+                  cb(ErrorCode::kUnreachable);
+                  return;
+                }
+                const ErrorCode err = from_wire(d.u8());
+                if (err != ErrorCode::kOk) {
+                  ++stats_.locks_failed;
+                  cb(err);
+                  return;
+                }
+                RegionDescriptor fresh = RegionDescriptor::decode(d);
+                regions_.insert(fresh);
+                if (!fresh.allocated) {
+                  ++stats_.locks_failed;
+                  cb(ErrorCode::kNotAllocated);
+                  return;
+                }
+                start_lock_op(fresh, range, mode, std::move(cb));
+              });
+  });
+}
+
+void Node::start_lock_op(const RegionDescriptor& desc,
+                         const AddressRange& range, LockMode mode,
+                         LockCb cb) {
+  auto op = std::make_shared<LockOp>();
+  op->range = range;
+  op->mode = mode;
+  op->desc = desc;
+  op->cb = std::move(cb);
+  const std::uint32_t psz = desc.attrs.page_size;
+  const std::uint64_t offset = desc.range.base.distance_to(range.base);
+  const GlobalAddress first = desc.range.base.plus(offset - offset % psz);
+  for (GlobalAddress p = first; p < range.end(); p = p.plus(psz)) {
+    op->pages.push_back(p);
+  }
+  lock_next_page(std::move(op));
+}
+
+void Node::lock_next_page(std::shared_ptr<LockOp> op) {
+  if (op->next == op->pages.size()) {
+    const std::uint64_t id = next_lock_id_++;
+    ActiveLock al;
+    al.ctx = LockContext{id, op->range, op->mode};
+    al.protocol = op->desc.attrs.protocol;
+    al.pages = op->pages;
+    al.page_size = op->desc.attrs.page_size;
+    for (const auto& p : al.pages) storage_.pin(p);
+    active_locks_.emplace(id, std::move(al));
+    ++stats_.locks_granted;
+    op->cb(LockContext{id, op->range, op->mode});
+    return;
+  }
+  auto* cm = cm_for(op->desc.attrs.protocol);
+  if (cm == nullptr) {
+    op->cb(ErrorCode::kBadArgument);
+    return;
+  }
+  const GlobalAddress page = op->pages[op->next];
+  // Make sure the page's home is resolvable by the protocol even if the
+  // descriptor got evicted from the directory mid-operation.
+  regions_.insert(op->desc);
+  cm->acquire(page, op->mode, [this, op](Status s) mutable {
+    if (s.ok()) {
+      ++op->next;
+      lock_next_page(std::move(op));
+      return;
+    }
+    auto* cm2 = cm_for(op->desc.attrs.protocol);
+    for (std::size_t i = 0; i < op->next; ++i) {
+      cm2->release(op->pages[i], op->mode, /*dirty=*/false);
+    }
+    if (s.error() == ErrorCode::kNotFound && !op->relocated) {
+      // A presumed home bounced the request (stale directory entry,
+      // Section 3.2). Drop the cached descriptor, re-resolve through the
+      // manager / map / cluster walk, and retry once.
+      op->relocated = true;
+      op->next = 0;
+      regions_.invalidate(op->range.base);
+      resolve(op->range.base, [this, op](Result<RegionDescriptor> r) mutable {
+        if (!r) {
+          ++stats_.locks_failed;
+          op->cb(r.error());
+          return;
+        }
+        op->desc = r.value();
+        lock_next_page(std::move(op));
+      });
+      return;
+    }
+    ++stats_.locks_failed;
+    op->cb(s.error());
+  });
+}
+
+void Node::unlock(const LockContext& ctx) {
+  auto it = active_locks_.find(ctx.id);
+  if (it == active_locks_.end()) return;
+  ActiveLock al = std::move(it->second);
+  active_locks_.erase(it);
+  auto* cm = cm_for(al.protocol);
+  for (const auto& p : al.pages) {
+    storage_.unpin(p);
+    if (pages_.ensure(p).homed_locally && al.dirty.contains(p)) {
+      (void)storage_.flush(p);
+    }
+    if (cm != nullptr) cm->release(p, al.ctx.mode, al.dirty.contains(p));
+  }
+}
+
+Result<Bytes> Node::read(const LockContext& ctx, std::uint64_t offset,
+                         std::uint64_t len) {
+  auto it = active_locks_.find(ctx.id);
+  if (it == active_locks_.end()) return ErrorCode::kBadLock;
+  const ActiveLock& al = it->second;
+  if (offset + len > al.ctx.range.size) return ErrorCode::kBadArgument;
+  ++stats_.reads;
+
+  Bytes out(len);
+  const std::uint32_t psz = al.page_size;
+  std::uint64_t done = 0;
+  while (done < len) {
+    const GlobalAddress at = al.ctx.range.base.plus(offset + done);
+    const GlobalAddress page = at.page_floor(psz);
+    const std::uint64_t in_page = page.distance_to(at);
+    const std::uint64_t chunk = std::min<std::uint64_t>(len - done,
+                                                        psz - in_page);
+    const Bytes* data = storage_.get(page);
+    if (data == nullptr || data->size() < in_page + chunk) {
+      return ErrorCode::kInternal;  // locked pages must be resident
+    }
+    std::copy_n(data->begin() + static_cast<long>(in_page), chunk,
+                out.begin() + static_cast<long>(done));
+    done += chunk;
+  }
+  return out;
+}
+
+Status Node::write(const LockContext& ctx, std::uint64_t offset,
+                   std::span<const std::uint8_t> data) {
+  auto it = active_locks_.find(ctx.id);
+  if (it == active_locks_.end()) return ErrorCode::kBadLock;
+  ActiveLock& al = it->second;
+  if (!is_write(al.ctx.mode)) return ErrorCode::kBadLock;
+  if (offset + data.size() > al.ctx.range.size) return ErrorCode::kBadArgument;
+  ++stats_.writes;
+
+  const std::uint32_t psz = al.page_size;
+  std::uint64_t done = 0;
+  while (done < data.size()) {
+    const GlobalAddress at = al.ctx.range.base.plus(offset + done);
+    const GlobalAddress page = at.page_floor(psz);
+    const std::uint64_t in_page = page.distance_to(at);
+    const std::uint64_t chunk =
+        std::min<std::uint64_t>(data.size() - done, psz - in_page);
+    Bytes* stored = storage_.get_mutable(page);
+    if (stored == nullptr || stored->size() < in_page + chunk) {
+      return ErrorCode::kInternal;
+    }
+    std::copy_n(data.begin() + static_cast<long>(done), chunk,
+                stored->begin() + static_cast<long>(in_page));
+    al.dirty.insert(page);
+    done += chunk;
+  }
+  return {};
+}
+
+// ---------------------------------------------------------------------------
+// Attributes and location queries
+// ---------------------------------------------------------------------------
+
+void Node::getattr(const GlobalAddress& base, AttrCb cb) {
+  resolve(base, [this, base, cb = std::move(cb)](
+                    Result<RegionDescriptor> r) mutable {
+    if (!r) {
+      cb(r.error());
+      return;
+    }
+    const RegionDescriptor desc = r.value();
+    if (desc.primary_home() == config_.id) {
+      cb(desc.attrs);
+      return;
+    }
+    Encoder e;
+    e.addr(base);
+    rpc_retry(desc.home_nodes, MsgType::kGetAttrReq, std::move(e).take(),
+              config_.max_retries, [cb = std::move(cb)](bool ok, Decoder& d) mutable {
+                if (!ok) {
+                  cb(ErrorCode::kUnreachable);
+                  return;
+                }
+                const ErrorCode err = from_wire(d.u8());
+                if (err != ErrorCode::kOk) {
+                  cb(err);
+                  return;
+                }
+                cb(RegionAttrs::decode(d));
+              });
+  });
+}
+
+void Node::setattr(const GlobalAddress& base, const RegionAttrs& attrs,
+                   StatusCb cb) {
+  resolve(base, [this, base, attrs, cb = std::move(cb)](
+                    Result<RegionDescriptor> r) mutable {
+    if (!r) {
+      cb(r.error());
+      return;
+    }
+    const RegionDescriptor desc = r.value();
+    Encoder e;
+    e.addr(base);
+    attrs.encode(e);
+    e.u32(config_.principal);
+    rpc_retry(desc.home_nodes, MsgType::kSetAttrReq, std::move(e).take(),
+              config_.max_retries,
+              [this, base, cb = std::move(cb)](bool ok, Decoder& d) mutable {
+                if (!ok) {
+                  cb(ErrorCode::kUnreachable);
+                  return;
+                }
+                const ErrorCode err = from_wire(d.u8());
+                if (err == ErrorCode::kOk) regions_.invalidate(base);
+                cb(err == ErrorCode::kOk ? Status{} : Status{err});
+              });
+  });
+}
+
+void Node::locate(const GlobalAddress& addr, LocateCb cb) {
+  resolve(addr, [this, addr, cb = std::move(cb)](
+                    Result<RegionDescriptor> r) mutable {
+    if (!r) {
+      cb(r.error());
+      return;
+    }
+    const RegionDescriptor desc = r.value();
+    Encoder e;
+    e.addr(addr);
+    rpc_retry(desc.home_nodes, MsgType::kLocateReq, std::move(e).take(),
+              config_.max_retries,
+              [cb = std::move(cb)](bool ok, Decoder& d) mutable {
+                if (!ok) {
+                  cb(ErrorCode::kUnreachable);
+                  return;
+                }
+                const ErrorCode err = from_wire(d.u8());
+                if (err != ErrorCode::kOk) {
+                  cb(err);
+                  return;
+                }
+                std::vector<NodeId> nodes;
+                const std::uint32_t n = d.u32();
+                for (std::uint32_t i = 0; i < n && d.ok(); ++i) {
+                  nodes.push_back(d.u32());
+                }
+                cb(std::move(nodes));
+              });
+  });
+}
+
+void Node::migrate(const GlobalAddress& base, NodeId new_home, StatusCb cb) {
+  resolve(base, [this, base, new_home, cb = std::move(cb)](
+                    Result<RegionDescriptor> r) mutable {
+    if (!r) {
+      cb(r.error());
+      return;
+    }
+    const RegionDescriptor desc = r.value();
+    if (desc.range.base != base) {
+      cb(ErrorCode::kBadArgument);
+      return;
+    }
+    if (!desc.attrs.acl.allows(config_.principal, /*write=*/true)) {
+      cb(ErrorCode::kAccessDenied);
+      return;
+    }
+    Encoder e;
+    e.addr(base);
+    e.u32(new_home);
+    rpc_retry(desc.home_nodes, MsgType::kMigrateReq, std::move(e).take(),
+              config_.max_retries,
+              [this, base, cb = std::move(cb)](bool ok, Decoder& d) mutable {
+                if (!ok) {
+                  cb(ErrorCode::kUnreachable);
+                  return;
+                }
+                const ErrorCode err = from_wire(d.u8());
+                if (err == ErrorCode::kOk) regions_.invalidate(base);
+                cb(err == ErrorCode::kOk ? Status{} : Status{err});
+              });
+  });
+}
+
+void Node::replicate_to(const GlobalAddress& base, NodeId target,
+                        StatusCb cb) {
+  resolve(base, [this, base, target, cb = std::move(cb)](
+                    Result<RegionDescriptor> r) mutable {
+    if (!r) {
+      cb(r.error());
+      return;
+    }
+    Encoder e;
+    e.addr(base);
+    e.u32(target);
+    rpc_retry(r.value().home_nodes, MsgType::kReplicateToReq,
+              std::move(e).take(), config_.max_retries,
+              [cb = std::move(cb)](bool ok, Decoder& d) mutable {
+                if (!ok) {
+                  cb(ErrorCode::kUnreachable);
+                  return;
+                }
+                const ErrorCode err = from_wire(d.u8());
+                cb(err == ErrorCode::kOk ? Status{} : Status{err});
+              });
+  });
+}
+
+// ---------------------------------------------------------------------------
+// Three-level location lookup (Section 3.2)
+// ---------------------------------------------------------------------------
+
+void Node::resolve(const GlobalAddress& addr, DescCb cb) {
+  // Level 0: well-known bootstrap region.
+  if (AddressRange{kMapRegionBase, kMapRegionSize}.contains(addr)) {
+    cb(map_region_descriptor(config_.genesis));
+    return;
+  }
+  // Level 0b: regions homed here are authoritative.
+  auto it = homed_regions_.upper_bound(addr);
+  if (it != homed_regions_.begin()) {
+    const auto& [base, desc] = *std::prev(it);
+    if (desc.range.contains(addr)) {
+      cb(desc);
+      return;
+    }
+  }
+  // Level 1: region directory (possibly stale; used optimistically).
+  if (auto cached = regions_.lookup(addr)) {
+    ++stats_.resolve_cache_hits;
+    cb(*cached);
+    return;
+  }
+  resolve_via_manager(addr, std::move(cb));
+}
+
+void Node::resolve_via_manager(const GlobalAddress& addr, DescCb cb) {
+  // Level 2: the cluster manager's hint cache.
+  if (is_manager()) {
+    const auto nodes = cluster_.hint(addr);
+    if (!nodes.empty()) {
+      ++stats_.resolve_manager_hits;
+      fetch_descriptor(nodes, 0, addr, std::move(cb));
+    } else {
+      resolve_via_map_walk(addr, std::move(cb));
+    }
+    return;
+  }
+  Encoder e;
+  e.addr(addr);
+  rpc_retry(managers(), MsgType::kHintQueryReq, std::move(e).take(),
+      static_cast<int>(managers().size()),
+      [this, addr, cb = std::move(cb)](bool ok, Decoder& d) mutable {
+        if (ok) {
+          const ErrorCode err = from_wire(d.u8());
+          if (err == ErrorCode::kOk) {
+            std::vector<NodeId> nodes;
+            const std::uint32_t n = d.u32();
+            for (std::uint32_t i = 0; i < n && d.ok(); ++i) {
+              nodes.push_back(d.u32());
+            }
+            if (!nodes.empty()) {
+              ++stats_.resolve_manager_hits;
+              fetch_descriptor(std::move(nodes), 0, addr, std::move(cb));
+              return;
+            }
+          }
+        }
+        // Level 3: walk the address-map tree.
+        resolve_via_map_walk(addr, std::move(cb));
+      });
+}
+
+void Node::resolve_via_map_walk(const GlobalAddress& addr, DescCb cb) {
+  ++stats_.resolve_map_walks;
+  map_walk_step(0, addr, 0, std::move(cb));
+}
+
+void Node::map_walk_step(std::uint32_t page_index, GlobalAddress addr,
+                         int depth, DescCb cb) {
+  fetch_map_page(page_index, [this, addr, depth, cb = std::move(cb)](
+                                 Result<Bytes> r) mutable {
+    if (!r) {
+      resolve_via_cluster_walk(addr, std::move(cb));
+      return;
+    }
+    const auto step = AddressMap::walk_step(r.value(), addr);
+    if (step.found) {
+      fetch_descriptor(step.entry.homes, 0, addr, std::move(cb));
+      return;
+    }
+    if (step.descend && depth < 16) {
+      map_walk_step(step.child, addr, depth + 1, std::move(cb));
+      return;
+    }
+    // Not in the map (lagging registration) — cluster walk (Section 3.1:
+    // "If the set of nodes specified in a given region's address map entry
+    // is stale, the region can still be located using a cluster-walk
+    // algorithm").
+    resolve_via_cluster_walk(addr, std::move(cb));
+  });
+}
+
+void Node::fetch_map_page(std::uint32_t index,
+                          std::function<void(Result<Bytes>)> cb) {
+  if (map_ != nullptr) {
+    cb(map_store_->read_page(index));
+    return;
+  }
+  const GlobalAddress addr = kMapRegionBase.plus(
+      static_cast<std::uint64_t>(index) * kDefaultPageSize);
+  auto* cm = cm_for(ProtocolId::kRelease);
+  cm->acquire(addr, LockMode::kRead, [this, addr, cb = std::move(cb)](
+                                         Status s) mutable {
+    if (!s.ok()) {
+      cb(s.error());
+      return;
+    }
+    const Bytes* data = storage_.get(addr);
+    Bytes copy = data != nullptr ? *data : Bytes(kDefaultPageSize, 0);
+    cm_for(ProtocolId::kRelease)->release(addr, LockMode::kRead, false);
+    cb(std::move(copy));
+  });
+}
+
+void Node::fetch_descriptor(std::vector<NodeId> candidates, std::size_t next,
+                            const GlobalAddress& addr, DescCb cb) {
+  // Skip self (we would have answered from homed_regions_ already).
+  while (next < candidates.size() && candidates[next] == config_.id) ++next;
+  if (next >= candidates.size()) {
+    resolve_via_cluster_walk(addr, std::move(cb));
+    return;
+  }
+  Encoder e;
+  e.addr(addr);
+  // Hoist the target: the capture below moves `candidates`, and argument
+  // evaluation order is unspecified.
+  const NodeId target = candidates[next];
+  rpc(target, MsgType::kDescLookupReq, std::move(e).take(),
+      [this, candidates = std::move(candidates), next, addr,
+       cb = std::move(cb)](bool ok, Decoder& d) mutable {
+        if (ok) {
+          const ErrorCode err = from_wire(d.u8());
+          if (err == ErrorCode::kOk) {
+            RegionDescriptor desc = RegionDescriptor::decode(d);
+            regions_.insert(desc);
+            cb(std::move(desc));
+            return;
+          }
+        }
+        // Stale hint: "the use of a stale home pointer will simply result
+        // in a message being sent to a node that no longer is home"
+        // (Section 3.2) — try the next candidate.
+        fetch_descriptor(std::move(candidates), next + 1, addr,
+                         std::move(cb));
+      });
+}
+
+void Node::resolve_via_cluster_walk(const GlobalAddress& addr, DescCb cb) {
+  ++stats_.resolve_cluster_walks;
+  std::vector<NodeId> targets;
+  for (NodeId n : membership()) {
+    if (n != config_.id) targets.push_back(n);
+  }
+  if (targets.empty()) {
+    cb(ErrorCode::kUnreachable);
+    return;
+  }
+  struct WalkState {
+    std::size_t remaining;
+    bool done = false;
+    DescCb cb;
+  };
+  auto st = std::make_shared<WalkState>();
+  st->remaining = targets.size();
+  st->cb = std::move(cb);
+  for (NodeId t : targets) {
+    Encoder e;
+    e.addr(addr);
+    rpc(t, MsgType::kClusterWalkReq, std::move(e).take(),
+        [this, st](bool ok, Decoder& d) {
+          if (st->done) return;
+          if (ok && d.boolean()) {
+            RegionDescriptor desc = RegionDescriptor::decode(d);
+            st->done = true;
+            regions_.insert(desc);
+            st->cb(std::move(desc));
+            return;
+          }
+          if (--st->remaining == 0) {
+            st->done = true;
+            st->cb(ErrorCode::kUnreachable);
+          }
+        });
+  }
+}
+
+}  // namespace khz::core

@@ -1,0 +1,62 @@
+#include "core/region.h"
+
+namespace khz::core {
+
+void RegionAttrs::encode(Encoder& e) const {
+  e.u32(page_size);
+  e.u8(static_cast<std::uint8_t>(level));
+  e.u8(static_cast<std::uint8_t>(protocol));
+  e.u32(acl.owner);
+  e.boolean(acl.world_read);
+  e.boolean(acl.world_write);
+  e.u32(min_replicas);
+}
+
+RegionAttrs RegionAttrs::decode(Decoder& d) {
+  RegionAttrs a;
+  a.page_size = d.u32();
+  a.level = static_cast<ConsistencyLevel>(d.u8());
+  a.protocol = static_cast<consistency::ProtocolId>(d.u8());
+  a.acl.owner = d.u32();
+  a.acl.world_read = d.boolean();
+  a.acl.world_write = d.boolean();
+  a.min_replicas = d.u32();
+  return a;
+}
+
+void RegionDescriptor::encode(Encoder& e) const {
+  e.range(range);
+  attrs.encode(e);
+  e.u32(static_cast<std::uint32_t>(home_nodes.size()));
+  for (NodeId n : home_nodes) e.u32(n);
+  e.boolean(allocated);
+}
+
+RegionDescriptor RegionDescriptor::decode(Decoder& d) {
+  RegionDescriptor r;
+  r.range = d.range();
+  r.attrs = RegionAttrs::decode(d);
+  const std::uint32_t n = d.u32();
+  // Wire data is untrusted: never size containers from a raw count. A
+  // region has at most a handful of recorded homes (kMaxHomes in the map).
+  constexpr std::uint32_t kSaneHomeLimit = 16;
+  for (std::uint32_t i = 0; i < n && i < kSaneHomeLimit && d.ok(); ++i) {
+    r.home_nodes.push_back(d.u32());
+  }
+  r.allocated = d.boolean();
+  return r;
+}
+
+RegionDescriptor map_region_descriptor(NodeId genesis) {
+  RegionDescriptor r;
+  r.range = {kMapRegionBase, kMapRegionSize};
+  r.attrs.page_size = kDefaultPageSize;
+  r.attrs.level = ConsistencyLevel::kRelaxed;
+  r.attrs.protocol = consistency::ProtocolId::kRelease;
+  r.attrs.min_replicas = 1;
+  r.home_nodes = {genesis};
+  r.allocated = true;
+  return r;
+}
+
+}  // namespace khz::core

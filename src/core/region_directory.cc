@@ -1,0 +1,52 @@
+#include "core/region_directory.h"
+
+namespace khz::core {
+
+std::optional<RegionDescriptor> RegionDirectory::lookup(
+    const GlobalAddress& addr) {
+  // Find the last entry with base <= addr, then verify containment.
+  auto it = cache_.upper_bound(addr);
+  if (it == cache_.begin()) {
+    ++stats_.misses;
+    return std::nullopt;
+  }
+  --it;
+  if (!it->second.desc.range.contains(addr)) {
+    ++stats_.misses;
+    return std::nullopt;
+  }
+  lru_.erase(it->second.lru_pos);
+  lru_.push_front(it->first);
+  it->second.lru_pos = lru_.begin();
+  ++stats_.hits;
+  return it->second.desc;
+}
+
+void RegionDirectory::insert(const RegionDescriptor& desc) {
+  auto it = cache_.find(desc.range.base);
+  if (it != cache_.end()) {
+    it->second.desc = desc;
+    lru_.erase(it->second.lru_pos);
+    lru_.push_front(it->first);
+    it->second.lru_pos = lru_.begin();
+    return;
+  }
+  lru_.push_front(desc.range.base);
+  cache_.emplace(desc.range.base, Entry{desc, lru_.begin()});
+  while (capacity_ != 0 && cache_.size() > capacity_) {
+    const GlobalAddress victim = lru_.back();
+    lru_.pop_back();
+    cache_.erase(victim);
+  }
+}
+
+void RegionDirectory::invalidate(const GlobalAddress& addr) {
+  auto it = cache_.upper_bound(addr);
+  if (it == cache_.begin()) return;
+  --it;
+  if (!it->second.desc.range.contains(addr)) return;
+  lru_.erase(it->second.lru_pos);
+  cache_.erase(it);
+}
+
+}  // namespace khz::core

@@ -1,0 +1,54 @@
+// Per-node cache of recently used region descriptors (paper, Section 3.2).
+//
+// "To avoid expensive remote lookups, Khazana maintains a cache of recently
+// used region descriptors called the region directory. The region directory
+// is not kept globally consistent, and thus may contain stale data, but
+// this is not a problem... the use of a stale home pointer will simply
+// result in a message being sent to a node that no longer is home to the
+// object."
+#pragma once
+
+#include <list>
+#include <map>
+#include <optional>
+
+#include "core/region.h"
+
+namespace khz::core {
+
+class RegionDirectory {
+ public:
+  explicit RegionDirectory(std::size_t capacity = 1024)
+      : capacity_(capacity) {}
+
+  /// Descriptor of the region containing `addr`, if cached.
+  [[nodiscard]] std::optional<RegionDescriptor> lookup(
+      const GlobalAddress& addr);
+
+  /// Inserts or refreshes a descriptor (keyed by region base).
+  void insert(const RegionDescriptor& desc);
+
+  /// Drops the cached descriptor covering `addr` (stale-hint recovery).
+  void invalidate(const GlobalAddress& addr);
+
+  [[nodiscard]] std::size_t size() const { return cache_.size(); }
+
+  struct Stats {
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+  };
+  [[nodiscard]] const Stats& stats() const { return stats_; }
+
+ private:
+  struct Entry {
+    RegionDescriptor desc;
+    std::list<GlobalAddress>::iterator lru_pos;
+  };
+
+  std::size_t capacity_;
+  std::map<GlobalAddress, Entry> cache_;  // keyed by region base
+  std::list<GlobalAddress> lru_;          // front = most recent
+  Stats stats_;
+};
+
+}  // namespace khz::core

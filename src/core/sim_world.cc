@@ -1,0 +1,205 @@
+#include "core/sim_world.h"
+
+namespace khz::core {
+
+namespace {
+NodeConfig make_config(const SimWorldOptions& opts, NodeId id,
+                       std::size_t count) {
+  NodeConfig cfg;
+  cfg.id = id;
+  cfg.genesis = 0;
+  cfg.cluster_manager = 0;
+  for (std::size_t m = 0; m < opts.managers && m < count; ++m) {
+    cfg.cluster_managers.push_back(static_cast<NodeId>(m));
+  }
+  for (std::size_t p = 0; p < count; ++p) {
+    cfg.peers.push_back(static_cast<NodeId>(p));
+  }
+  cfg.ram_pages = opts.ram_pages;
+  if (!opts.disk_root.empty()) {
+    cfg.disk_dir = opts.disk_root / ("node" + std::to_string(id));
+    cfg.disk_pages = opts.disk_pages;
+  }
+  cfg.rpc_timeout = opts.rpc_timeout;
+  cfg.max_retries = opts.max_retries;
+  cfg.ping_interval = opts.ping_interval;
+  cfg.seed = opts.seed;
+  return cfg;
+}
+}  // namespace
+
+SimWorld::SimWorld(SimWorldOptions opts)
+    : opts_(std::move(opts)), net_(opts_.seed) {
+  net_.set_default_link(opts_.link);
+  nodes_.reserve(opts_.nodes);
+  for (std::size_t i = 0; i < opts_.nodes; ++i) {
+    const auto id = static_cast<NodeId>(i);
+    auto& transport = net_.add_node(id);
+    nodes_.push_back(
+        std::make_unique<Node>(make_config(opts_, id, opts_.nodes),
+                               transport));
+  }
+  for (auto& n : nodes_) n->start();
+  // Let joins/bootstrap settle.
+  net_.run_for(opts_.rpc_timeout);
+}
+
+SimWorld::~SimWorld() = default;
+
+void SimWorld::restart_node(NodeId id) {
+  // Model a crash+reboot: the Node object (all volatile state) is rebuilt
+  // from the persistent store; the SimTransport endpoint keeps the node's
+  // network identity across the restart.
+  net_.set_node_up(id, false);
+  nodes_[id] = nullptr;  // crash: volatile state gone
+  net_.set_node_up(id, true);
+  auto* ep = net_.endpoint(id);
+  nodes_[id] =
+      std::make_unique<Node>(make_config(opts_, id, nodes_.size()), *ep);
+  nodes_[id]->start();
+  net_.run_for(opts_.rpc_timeout);
+}
+
+bool SimWorld::pump_until(const std::function<bool()>& done,
+                          std::size_t limit) {
+  return net_.run_until(done, limit);
+}
+
+// ---------------------------------------------------------------------------
+// Blocking wrappers
+// ---------------------------------------------------------------------------
+
+Result<GlobalAddress> SimWorld::reserve(NodeId n, std::uint64_t size,
+                                        const RegionAttrs& attrs) {
+  std::optional<Result<GlobalAddress>> out;
+  node(n).reserve(size, attrs, [&](Result<GlobalAddress> r) {
+    out = std::move(r);
+  });
+  pump_until([&] { return out.has_value(); });
+  return out.value_or(Result<GlobalAddress>{ErrorCode::kTimeout});
+}
+
+Status SimWorld::unreserve(NodeId n, const GlobalAddress& base) {
+  std::optional<Status> out;
+  node(n).unreserve(base, [&](Status s) { out = s; });
+  pump_until([&] { return out.has_value(); });
+  return out.value_or(ErrorCode::kTimeout);
+}
+
+Status SimWorld::allocate(NodeId n, const AddressRange& range) {
+  std::optional<Status> out;
+  node(n).allocate(range, [&](Status s) { out = s; });
+  pump_until([&] { return out.has_value(); });
+  return out.value_or(ErrorCode::kTimeout);
+}
+
+Status SimWorld::deallocate(NodeId n, const AddressRange& range) {
+  std::optional<Status> out;
+  node(n).deallocate(range, [&](Status s) { out = s; });
+  pump_until([&] { return out.has_value(); });
+  return out.value_or(ErrorCode::kTimeout);
+}
+
+Result<consistency::LockContext> SimWorld::lock(NodeId n,
+                                                const AddressRange& range,
+                                                consistency::LockMode mode) {
+  std::optional<Result<consistency::LockContext>> out;
+  node(n).lock(range, mode, [&](Result<consistency::LockContext> r) {
+    out = std::move(r);
+  });
+  pump_until([&] { return out.has_value(); });
+  return out.value_or(
+      Result<consistency::LockContext>{ErrorCode::kTimeout});
+}
+
+void SimWorld::unlock(NodeId n, const consistency::LockContext& ctx) {
+  node(n).unlock(ctx);
+  // Drain the release-side protocol traffic this triggered.
+  net_.run_for(1);
+}
+
+Result<Bytes> SimWorld::read(NodeId n, const consistency::LockContext& ctx,
+                             std::uint64_t offset, std::uint64_t len) {
+  return node(n).read(ctx, offset, len);
+}
+
+Status SimWorld::write(NodeId n, const consistency::LockContext& ctx,
+                       std::uint64_t offset,
+                       std::span<const std::uint8_t> data) {
+  return node(n).write(ctx, offset, data);
+}
+
+Result<RegionAttrs> SimWorld::getattr(NodeId n, const GlobalAddress& base) {
+  std::optional<Result<RegionAttrs>> out;
+  node(n).getattr(base, [&](Result<RegionAttrs> r) { out = std::move(r); });
+  pump_until([&] { return out.has_value(); });
+  return out.value_or(Result<RegionAttrs>{ErrorCode::kTimeout});
+}
+
+Status SimWorld::setattr(NodeId n, const GlobalAddress& base,
+                         const RegionAttrs& attrs) {
+  std::optional<Status> out;
+  node(n).setattr(base, attrs, [&](Status s) { out = s; });
+  pump_until([&] { return out.has_value(); });
+  return out.value_or(ErrorCode::kTimeout);
+}
+
+Result<std::vector<NodeId>> SimWorld::locate(NodeId n,
+                                             const GlobalAddress& addr) {
+  std::optional<Result<std::vector<NodeId>>> out;
+  node(n).locate(addr, [&](Result<std::vector<NodeId>> r) {
+    out = std::move(r);
+  });
+  pump_until([&] { return out.has_value(); });
+  return out.value_or(Result<std::vector<NodeId>>{ErrorCode::kTimeout});
+}
+
+Status SimWorld::migrate(NodeId n, const GlobalAddress& base,
+                         NodeId new_home) {
+  std::optional<Status> out;
+  node(n).migrate(base, new_home, [&](Status s) { out = s; });
+  pump_until([&] { return out.has_value(); });
+  return out.value_or(ErrorCode::kTimeout);
+}
+
+Status SimWorld::replicate_to(NodeId n, const GlobalAddress& base,
+                              NodeId target) {
+  std::optional<Status> out;
+  node(n).replicate_to(base, target, [&](Status s) { out = s; });
+  pump_until([&] { return out.has_value(); });
+  return out.value_or(ErrorCode::kTimeout);
+}
+
+// ---------------------------------------------------------------------------
+// Composites
+// ---------------------------------------------------------------------------
+
+Result<GlobalAddress> SimWorld::create_region(NodeId n, std::uint64_t size,
+                                              const RegionAttrs& attrs) {
+  auto base = reserve(n, size, attrs);
+  if (!base) return base;
+  const std::uint64_t aligned =
+      (size + attrs.page_size - 1) / attrs.page_size * attrs.page_size;
+  const Status s = allocate(n, {base.value(), aligned});
+  if (!s.ok()) return s.error();
+  return base;
+}
+
+Status SimWorld::put(NodeId n, const AddressRange& range,
+                     std::span<const std::uint8_t> data) {
+  auto ctx = lock(n, range, consistency::LockMode::kWrite);
+  if (!ctx) return ctx.error();
+  const Status s = write(n, ctx.value(), 0, data);
+  unlock(n, ctx.value());
+  return s;
+}
+
+Result<Bytes> SimWorld::get(NodeId n, const AddressRange& range) {
+  auto ctx = lock(n, range, consistency::LockMode::kRead);
+  if (!ctx) return ctx.error();
+  auto r = read(n, ctx.value(), 0, range.size);
+  unlock(n, ctx.value());
+  return r;
+}
+
+}  // namespace khz::core

@@ -1,0 +1,95 @@
+// SimWorld: a whole Khazana deployment on the discrete-event simulator,
+// with blocking convenience wrappers around the asynchronous node API.
+//
+// This is the workhorse for tests, benchmarks and examples: construct a
+// world of N peers, then call reserve/allocate/lock/read/write/unlock as
+// plain blocking functions — each one issues the async operation and pumps
+// the simulator until its completion callback fires, so virtual time and
+// message counts accumulate exactly as they would in a real run.
+#pragma once
+
+#include <filesystem>
+#include <memory>
+#include <vector>
+
+#include "core/node.h"
+#include "net/sim_network.h"
+
+namespace khz::core {
+
+struct SimWorldOptions {
+  std::size_t nodes = 3;
+  /// Number of cluster managers (node ids 0..managers-1).
+  std::size_t managers = 1;
+  net::LinkProfile link = net::LinkProfile::lan();
+  std::size_t ram_pages = 4096;
+  /// Non-empty: every node gets a DiskStore under <disk_root>/node<i>.
+  std::filesystem::path disk_root;
+  std::size_t disk_pages = 0;
+  Micros rpc_timeout = 200'000;
+  int max_retries = 3;
+  Micros ping_interval = 0;
+  std::uint64_t seed = 1;
+};
+
+class SimWorld {
+ public:
+  explicit SimWorld(SimWorldOptions opts = {});
+  ~SimWorld();
+
+  SimWorld(const SimWorld&) = delete;
+  SimWorld& operator=(const SimWorld&) = delete;
+
+  [[nodiscard]] net::SimNetwork& net() { return net_; }
+  [[nodiscard]] Node& node(NodeId id) { return *nodes_.at(id); }
+  [[nodiscard]] std::size_t size() const { return nodes_.size(); }
+
+  /// Restarts a crashed node with fresh volatile state (same disk).
+  /// Requires a disk_root (otherwise all state is volatile and the node
+  /// comes back empty).
+  void restart_node(NodeId id);
+
+  /// Pumps the network until `done` is true; returns false if the event
+  /// queue drained or `limit` events ran first.
+  bool pump_until(const std::function<bool()>& done,
+                  std::size_t limit = 5'000'000);
+  /// Pumps everything currently queued within `duration` of virtual time.
+  void pump_for(Micros duration) { net_.run_for(duration); }
+
+  // --- blocking operation wrappers (issue on node `n`, pump to done) ----
+  Result<GlobalAddress> reserve(NodeId n, std::uint64_t size,
+                                const RegionAttrs& attrs = {});
+  Status unreserve(NodeId n, const GlobalAddress& base);
+  Status allocate(NodeId n, const AddressRange& range);
+  Status deallocate(NodeId n, const AddressRange& range);
+  Result<consistency::LockContext> lock(NodeId n, const AddressRange& range,
+                                        consistency::LockMode mode);
+  void unlock(NodeId n, const consistency::LockContext& ctx);
+  Result<Bytes> read(NodeId n, const consistency::LockContext& ctx,
+                     std::uint64_t offset, std::uint64_t len);
+  Status write(NodeId n, const consistency::LockContext& ctx,
+               std::uint64_t offset, std::span<const std::uint8_t> data);
+  Result<RegionAttrs> getattr(NodeId n, const GlobalAddress& base);
+  Status setattr(NodeId n, const GlobalAddress& base,
+                 const RegionAttrs& attrs);
+  Result<std::vector<NodeId>> locate(NodeId n, const GlobalAddress& addr);
+  Status migrate(NodeId n, const GlobalAddress& base, NodeId new_home);
+  Status replicate_to(NodeId n, const GlobalAddress& base, NodeId target);
+
+  // --- composite conveniences -------------------------------------------
+  /// reserve + allocate in one step.
+  Result<GlobalAddress> create_region(NodeId n, std::uint64_t size,
+                                      const RegionAttrs& attrs = {});
+  /// lock(write) + write + unlock.
+  Status put(NodeId n, const AddressRange& range,
+             std::span<const std::uint8_t> data);
+  /// lock(read) + read + unlock.
+  Result<Bytes> get(NodeId n, const AddressRange& range);
+
+ private:
+  SimWorldOptions opts_;
+  net::SimNetwork net_;
+  std::vector<std::unique_ptr<Node>> nodes_;
+};
+
+}  // namespace khz::core

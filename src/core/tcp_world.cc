@@ -1,0 +1,43 @@
+#include "core/tcp_world.h"
+
+namespace khz::core {
+
+TcpWorld::TcpWorld(TcpWorldOptions opts) : bus_(opts.base_port) {
+  transports_.reserve(opts.nodes);
+  nodes_.reserve(opts.nodes);
+  for (std::size_t i = 0; i < opts.nodes; ++i) {
+    const auto id = static_cast<NodeId>(i);
+    transports_.push_back(&bus_.add_node(id));
+  }
+  for (std::size_t i = 0; i < opts.nodes; ++i) {
+    const auto id = static_cast<NodeId>(i);
+    NodeConfig cfg;
+    cfg.id = id;
+    cfg.genesis = 0;
+    cfg.cluster_manager = 0;
+    for (std::size_t p = 0; p < opts.nodes; ++p) {
+      cfg.peers.push_back(static_cast<NodeId>(p));
+    }
+    cfg.ram_pages = opts.ram_pages;
+    if (!opts.disk_root.empty()) {
+      cfg.disk_dir = opts.disk_root / ("node" + std::to_string(id));
+    }
+    cfg.rpc_timeout = opts.rpc_timeout;
+    cfg.max_retries = opts.max_retries;
+    cfg.ping_interval = opts.ping_interval;
+    cfg.seed = opts.seed;
+    nodes_.push_back(std::make_unique<Node>(std::move(cfg), *transports_[i]));
+  }
+  for (std::size_t i = 0; i < opts.nodes; ++i) {
+    const auto id = static_cast<NodeId>(i);
+    transports_[i]->run_on_executor([&, id] { nodes_[id]->start(); });
+  }
+}
+
+TcpWorld::~TcpWorld() {
+  // Stop transports first so no executor callback touches a dead Node.
+  bus_.stop_all();
+  nodes_.clear();
+}
+
+}  // namespace khz::core

@@ -1,0 +1,154 @@
+// TcpWorld: a Khazana deployment over real localhost TCP sockets.
+//
+// The same Node code as SimWorld, but each node runs on its own executor
+// thread and messages travel through the kernel's TCP stack. TcpClient
+// provides the blocking SyncClient surface by posting operations onto the
+// node's executor and waiting on a condition variable. Used by the
+// integration tests to demonstrate that the node logic is genuinely
+// transport-agnostic (paper, Section 5: "only the messaging layer is
+// system dependent").
+#pragma once
+
+#include <condition_variable>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <vector>
+
+#include "core/client.h"
+#include "core/node.h"
+#include "net/tcp_transport.h"
+
+namespace khz::core {
+
+struct TcpWorldOptions {
+  std::size_t nodes = 3;
+  std::uint16_t base_port = 39000;
+  std::size_t ram_pages = 4096;
+  std::filesystem::path disk_root;
+  Micros rpc_timeout = 500'000;
+  int max_retries = 3;
+  Micros ping_interval = 0;
+  std::uint64_t seed = 1;
+};
+
+class TcpWorld {
+ public:
+  explicit TcpWorld(TcpWorldOptions opts = {});
+  ~TcpWorld();
+
+  TcpWorld(const TcpWorld&) = delete;
+  TcpWorld& operator=(const TcpWorld&) = delete;
+
+  [[nodiscard]] Node& node(NodeId id) { return *nodes_.at(id); }
+  [[nodiscard]] net::TcpTransport& transport(NodeId id) {
+    return *transports_.at(id);
+  }
+  [[nodiscard]] std::size_t size() const { return nodes_.size(); }
+
+ private:
+  net::TcpBus bus_;
+  std::vector<net::TcpTransport*> transports_;
+  std::vector<std::unique_ptr<Node>> nodes_;
+};
+
+/// Blocking SyncClient over a TcpWorld node. Operations are posted to the
+/// node's executor thread; the calling thread blocks until the completion
+/// callback fires.
+class TcpClient final : public SyncClient {
+ public:
+  TcpClient(TcpWorld& world, NodeId node) : world_(world), node_(node) {}
+
+  Result<GlobalAddress> reserve(std::uint64_t size,
+                                const RegionAttrs& attrs) override {
+    return wait<Result<GlobalAddress>>([&](auto done) {
+      world_.node(node_).reserve(size, attrs, done);
+    });
+  }
+  Status unreserve(const GlobalAddress& base) override {
+    return wait<Status>([&](auto done) {
+      world_.node(node_).unreserve(base, done);
+    });
+  }
+  Status allocate(const AddressRange& range) override {
+    return wait<Status>([&](auto done) {
+      world_.node(node_).allocate(range, done);
+    });
+  }
+  Status deallocate(const AddressRange& range) override {
+    return wait<Status>([&](auto done) {
+      world_.node(node_).deallocate(range, done);
+    });
+  }
+  Result<consistency::LockContext> lock(
+      const AddressRange& range, consistency::LockMode mode) override {
+    return wait<Result<consistency::LockContext>>([&](auto done) {
+      world_.node(node_).lock(range, mode, done);
+    });
+  }
+  void unlock(const consistency::LockContext& ctx) override {
+    world_.transport(node_).run_on_executor(
+        [&] { world_.node(node_).unlock(ctx); });
+  }
+  Result<Bytes> read(const consistency::LockContext& ctx,
+                     std::uint64_t offset, std::uint64_t len) override {
+    std::optional<Result<Bytes>> out;
+    world_.transport(node_).run_on_executor(
+        [&] { out = world_.node(node_).read(ctx, offset, len); });
+    return std::move(out).value();
+  }
+  Status write(const consistency::LockContext& ctx, std::uint64_t offset,
+               std::span<const std::uint8_t> data) override {
+    std::optional<Status> out;
+    world_.transport(node_).run_on_executor(
+        [&] { out = world_.node(node_).write(ctx, offset, data); });
+    return out.value();
+  }
+  Result<RegionAttrs> getattr(const GlobalAddress& base) override {
+    return wait<Result<RegionAttrs>>([&](auto done) {
+      world_.node(node_).getattr(base, done);
+    });
+  }
+  Status setattr(const GlobalAddress& base,
+                 const RegionAttrs& attrs) override {
+    return wait<Status>([&](auto done) {
+      world_.node(node_).setattr(base, attrs, done);
+    });
+  }
+  Result<std::vector<NodeId>> locate(const GlobalAddress& addr) override {
+    return wait<Result<std::vector<NodeId>>>([&](auto done) {
+      world_.node(node_).locate(addr, done);
+    });
+  }
+  [[nodiscard]] NodeId node_id() const override { return node_; }
+
+ private:
+  /// Posts `start(done)` to the node executor; blocks until `done(result)`
+  /// fires (possibly much later, from a different executor callback).
+  template <typename R, typename Start>
+  R wait(Start start) {
+    auto state = std::make_shared<WaitState<R>>();
+    world_.transport(node_).run_on_executor([&] {
+      start([state](R r) {
+        std::lock_guard lk(state->mu);
+        state->result = std::move(r);
+        state->cv.notify_one();
+      });
+    });
+    std::unique_lock lk(state->mu);
+    state->cv.wait(lk, [&] { return state->result.has_value(); });
+    return std::move(*state->result);
+  }
+
+  template <typename R>
+  struct WaitState {
+    std::mutex mu;
+    std::condition_variable cv;
+    std::optional<R> result;
+  };
+
+  TcpWorld& world_;
+  NodeId node_;
+};
+
+}  // namespace khz::core

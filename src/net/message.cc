@@ -1,0 +1,75 @@
+#include "net/message.h"
+
+namespace khz::net {
+
+std::string_view to_string(MsgType t) {
+  switch (t) {
+    case MsgType::kJoinReq: return "JoinReq";
+    case MsgType::kJoinResp: return "JoinResp";
+    case MsgType::kNodeListGossip: return "NodeListGossip";
+    case MsgType::kLeave: return "Leave";
+    case MsgType::kReserveReq: return "ReserveReq";
+    case MsgType::kReserveResp: return "ReserveResp";
+    case MsgType::kUnreserveReq: return "UnreserveReq";
+    case MsgType::kUnreserveResp: return "UnreserveResp";
+    case MsgType::kSpaceReq: return "SpaceReq";
+    case MsgType::kSpaceResp: return "SpaceResp";
+    case MsgType::kDescLookupReq: return "DescLookupReq";
+    case MsgType::kDescLookupResp: return "DescLookupResp";
+    case MsgType::kHintQueryReq: return "HintQueryReq";
+    case MsgType::kHintQueryResp: return "HintQueryResp";
+    case MsgType::kHintPublish: return "HintPublish";
+    case MsgType::kClusterWalkReq: return "ClusterWalkReq";
+    case MsgType::kClusterWalkResp: return "ClusterWalkResp";
+    case MsgType::kAllocReq: return "AllocReq";
+    case MsgType::kAllocResp: return "AllocResp";
+    case MsgType::kFreeReq: return "FreeReq";
+    case MsgType::kFreeResp: return "FreeResp";
+    case MsgType::kGetAttrReq: return "GetAttrReq";
+    case MsgType::kGetAttrResp: return "GetAttrResp";
+    case MsgType::kSetAttrReq: return "SetAttrReq";
+    case MsgType::kSetAttrResp: return "SetAttrResp";
+    case MsgType::kPageFetchReq: return "PageFetchReq";
+    case MsgType::kPageFetchResp: return "PageFetchResp";
+    case MsgType::kReplicaPush: return "ReplicaPush";
+    case MsgType::kReplicaDrop: return "ReplicaDrop";
+    case MsgType::kCm: return "Cm";
+    case MsgType::kMapMutateReq: return "MapMutateReq";
+    case MsgType::kMapMutateResp: return "MapMutateResp";
+    case MsgType::kLocateReq: return "LocateReq";
+    case MsgType::kLocateResp: return "LocateResp";
+    case MsgType::kPing: return "Ping";
+    case MsgType::kPong: return "Pong";
+    case MsgType::kObjInvokeReq: return "ObjInvokeReq";
+    case MsgType::kObjInvokeResp: return "ObjInvokeResp";
+    case MsgType::kMigrateReq: return "MigrateReq";
+    case MsgType::kMigrateResp: return "MigrateResp";
+    case MsgType::kMigrateData: return "MigrateData";
+    case MsgType::kMigrateDataResp: return "MigrateDataResp";
+    case MsgType::kReplicateToReq: return "ReplicateToReq";
+    case MsgType::kReplicateToResp: return "ReplicateToResp";
+  }
+  return "?";
+}
+
+Bytes Message::encode() const {
+  Encoder e;
+  e.u16(static_cast<std::uint16_t>(type));
+  e.u32(src);
+  e.u32(dst);
+  e.u64(rpc_id);
+  e.bytes(payload);
+  return std::move(e).take();
+}
+
+bool Message::decode(std::span<const std::uint8_t> wire, Message& out) {
+  Decoder d(wire);
+  out.type = static_cast<MsgType>(d.u16());
+  out.src = d.u32();
+  out.dst = d.u32();
+  out.rpc_id = d.u64();
+  out.payload = d.bytes();
+  return d.at_end();
+}
+
+}  // namespace khz::net

@@ -1,0 +1,111 @@
+// Inter-node message envelope.
+//
+// Every byte that crosses between Khazana daemons is a Message: a typed,
+// optionally RPC-correlated envelope around a wire-format payload. The
+// payload schemas live with the subsystems that own them (core/protocol.h,
+// consistency/*), keeping this layer ignorant of Khazana semantics, exactly
+// as the paper's messaging layer is the only system-dependent component
+// (Section 5).
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+#include "common/serialize.h"
+#include "common/types.h"
+
+namespace khz::net {
+
+enum class MsgType : std::uint16_t {
+  // Membership
+  kJoinReq = 1,
+  kJoinResp,
+  kNodeListGossip,
+  kLeave,  // one-way: "I am departing; drop me from membership"
+
+  // Address space management (client-node <-> home/manager node)
+  kReserveReq,
+  kReserveResp,
+  kUnreserveReq,
+  kUnreserveResp,
+  kSpaceReq,   // ask cluster manager for a large chunk of unreserved space
+  kSpaceResp,
+
+  // Region descriptor / location lookup
+  kDescLookupReq,
+  kDescLookupResp,
+  kHintQueryReq,   // ask cluster manager: who caches region at addr?
+  kHintQueryResp,
+  kHintPublish,    // one-way: "I now cache / no longer cache this region"
+  kClusterWalkReq, // broadcast probe: "do you home/cache this region?"
+  kClusterWalkResp,
+
+  // Storage allocation
+  kAllocReq,
+  kAllocResp,
+  kFreeReq,
+  kFreeResp,
+
+  // Attributes
+  kGetAttrReq,
+  kGetAttrResp,
+  kSetAttrReq,
+  kSetAttrResp,
+
+  // Page data plane
+  kPageFetchReq,
+  kPageFetchResp,
+  kReplicaPush,     // one-way: maintain min-replica count / eviction push
+  kReplicaDrop,     // one-way: "I dropped my copy of this page"
+
+  // Consistency-manager channel (payload owned by the protocol module)
+  kCm,
+
+  // Address-map mutation (routed to the subtree's manager node)
+  kMapMutateReq,
+  kMapMutateResp,
+
+  // "Where is this datum?" (explicit location query, Section 4.2)
+  kLocateReq,
+  kLocateResp,
+
+  // Failure detection
+  kPing,
+  kPong,
+
+  // Distributed-object runtime RPC (Section 4.2)
+  kObjInvokeReq,
+  kObjInvokeResp,
+
+  // Region home migration (Section 3.2 anticipates migrating homes;
+  // Section 8 lists migration policies as ongoing work)
+  kMigrateReq,   // client/any node -> current home: please move to X
+  kMigrateResp,
+  kMigrateData,  // old home -> new home: descriptor + page state
+  kMigrateDataResp,
+
+  // Client guidance: "push copies of this region onto node X"
+  kReplicateToReq,
+  kReplicateToResp,
+};
+
+[[nodiscard]] std::string_view to_string(MsgType t);
+
+struct Message {
+  MsgType type{};
+  NodeId src = kNoNode;
+  NodeId dst = kNoNode;
+  /// Non-zero when this message is an RPC request or its response.
+  RpcId rpc_id = 0;
+  Bytes payload;
+
+  [[nodiscard]] std::size_t wire_size() const {
+    return 2 + 4 + 4 + 8 + 4 + payload.size();
+  }
+
+  /// Flat wire encoding, used by the TCP transport.
+  [[nodiscard]] Bytes encode() const;
+  static bool decode(std::span<const std::uint8_t> wire, Message& out);
+};
+
+}  // namespace khz::net

@@ -1,0 +1,277 @@
+#include "net/tcp_transport.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cstring>
+
+#include "common/log.h"
+
+namespace khz::net {
+
+namespace {
+const SteadyClock g_steady_clock;
+
+bool read_exact(int fd, std::uint8_t* buf, std::size_t n) {
+  std::size_t got = 0;
+  while (got < n) {
+    const ssize_t r = ::read(fd, buf + got, n - got);
+    if (r <= 0) return false;
+    got += static_cast<std::size_t>(r);
+  }
+  return true;
+}
+
+bool write_all(int fd, const std::uint8_t* buf, std::size_t n) {
+  std::size_t put = 0;
+  while (put < n) {
+    // MSG_NOSIGNAL: a peer that closed mid-write yields EPIPE, not a
+    // process-killing SIGPIPE.
+    const ssize_t w = ::send(fd, buf + put, n - put, MSG_NOSIGNAL);
+    if (w <= 0) return false;
+    put += static_cast<std::size_t>(w);
+  }
+  return true;
+}
+}  // namespace
+
+TcpTransport::TcpTransport(TcpBus& bus, NodeId id, std::uint16_t port)
+    : bus_(bus), id_(id), port_(port) {}
+
+TcpTransport::~TcpTransport() { stop(); }
+
+void TcpTransport::set_handler(Handler handler) {
+  handler_ = std::move(handler);
+}
+
+const Clock& TcpTransport::clock() const { return g_steady_clock; }
+
+void TcpTransport::start() {
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port_);
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) !=
+          0 ||
+      ::listen(listen_fd_, 64) != 0) {
+    KHZ_ERROR("tcp: node %u failed to listen on port %u", id_, port_);
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return;
+  }
+  running_.store(true);
+  executor_ = std::thread([this] { executor_loop(); });
+  acceptor_ = std::thread([this] { accept_loop(); });
+}
+
+void TcpTransport::stop() {
+  bool was_running = running_.exchange(false);
+  if (!was_running) return;
+  ::shutdown(listen_fd_, SHUT_RDWR);
+  ::close(listen_fd_);
+  {
+    std::lock_guard lk(conn_mu_);
+    for (auto& [_, fd] : out_fds_) {
+      ::shutdown(fd, SHUT_RDWR);
+      ::close(fd);
+    }
+    out_fds_.clear();
+  }
+  cv_.notify_all();
+  if (acceptor_.joinable()) acceptor_.join();
+  {
+    std::lock_guard lk(readers_mu_);
+    // Unblock reader threads parked in read() on accepted sockets.
+    for (int fd : in_fds_) ::shutdown(fd, SHUT_RDWR);
+    for (auto& t : readers_) {
+      if (t.joinable()) t.join();
+    }
+    readers_.clear();
+    in_fds_.clear();
+  }
+  if (executor_.joinable()) executor_.join();
+}
+
+void TcpTransport::accept_loop() {
+  while (running_.load()) {
+    sockaddr_in peer{};
+    socklen_t len = sizeof(peer);
+    const int fd =
+        ::accept(listen_fd_, reinterpret_cast<sockaddr*>(&peer), &len);
+    if (fd < 0) break;
+    int one = 1;
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    std::lock_guard lk(readers_mu_);
+    in_fds_.push_back(fd);
+    readers_.emplace_back([this, fd] { reader_loop(fd); });
+  }
+}
+
+void TcpTransport::reader_loop(int fd) {
+  while (running_.load()) {
+    std::uint8_t hdr[4];
+    if (!read_exact(fd, hdr, 4)) break;
+    const std::uint32_t frame_len =
+        static_cast<std::uint32_t>(hdr[0]) |
+        static_cast<std::uint32_t>(hdr[1]) << 8 |
+        static_cast<std::uint32_t>(hdr[2]) << 16 |
+        static_cast<std::uint32_t>(hdr[3]) << 24;
+    if (frame_len > 64u << 20) break;  // sanity cap: 64 MiB
+    Bytes frame(frame_len);
+    if (!read_exact(fd, frame.data(), frame_len)) break;
+    Message msg;
+    if (!Message::decode(frame, msg)) {
+      KHZ_WARN("tcp: node %u dropping undecodable frame", id_);
+      continue;
+    }
+    enqueue([this, m = std::move(msg)]() mutable {
+      if (handler_) handler_(std::move(m));
+    });
+  }
+  ::close(fd);
+}
+
+int TcpTransport::connect_to(std::uint16_t port) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return -1;
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    ::close(fd);
+    return -1;
+  }
+  int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  return fd;
+}
+
+void TcpTransport::send(Message msg) {
+  msg.src = id_;
+  const Bytes body = msg.encode();
+  int fd = -1;
+  {
+    std::lock_guard lk(conn_mu_);
+    auto it = out_fds_.find(msg.dst);
+    if (it != out_fds_.end()) fd = it->second;
+  }
+  if (fd < 0) {
+    fd = connect_to(bus_.port_of(msg.dst));
+    if (fd < 0) return;  // peer down: best-effort drop, retries handle it
+    std::lock_guard lk(conn_mu_);
+    auto [it, inserted] = out_fds_.emplace(msg.dst, fd);
+    if (!inserted) {
+      ::close(fd);
+      fd = it->second;
+    }
+  }
+  std::uint8_t hdr[4] = {
+      static_cast<std::uint8_t>(body.size()),
+      static_cast<std::uint8_t>(body.size() >> 8),
+      static_cast<std::uint8_t>(body.size() >> 16),
+      static_cast<std::uint8_t>(body.size() >> 24),
+  };
+  std::lock_guard lk(conn_mu_);
+  if (!write_all(fd, hdr, 4) || !write_all(fd, body.data(), body.size())) {
+    out_fds_.erase(msg.dst);
+    ::close(fd);
+  }
+}
+
+void TcpTransport::enqueue(std::function<void()> fn) {
+  {
+    std::lock_guard lk(mu_);
+    work_.push_back(std::move(fn));
+  }
+  cv_.notify_one();
+}
+
+std::uint64_t TcpTransport::schedule(Micros delay, std::function<void()> fn) {
+  std::lock_guard lk(mu_);
+  Timer t;
+  t.fire_at = g_steady_clock.now() + delay;
+  t.id = next_timer_id_++;
+  t.fn = std::move(fn);
+  timers_.push_back(std::move(t));
+  std::push_heap(timers_.begin(), timers_.end());
+  cv_.notify_one();
+  return timers_.back().id;
+}
+
+void TcpTransport::cancel(std::uint64_t timer_id) {
+  std::lock_guard lk(mu_);
+  for (auto& t : timers_) {
+    if (t.id == timer_id) t.fn = nullptr;  // fires as a no-op
+  }
+}
+
+void TcpTransport::run_on_executor(std::function<void()> fn) {
+  std::mutex done_mu;
+  std::condition_variable done_cv;
+  bool done = false;
+  enqueue([&] {
+    fn();
+    std::lock_guard lk(done_mu);
+    done = true;
+    done_cv.notify_one();
+  });
+  std::unique_lock lk(done_mu);
+  done_cv.wait(lk, [&] { return done; });
+}
+
+void TcpTransport::executor_loop() {
+  while (true) {
+    std::function<void()> job;
+    {
+      std::unique_lock lk(mu_);
+      while (true) {
+        if (!running_.load() && work_.empty()) return;
+        if (!work_.empty()) {
+          job = std::move(work_.front());
+          work_.pop_front();
+          break;
+        }
+        if (!timers_.empty()) {
+          const Micros now = g_steady_clock.now();
+          if (timers_.front().fire_at <= now) {
+            std::pop_heap(timers_.begin(), timers_.end());
+            job = std::move(timers_.back().fn);
+            timers_.pop_back();
+            if (!job) continue;  // cancelled
+            break;
+          }
+          const Micros wait_us = timers_.front().fire_at - now;
+          cv_.wait_for(lk, std::chrono::microseconds(wait_us));
+          continue;
+        }
+        cv_.wait(lk);
+      }
+    }
+    job();
+  }
+}
+
+TcpBus::~TcpBus() { stop_all(); }
+
+TcpTransport& TcpBus::add_node(NodeId id) {
+  auto ep = std::make_unique<TcpTransport>(*this, id, port_of(id));
+  auto& ref = *ep;
+  endpoints_.emplace(id, std::move(ep));
+  ref.start();
+  return ref;
+}
+
+void TcpBus::stop_all() {
+  for (auto& [_, ep] : endpoints_) ep->stop();
+  endpoints_.clear();
+}
+
+}  // namespace khz::net

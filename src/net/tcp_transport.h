@@ -1,0 +1,112 @@
+// Real-socket transport.
+//
+// TcpBus hosts one listening socket per node (localhost, distinct ports) and
+// lazily opened client connections between them, with 4-byte-length-prefixed
+// Message frames. Each endpoint owns an executor thread on which ALL of its
+// callbacks (inbound messages and timers) run, preserving the single-threaded
+// execution model that node logic assumes under the simulator.
+//
+// This is the "real system" path: the integration tests run a full Khazana
+// cluster over actual sockets to show the node logic is transport-agnostic.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "common/clock.h"
+#include "net/transport.h"
+
+namespace khz::net {
+
+class TcpBus;
+
+class TcpTransport final : public Transport {
+ public:
+  TcpTransport(TcpBus& bus, NodeId id, std::uint16_t port);
+  ~TcpTransport() override;
+
+  TcpTransport(const TcpTransport&) = delete;
+  TcpTransport& operator=(const TcpTransport&) = delete;
+
+  [[nodiscard]] NodeId local() const override { return id_; }
+  void send(Message msg) override;
+  void set_handler(Handler handler) override;
+  std::uint64_t schedule(Micros delay, std::function<void()> fn) override;
+  void cancel(std::uint64_t timer_id) override;
+  [[nodiscard]] const Clock& clock() const override;
+
+  /// Runs `fn` on the executor thread and returns once it completed.
+  /// Used by synchronous client wrappers to call into node logic safely.
+  void run_on_executor(std::function<void()> fn);
+
+  void start();
+  void stop();
+
+ private:
+  struct Timer {
+    Micros fire_at;
+    std::uint64_t id;
+    std::function<void()> fn;
+    bool operator<(const Timer& o) const { return fire_at > o.fire_at; }
+  };
+
+  void executor_loop();
+  void accept_loop();
+  void reader_loop(int fd);
+  int connect_to(std::uint16_t port);
+  void enqueue(std::function<void()> fn);
+
+  TcpBus& bus_;
+  NodeId id_;
+  std::uint16_t port_;
+  Handler handler_;
+
+  int listen_fd_ = -1;
+  std::atomic<bool> running_{false};
+
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<std::function<void()>> work_;
+  std::vector<Timer> timers_;  // heap ordered by fire_at
+  std::uint64_t next_timer_id_ = 1;
+
+  std::mutex conn_mu_;
+  std::map<NodeId, int> out_fds_;
+
+  std::thread executor_;
+  std::thread acceptor_;
+  std::vector<std::thread> readers_;
+  std::vector<int> in_fds_;  // accepted sockets, shut down on stop()
+  std::mutex readers_mu_;
+};
+
+/// A set of TcpTransport endpoints that know each other's ports.
+class TcpBus {
+ public:
+  explicit TcpBus(std::uint16_t base_port) : base_port_(base_port) {}
+  ~TcpBus();
+
+  TcpBus(const TcpBus&) = delete;
+  TcpBus& operator=(const TcpBus&) = delete;
+
+  /// Creates and starts the endpoint for `id` on base_port + id.
+  TcpTransport& add_node(NodeId id);
+  void stop_all();
+
+  [[nodiscard]] std::uint16_t port_of(NodeId id) const {
+    return static_cast<std::uint16_t>(base_port_ + id);
+  }
+
+ private:
+  std::uint16_t base_port_;
+  std::map<NodeId, std::unique_ptr<TcpTransport>> endpoints_;
+};
+
+}  // namespace khz::net

@@ -1,0 +1,48 @@
+// Transport abstraction.
+//
+// A Transport delivers Messages between nodes and runs deferred callbacks
+// (timers) in the owning node's execution context. Node logic built on this
+// interface runs unchanged over the deterministic simulator and over real
+// TCP sockets — the paper's claim that only the messaging layer is
+// system-dependent (Section 5), made concrete.
+//
+// Execution model: all callbacks for one node (message handler, timers,
+// posted functions) are serialized; node logic never needs internal locking.
+#pragma once
+
+#include <functional>
+
+#include "common/clock.h"
+#include "net/message.h"
+
+namespace khz::net {
+
+class Transport {
+ public:
+  using Handler = std::function<void(Message)>;
+
+  virtual ~Transport() = default;
+
+  /// The node this endpoint belongs to.
+  [[nodiscard]] virtual NodeId local() const = 0;
+
+  /// Sends asynchronously; best-effort (messages may be lost or the peer
+  /// may be down — Khazana's retry machinery owns reliability).
+  virtual void send(Message msg) = 0;
+
+  /// Installs the inbound-message callback. Must be set before any
+  /// messages arrive.
+  virtual void set_handler(Handler handler) = 0;
+
+  /// Runs `fn` in this node's execution context after `delay` microseconds.
+  /// Returns a timer id usable with cancel().
+  virtual std::uint64_t schedule(Micros delay, std::function<void()> fn) = 0;
+
+  /// Cancels a pending timer; no-op if it already fired.
+  virtual void cancel(std::uint64_t timer_id) = 0;
+
+  /// Time source consistent with schedule() delays.
+  [[nodiscard]] virtual const Clock& clock() const = 0;
+};
+
+}  // namespace khz::net

@@ -1,0 +1,244 @@
+#include "obj/runtime.h"
+
+#include <algorithm>
+
+#include "common/log.h"
+
+namespace khz::obj {
+
+using consistency::LockContext;
+using consistency::LockMode;
+using net::Message;
+using net::MsgType;
+
+ObjectRuntime::ObjectRuntime(core::Node& node) : node_(node) {
+  node_.set_obj_invoke_handler(
+      [this](const Message& m) { on_invoke_req(m); });
+}
+
+ObjectRuntime::~ObjectRuntime() { node_.set_obj_invoke_handler(nullptr); }
+
+void ObjectRuntime::register_type(ObjectType type) {
+  types_[type.name] = std::move(type);
+}
+
+std::uint64_t ObjectRuntime::region_size(std::uint32_t capacity) const {
+  // Header (magic, type string, capacity, state_len) + state capacity,
+  // rounded up to whole pages.
+  const std::uint64_t raw = 4 + 4 + 64 + 4 + 4 + capacity;
+  return (raw + kDefaultPageSize - 1) / kDefaultPageSize * kDefaultPageSize;
+}
+
+void ObjectRuntime::create(const std::string& type,
+                           const Bytes& initial_state,
+                           std::uint32_t capacity,
+                           const core::RegionAttrs& attrs, CreateCb cb) {
+  if (!types_.contains(type) || type.size() > 64 ||
+      initial_state.size() > capacity) {
+    cb(ErrorCode::kBadArgument);
+    return;
+  }
+  const std::uint64_t size = region_size(capacity);
+  node_.reserve(size, attrs, [this, type, initial_state, capacity, size,
+                              cb = std::move(cb)](
+                                 Result<GlobalAddress> base) mutable {
+    if (!base) {
+      cb(base.error());
+      return;
+    }
+    const GlobalAddress addr = base.value();
+    node_.allocate({addr, size}, [this, addr, size, type, initial_state,
+                                  capacity,
+                                  cb = std::move(cb)](Status s) mutable {
+      if (!s.ok()) {
+        cb(s.error());
+        return;
+      }
+      node_.lock({addr, size}, LockMode::kWrite,
+                 [this, addr, capacity, type, initial_state,
+                  cb = std::move(cb)](Result<LockContext> ctx) mutable {
+                   if (!ctx) {
+                     cb(ctx.error());
+                     return;
+                   }
+                   Encoder e;
+                   e.u32(kMagic);
+                   e.str(type);
+                   e.u32(capacity);
+                   e.bytes(initial_state);
+                   const Status ws = node_.write(ctx.value(), 0, e.data());
+                   node_.unlock(ctx.value());
+                   if (!ws.ok()) {
+                     cb(ws.error());
+                     return;
+                   }
+                   cb(ObjRef{addr, capacity});
+                 });
+    });
+  });
+}
+
+Result<Bytes> ObjectRuntime::execute(const LockContext& ctx,
+                                     const std::string& method,
+                                     const Bytes& args, bool* out_mutating) {
+  auto raw = node_.read(ctx, 0, ctx.range.size);
+  if (!raw) return raw.error();
+  Decoder d(raw.value());
+  if (d.u32() != kMagic) return ErrorCode::kCorrupt;
+  const std::string type = d.str();
+  const std::uint32_t capacity = d.u32();
+  Bytes state = d.bytes();
+  if (!d.ok()) return ErrorCode::kCorrupt;
+
+  auto tit = types_.find(type);
+  if (tit == types_.end()) return ErrorCode::kNotFound;
+  auto mit = tit->second.methods.find(method);
+  if (mit == tit->second.methods.end()) return ErrorCode::kNotFound;
+  if (out_mutating != nullptr) *out_mutating = mit->second.mutating;
+
+  auto result = mit->second.fn(state, args);
+  if (!result) return result;
+
+  if (mit->second.mutating) {
+    if (state.size() > capacity) return ErrorCode::kNoSpace;
+    Encoder e;
+    e.u32(kMagic);
+    e.str(type);
+    e.u32(capacity);
+    e.bytes(state);
+    const Status ws = node_.write(ctx, 0, e.data());
+    if (!ws.ok()) return ws.error();
+  }
+  return result;
+}
+
+void ObjectRuntime::invoke_local(const ObjRef& ref, const std::string& method,
+                                 const Bytes& args, InvokeCb cb) {
+  // Lock mode follows the method's declared intent — the "transparently
+  // inserted" locking of Section 4.2. We do not know the type before
+  // reading the object, so consult the registered method by name across
+  // types; default to a write lock when ambiguous.
+  bool mutating = true;
+  for (const auto& [_, type] : types_) {
+    auto mit = type.methods.find(method);
+    if (mit != type.methods.end()) {
+      mutating = mit->second.mutating;
+      break;
+    }
+  }
+  const std::uint64_t size = region_size(ref.capacity);
+  node_.lock({ref.addr, size},
+             mutating ? LockMode::kWrite : LockMode::kRead,
+             [this, method, args, cb = std::move(cb)](
+                 Result<LockContext> ctx) mutable {
+               if (!ctx) {
+                 cb(ctx.error());
+                 return;
+               }
+               auto result = execute(ctx.value(), method, args, nullptr);
+               node_.unlock(ctx.value());
+               ++stats_.local_invokes;
+               cb(std::move(result));
+             });
+}
+
+void ObjectRuntime::invoke_remote(NodeId target, const ObjRef& ref,
+                                  const std::string& method,
+                                  const Bytes& args, InvokeCb cb) {
+  Encoder e;
+  e.addr(ref.addr);
+  e.u32(ref.capacity);
+  e.str(method);
+  e.bytes(args);
+  ++stats_.remote_invokes;
+  node_.app_rpc(target, MsgType::kObjInvokeReq, std::move(e).take(),
+                [cb = std::move(cb)](bool ok, Decoder& d) mutable {
+                  if (!ok) {
+                    cb(ErrorCode::kUnreachable);
+                    return;
+                  }
+                  const auto err = static_cast<ErrorCode>(d.u8());
+                  if (err != ErrorCode::kOk) {
+                    cb(err);
+                    return;
+                  }
+                  cb(d.bytes());
+                });
+}
+
+void ObjectRuntime::on_invoke_req(const Message& msg) {
+  Decoder d(msg.payload);
+  ObjRef ref;
+  ref.addr = d.addr();
+  ref.capacity = d.u32();
+  const std::string method = d.str();
+  const Bytes args = d.bytes();
+  if (!d.ok()) return;
+  // Execute locally on behalf of the caller and ship the result back.
+  Message req = msg;  // keep rpc correlation for the deferred response
+  invoke_local(ref, method, args, [this, req](Result<Bytes> r) {
+    ++stats_.remote_served;
+    --stats_.local_invokes;  // bookkeeping: counted as remote_served instead
+    Encoder e;
+    e.u8(static_cast<std::uint8_t>(r.ok() ? ErrorCode::kOk : r.error()));
+    e.bytes(r.ok() ? r.value() : Bytes{});
+    node_.app_respond(req, MsgType::kObjInvokeResp, std::move(e).take());
+  });
+}
+
+void ObjectRuntime::destroy(const ObjRef& ref, DestroyCb cb) {
+  const std::uint64_t size = region_size(ref.capacity);
+  node_.deallocate({ref.addr, size}, [this, ref, cb = std::move(cb)](
+                                         Status s) mutable {
+    if (!s.ok()) {
+      cb(s);
+      return;
+    }
+    node_.unreserve(ref.addr, std::move(cb));
+  });
+}
+
+void ObjectRuntime::invoke(const ObjRef& ref, const std::string& method,
+                           const Bytes& args, InvokePolicy policy,
+                           InvokeCb cb) {
+  if (policy == InvokePolicy::kAlwaysLocal) {
+    invoke_local(ref, method, args, std::move(cb));
+    return;
+  }
+  // "It also could use location information exported from Khazana to
+  // decide if it is more efficient to load a local copy of the object or
+  // perform a remote invocation of the object on a node where it is
+  // already physically instantiated."
+  node_.locate(ref.addr, [this, ref, method, args, policy,
+                          cb = std::move(cb)](
+                             Result<std::vector<NodeId>> holders) mutable {
+    const NodeId self = node_.id();
+    bool here = false;
+    NodeId remote_target = kNoNode;
+    if (holders) {
+      for (NodeId n : holders.value()) {
+        if (n == self) here = true;
+      }
+      for (NodeId n : holders.value()) {
+        if (n != self) {
+          remote_target = n;
+          break;
+        }
+      }
+    }
+    const bool small = ref.capacity <= kReplicateThreshold;
+    const bool go_local =
+        policy == InvokePolicy::kAlwaysLocal ||
+        (policy == InvokePolicy::kAuto && (here || small)) ||
+        remote_target == kNoNode;
+    if (go_local && policy != InvokePolicy::kAlwaysRemote) {
+      invoke_local(ref, method, args, std::move(cb));
+    } else if (remote_target != kNoNode) {
+      invoke_remote(remote_target, ref, method, args, std::move(cb));
+    } else {
+      invoke_local(ref, method, args, std::move(cb));
+    }
+  });
+}
+
+}  // namespace khz::obj

@@ -1,0 +1,105 @@
+#include "storage/disk_store.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+
+#include "common/log.h"
+
+namespace khz::storage {
+
+namespace fs = std::filesystem;
+
+DiskStore::DiskStore(fs::path root, std::size_t capacity_pages)
+    : root_(std::move(root)), capacity_(capacity_pages) {
+  std::error_code ec;
+  fs::create_directories(root_, ec);
+  if (ec) {
+    KHZ_ERROR("disk: cannot create %s: %s", root_.c_str(),
+              ec.message().c_str());
+  }
+  count_ = scan().size();
+}
+
+fs::path DiskStore::page_path(const GlobalAddress& page) const {
+  char name[40];
+  std::snprintf(name, sizeof(name), "%016llx_%016llx.page",
+                static_cast<unsigned long long>(page.hi),
+                static_cast<unsigned long long>(page.lo));
+  return root_ / name;
+}
+
+Status DiskStore::put(const GlobalAddress& page, const Bytes& data) {
+  const bool existed = contains(page);
+  if (!existed && full()) return ErrorCode::kNoSpace;
+  std::ofstream out(page_path(page), std::ios::binary | std::ios::trunc);
+  if (!out) return ErrorCode::kInternal;
+  out.write(reinterpret_cast<const char*>(data.data()),
+            static_cast<std::streamsize>(data.size()));
+  if (!out) return ErrorCode::kInternal;
+  if (!existed) ++count_;
+  return {};
+}
+
+std::optional<Bytes> DiskStore::get(const GlobalAddress& page) const {
+  std::ifstream in(page_path(page), std::ios::binary | std::ios::ate);
+  if (!in) return std::nullopt;
+  const auto size = in.tellg();
+  in.seekg(0);
+  Bytes data(static_cast<std::size_t>(size));
+  in.read(reinterpret_cast<char*>(data.data()), size);
+  if (!in) return std::nullopt;
+  return data;
+}
+
+bool DiskStore::erase(const GlobalAddress& page) {
+  std::error_code ec;
+  if (fs::remove(page_path(page), ec)) {
+    if (count_ > 0) --count_;
+    return true;
+  }
+  return false;
+}
+
+bool DiskStore::contains(const GlobalAddress& page) const {
+  std::error_code ec;
+  return fs::exists(page_path(page), ec);
+}
+
+std::vector<GlobalAddress> DiskStore::scan() const {
+  std::vector<GlobalAddress> pages;
+  std::error_code ec;
+  for (const auto& entry : fs::directory_iterator(root_, ec)) {
+    const std::string name = entry.path().filename().string();
+    if (!name.ends_with(".page")) continue;
+    unsigned long long hi = 0;
+    unsigned long long lo = 0;
+    if (std::sscanf(name.c_str(), "%16llx_%16llx.page", &hi, &lo) == 2) {
+      pages.emplace_back(hi, lo);
+    }
+  }
+  std::sort(pages.begin(), pages.end());
+  return pages;
+}
+
+Status DiskStore::put_meta(const std::string& name, const Bytes& data) {
+  std::ofstream out(root_ / (name + ".meta"),
+                    std::ios::binary | std::ios::trunc);
+  if (!out) return ErrorCode::kInternal;
+  out.write(reinterpret_cast<const char*>(data.data()),
+            static_cast<std::streamsize>(data.size()));
+  return out ? Status{} : Status{ErrorCode::kInternal};
+}
+
+std::optional<Bytes> DiskStore::get_meta(const std::string& name) const {
+  std::ifstream in(root_ / (name + ".meta"), std::ios::binary | std::ios::ate);
+  if (!in) return std::nullopt;
+  const auto size = in.tellg();
+  in.seekg(0);
+  Bytes data(static_cast<std::size_t>(size));
+  in.read(reinterpret_cast<char*>(data.data()), size);
+  if (!in) return std::nullopt;
+  return data;
+}
+
+}  // namespace khz::storage

@@ -1,0 +1,55 @@
+// Persistent level of the local storage hierarchy.
+//
+// One file per page under a node-specific root directory, named by the hex
+// global address, plus a simple "<name>.meta" sidecar for node-level
+// persistent metadata blobs (the page directory's persistent entries, the
+// node's reserved-pool state). Contents survive node restart, which the
+// crash/recovery tests exercise.
+#pragma once
+
+#include <filesystem>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/global_address.h"
+#include "common/result.h"
+#include "common/serialize.h"
+
+namespace khz::storage {
+
+class DiskStore {
+ public:
+  /// capacity_pages == 0 means unbounded.
+  explicit DiskStore(std::filesystem::path root,
+                     std::size_t capacity_pages = 0);
+
+  Status put(const GlobalAddress& page, const Bytes& data);
+  [[nodiscard]] std::optional<Bytes> get(const GlobalAddress& page) const;
+  bool erase(const GlobalAddress& page);
+  [[nodiscard]] bool contains(const GlobalAddress& page) const;
+
+  /// Every page present on disk (sorted), for restart recovery.
+  [[nodiscard]] std::vector<GlobalAddress> scan() const;
+
+  [[nodiscard]] std::size_t size() const { return count_; }
+  [[nodiscard]] bool full() const {
+    return capacity_ != 0 && count_ >= capacity_;
+  }
+
+  /// Named metadata blobs (not part of the page namespace).
+  Status put_meta(const std::string& name, const Bytes& data);
+  [[nodiscard]] std::optional<Bytes> get_meta(const std::string& name) const;
+
+  [[nodiscard]] const std::filesystem::path& root() const { return root_; }
+
+ private:
+  [[nodiscard]] std::filesystem::path page_path(
+      const GlobalAddress& page) const;
+
+  std::filesystem::path root_;
+  std::size_t capacity_;
+  std::size_t count_ = 0;
+};
+
+}  // namespace khz::storage

@@ -1,0 +1,108 @@
+#include "storage/hierarchy.h"
+
+namespace khz::storage {
+
+StorageHierarchy::StorageHierarchy(std::size_t ram_capacity_pages,
+                                   std::unique_ptr<DiskStore> disk)
+    : ram_(ram_capacity_pages), disk_(std::move(disk)) {}
+
+void StorageHierarchy::put(const GlobalAddress& page, Bytes data) {
+  ram_.put(page, std::move(data));
+  enforce_capacity();
+}
+
+void StorageHierarchy::enforce_capacity() {
+  // Victimize until RAM is back under its capacity or no victim is
+  // eligible (everything pinned / every drop vetoed). Vetoed pages are
+  // pinned for the duration of this round so pick_victim() proposes
+  // someone else; the pins are released before returning.
+  std::vector<GlobalAddress> vetoed;
+  while (ram_.over_capacity()) {
+    const auto victim = ram_.pick_victim();
+    if (!victim) break;  // all pinned: allow temporary over-capacity
+    const Bytes* data = ram_.peek(*victim);
+    if (data == nullptr) break;
+    if (disk_ && !disk_->full()) {
+      // RAM -> disk victimization.
+      if (disk_->put(*victim, *data).ok()) {
+        stats_.ram_to_disk++;
+        ram_.erase(*victim);
+        continue;
+      }
+    }
+    // Page must leave the node: consult the consistency layer.
+    if (!evict_hook_ || evict_hook_(*victim, *data)) {
+      stats_.evictions++;
+      ram_.erase(*victim);
+      if (disk_) disk_->erase(*victim);
+      continue;
+    }
+    stats_.eviction_vetoes++;
+    ram_.pin(*victim);
+    vetoed.push_back(*victim);
+  }
+  for (const auto& page : vetoed) ram_.unpin(page);
+}
+
+const Bytes* StorageHierarchy::get(const GlobalAddress& page) {
+  if (const Bytes* hit = ram_.get(page)) {
+    stats_.ram_hits++;
+    return hit;
+  }
+  if (disk_) {
+    if (auto data = disk_->get(page)) {
+      stats_.disk_hits++;
+      stats_.disk_promotions++;
+      ram_.put(page, std::move(*data));
+      enforce_capacity();
+      return ram_.peek(page);
+    }
+  }
+  stats_.misses++;
+  return nullptr;
+}
+
+Bytes* StorageHierarchy::get_mutable(const GlobalAddress& page) {
+  if (Bytes* hit = ram_.get_mutable(page)) {
+    stats_.ram_hits++;
+    return hit;
+  }
+  if (disk_) {
+    if (auto data = disk_->get(page)) {
+      stats_.disk_hits++;
+      stats_.disk_promotions++;
+      ram_.put(page, std::move(*data));
+      enforce_capacity();
+      return ram_.get_mutable(page);
+    }
+  }
+  stats_.misses++;
+  return nullptr;
+}
+
+HitLevel StorageHierarchy::probe(const GlobalAddress& page) const {
+  if (ram_.peek(page) != nullptr) return HitLevel::kRam;
+  if (disk_ && disk_->contains(page)) return HitLevel::kDisk;
+  return HitLevel::kMiss;
+}
+
+bool StorageHierarchy::contains(const GlobalAddress& page) const {
+  return probe(page) != HitLevel::kMiss;
+}
+
+void StorageHierarchy::erase(const GlobalAddress& page) {
+  ram_.erase(page);
+  if (disk_) disk_->erase(page);
+}
+
+Status StorageHierarchy::flush(const GlobalAddress& page) {
+  if (!disk_) return {};
+  const Bytes* data = ram_.peek(page);
+  if (data == nullptr) {
+    // Already only on disk (or absent); nothing to write back.
+    return disk_->contains(page) ? Status{} : Status{ErrorCode::kNotFound};
+  }
+  return disk_->put(page, *data);
+}
+
+}  // namespace khz::storage

@@ -1,0 +1,71 @@
+#include "storage/memory_store.h"
+
+namespace khz::storage {
+
+void MemoryStore::touch(Entry& e, const GlobalAddress& page) {
+  lru_.erase(e.lru_pos);
+  lru_.push_front(page);
+  e.lru_pos = lru_.begin();
+}
+
+bool MemoryStore::put(const GlobalAddress& page, Bytes data) {
+  auto it = map_.find(page);
+  if (it != map_.end()) {
+    it->second.data = std::move(data);
+    touch(it->second, page);
+    return true;
+  }
+  lru_.push_front(page);
+  Entry e;
+  e.data = std::move(data);
+  e.lru_pos = lru_.begin();
+  map_.emplace(page, std::move(e));
+  return true;
+}
+
+const Bytes* MemoryStore::get(const GlobalAddress& page) {
+  auto it = map_.find(page);
+  if (it == map_.end()) return nullptr;
+  touch(it->second, page);
+  return &it->second.data;
+}
+
+const Bytes* MemoryStore::peek(const GlobalAddress& page) const {
+  auto it = map_.find(page);
+  return it == map_.end() ? nullptr : &it->second.data;
+}
+
+Bytes* MemoryStore::get_mutable(const GlobalAddress& page) {
+  auto it = map_.find(page);
+  if (it == map_.end()) return nullptr;
+  touch(it->second, page);
+  return &it->second.data;
+}
+
+bool MemoryStore::erase(const GlobalAddress& page) {
+  auto it = map_.find(page);
+  if (it == map_.end()) return false;
+  lru_.erase(it->second.lru_pos);
+  map_.erase(it);
+  return true;
+}
+
+void MemoryStore::pin(const GlobalAddress& page) {
+  auto it = map_.find(page);
+  if (it != map_.end()) ++it->second.pins;
+}
+
+void MemoryStore::unpin(const GlobalAddress& page) {
+  auto it = map_.find(page);
+  if (it != map_.end() && it->second.pins > 0) --it->second.pins;
+}
+
+std::optional<GlobalAddress> MemoryStore::pick_victim() const {
+  for (auto it = lru_.rbegin(); it != lru_.rend(); ++it) {
+    auto entry = map_.find(*it);
+    if (entry != map_.end() && entry->second.pins == 0) return *it;
+  }
+  return std::nullopt;
+}
+
+}  // namespace khz::storage

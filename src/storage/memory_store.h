@@ -1,0 +1,69 @@
+// RAM level of the local storage hierarchy.
+//
+// A bounded page cache with LRU victimization. Pinned pages (locked by a
+// client) are never chosen as victims, matching Section 3.4: "If local
+// storage is full, it can choose to victimize unlocked pages."
+#pragma once
+
+#include <cstdint>
+#include <list>
+#include <optional>
+#include <unordered_map>
+
+#include "common/global_address.h"
+#include "common/serialize.h"
+
+namespace khz::storage {
+
+class MemoryStore {
+ public:
+  /// capacity_pages == 0 means unbounded.
+  explicit MemoryStore(std::size_t capacity_pages = 0)
+      : capacity_(capacity_pages) {}
+
+  /// Inserts or overwrites. Returns false when the store is full and every
+  /// resident page is pinned (caller must victimize through the hierarchy).
+  bool put(const GlobalAddress& page, Bytes data);
+
+  /// Returns the page contents and refreshes its LRU position.
+  [[nodiscard]] const Bytes* get(const GlobalAddress& page);
+
+  /// Peek without touching LRU order.
+  [[nodiscard]] const Bytes* peek(const GlobalAddress& page) const;
+
+  /// In-place mutation access (for writes under a lock). Refreshes LRU.
+  [[nodiscard]] Bytes* get_mutable(const GlobalAddress& page);
+
+  bool erase(const GlobalAddress& page);
+  [[nodiscard]] bool contains(const GlobalAddress& page) const {
+    return map_.contains(page);
+  }
+
+  void pin(const GlobalAddress& page);
+  void unpin(const GlobalAddress& page);
+
+  /// Least recently used unpinned page, if any.
+  [[nodiscard]] std::optional<GlobalAddress> pick_victim() const;
+
+  [[nodiscard]] bool over_capacity() const {
+    return capacity_ != 0 && map_.size() > capacity_;
+  }
+  [[nodiscard]] std::size_t size() const { return map_.size(); }
+  [[nodiscard]] std::size_t capacity() const { return capacity_; }
+  void set_capacity(std::size_t pages) { capacity_ = pages; }
+
+ private:
+  struct Entry {
+    Bytes data;
+    std::uint32_t pins = 0;
+    std::list<GlobalAddress>::iterator lru_pos;
+  };
+
+  void touch(Entry& e, const GlobalAddress& page);
+
+  std::size_t capacity_;
+  std::unordered_map<GlobalAddress, Entry> map_;
+  std::list<GlobalAddress> lru_;  // front = most recent
+};
+
+}  // namespace khz::storage

@@ -1,0 +1,42 @@
+#include "storage/page_directory.h"
+
+#include <algorithm>
+
+namespace khz::storage {
+
+PageInfo& PageDirectory::ensure(const GlobalAddress& page) {
+  auto [it, inserted] = entries_.try_emplace(page);
+  if (inserted) it->second.addr = page;
+  return it->second;
+}
+
+PageInfo* PageDirectory::find(const GlobalAddress& page) {
+  auto it = entries_.find(page);
+  return it == entries_.end() ? nullptr : &it->second;
+}
+
+const PageInfo* PageDirectory::find(const GlobalAddress& page) const {
+  auto it = entries_.find(page);
+  return it == entries_.end() ? nullptr : &it->second;
+}
+
+void PageDirectory::erase(const GlobalAddress& page) { entries_.erase(page); }
+
+std::vector<GlobalAddress> PageDirectory::pages() const {
+  std::vector<GlobalAddress> out;
+  out.reserve(entries_.size());
+  for (const auto& [addr, _] : entries_) out.push_back(addr);
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+std::vector<GlobalAddress> PageDirectory::homed_pages() const {
+  std::vector<GlobalAddress> out;
+  for (const auto& [addr, info] : entries_) {
+    if (info.homed_locally) out.push_back(addr);
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+}  // namespace khz::storage

@@ -1,0 +1,76 @@
+// Per-node page directory (paper, Section 3.4).
+//
+// "The local storage subsystem on each node maintains a page directory,
+// indexed by global addresses, that contains information about individual
+// pages of global regions including the list of nodes sharing this page."
+//
+// The directory holds authoritative (persistent) entries for pages homed
+// locally and cached entries for remotely homed pages. Consistency managers
+// read and update the sharer/owner fields; the storage hierarchy updates
+// residency; the lock layer updates hold counts.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <set>
+#include <unordered_map>
+#include <vector>
+
+#include "common/global_address.h"
+#include "common/types.h"
+
+namespace khz::storage {
+
+/// Local residency/validity of a page copy, mirroring a classic
+/// invalidation-based DSM state machine.
+enum class PageState : std::uint8_t {
+  kInvalid = 0,  // no valid local copy
+  kShared,       // valid read-only copy; others may share
+  kExclusive,    // sole writable copy (CREW owner)
+};
+
+struct PageInfo {
+  GlobalAddress addr;
+  /// Node that keeps the directory entry for this page (paper: region home).
+  NodeId home = kNoNode;
+  /// Current CREW owner (holder of the exclusive/most-recent copy).
+  NodeId owner = kNoNode;
+  /// Nodes believed to hold copies. Authoritative only at the home node.
+  std::set<NodeId> sharers;
+  PageState state = PageState::kInvalid;
+  Version version = 0;
+  bool dirty = false;
+  /// True when this node homes the page (entry is persistent metadata).
+  bool homed_locally = false;
+  /// Outstanding lock holds on this node, by mode.
+  std::uint32_t read_holds = 0;
+  std::uint32_t write_holds = 0;
+  Micros last_access = 0;
+
+  [[nodiscard]] bool locked() const { return read_holds + write_holds > 0; }
+};
+
+class PageDirectory {
+ public:
+  /// Returns the entry, creating a default one if absent.
+  PageInfo& ensure(const GlobalAddress& page);
+
+  /// Returns the entry or nullptr.
+  [[nodiscard]] PageInfo* find(const GlobalAddress& page);
+  [[nodiscard]] const PageInfo* find(const GlobalAddress& page) const;
+
+  void erase(const GlobalAddress& page);
+
+  [[nodiscard]] std::size_t size() const { return entries_.size(); }
+
+  /// All pages currently tracked (sorted, for deterministic iteration).
+  [[nodiscard]] std::vector<GlobalAddress> pages() const;
+
+  /// Pages homed locally (the persistent subset).
+  [[nodiscard]] std::vector<GlobalAddress> homed_pages() const;
+
+ private:
+  std::unordered_map<GlobalAddress, PageInfo> entries_;
+};
+
+}  // namespace khz::storage

@@ -1,0 +1,314 @@
+// Unit tests for src/common: 128-bit addresses, serialization, results,
+// deterministic RNG.
+#include <gtest/gtest.h>
+
+#include "common/global_address.h"
+#include "common/result.h"
+#include "common/rng.h"
+#include "common/serialize.h"
+
+namespace khz {
+namespace {
+
+// ---------------------------------------------------------------------------
+// GlobalAddress
+// ---------------------------------------------------------------------------
+
+TEST(GlobalAddress, PlusCarriesIntoHighWord) {
+  const GlobalAddress a{0, ~0ull};
+  const GlobalAddress b = a.plus(1);
+  EXPECT_EQ(b.hi, 1u);
+  EXPECT_EQ(b.lo, 0u);
+}
+
+TEST(GlobalAddress, MinusBorrowsFromHighWord) {
+  const GlobalAddress a{1, 0};
+  const GlobalAddress b = a.minus(1);
+  EXPECT_EQ(b.hi, 0u);
+  EXPECT_EQ(b.lo, ~0ull);
+}
+
+TEST(GlobalAddress, PlusMinusRoundTrip) {
+  const GlobalAddress a{7, 0xdeadbeefull};
+  for (std::uint64_t d : {0ull, 1ull, 4096ull, ~0ull >> 1}) {
+    EXPECT_EQ(a.plus(d).minus(d), a) << d;
+  }
+}
+
+TEST(GlobalAddress, OrderingIsLexicographic) {
+  EXPECT_LT(GlobalAddress(0, ~0ull), GlobalAddress(1, 0));
+  EXPECT_LT(GlobalAddress(1, 5), GlobalAddress(1, 6));
+  EXPECT_EQ(GlobalAddress(2, 3), GlobalAddress(2, 3));
+}
+
+TEST(GlobalAddress, PageFloorAndCeil) {
+  const GlobalAddress a{0, 10000};
+  EXPECT_EQ(a.page_floor(4096).lo, 8192u);
+  EXPECT_EQ(a.page_ceil(4096).lo, 12288u);
+  const GlobalAddress aligned{0, 8192};
+  EXPECT_EQ(aligned.page_floor(4096).lo, 8192u);
+  EXPECT_EQ(aligned.page_ceil(4096).lo, 8192u);
+}
+
+TEST(GlobalAddress, PageFloorCrossingWordBoundary) {
+  // An address just above a 2^64 boundary must floor within the high page.
+  const GlobalAddress a{1, 100};
+  const GlobalAddress f = a.page_floor(4096);
+  EXPECT_EQ(f.hi, 1u);
+  EXPECT_EQ(f.lo, 0u);
+}
+
+TEST(GlobalAddress, DistanceTo) {
+  const GlobalAddress a{0, 1000};
+  EXPECT_EQ(a.distance_to(a.plus(42)), 42u);
+}
+
+TEST(GlobalAddress, StrParseRoundTrip) {
+  const GlobalAddress a{0x0123456789abcdefull, 0xfedcba9876543210ull};
+  const auto parsed = GlobalAddress::parse(a.str());
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(*parsed, a);
+}
+
+TEST(GlobalAddress, ParseRejectsGarbage) {
+  EXPECT_FALSE(GlobalAddress::parse("not an address").has_value());
+  EXPECT_FALSE(GlobalAddress::parse("").has_value());
+}
+
+TEST(GlobalAddress, HashSpreadsDistinctAddresses) {
+  std::hash<GlobalAddress> h;
+  std::set<std::size_t> values;
+  for (std::uint64_t i = 0; i < 1000; ++i) {
+    values.insert(h(GlobalAddress{0, i * 4096}));
+  }
+  EXPECT_GT(values.size(), 990u);  // near-perfect for page-strided keys
+}
+
+// ---------------------------------------------------------------------------
+// AddressRange
+// ---------------------------------------------------------------------------
+
+TEST(AddressRange, ContainsAndEnd) {
+  const AddressRange r{{0, 100}, 50};
+  EXPECT_TRUE(r.contains({0, 100}));
+  EXPECT_TRUE(r.contains({0, 149}));
+  EXPECT_FALSE(r.contains({0, 150}));
+  EXPECT_FALSE(r.contains({0, 99}));
+  EXPECT_EQ(r.end(), GlobalAddress(0, 150));
+}
+
+TEST(AddressRange, OverlapsIsSymmetricAndExclusive) {
+  const AddressRange a{{0, 0}, 100};
+  const AddressRange b{{0, 100}, 100};  // adjacent, no overlap
+  const AddressRange c{{0, 50}, 100};
+  EXPECT_FALSE(a.overlaps(b));
+  EXPECT_FALSE(b.overlaps(a));
+  EXPECT_TRUE(a.overlaps(c));
+  EXPECT_TRUE(c.overlaps(a));
+  EXPECT_TRUE(b.overlaps(c));
+}
+
+TEST(AddressRange, ContainsRange) {
+  const AddressRange big{{0, 0}, 1000};
+  EXPECT_TRUE(big.contains_range({{0, 0}, 1000}));
+  EXPECT_TRUE(big.contains_range({{0, 500}, 500}));
+  EXPECT_FALSE(big.contains_range({{0, 500}, 501}));
+}
+
+class RangeOverlapSweep
+    : public ::testing::TestWithParam<std::tuple<int, int, int, int>> {};
+
+TEST_P(RangeOverlapSweep, MatchesIntervalArithmetic) {
+  const auto [a0, alen, b0, blen] = GetParam();
+  const AddressRange a{{0, static_cast<std::uint64_t>(a0)},
+                       static_cast<std::uint64_t>(alen)};
+  const AddressRange b{{0, static_cast<std::uint64_t>(b0)},
+                       static_cast<std::uint64_t>(blen)};
+  const bool expect = a0 < b0 + blen && b0 < a0 + alen;
+  EXPECT_EQ(a.overlaps(b), expect);
+  EXPECT_EQ(b.overlaps(a), expect);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Pairs, RangeOverlapSweep,
+    ::testing::Combine(::testing::Values(0, 5, 10), ::testing::Values(1, 5),
+                       ::testing::Values(0, 4, 5, 9, 10, 15),
+                       ::testing::Values(1, 5)));
+
+// ---------------------------------------------------------------------------
+// Result / Status
+// ---------------------------------------------------------------------------
+
+TEST(Result, ValueAndError) {
+  Result<int> ok(42);
+  EXPECT_TRUE(ok.ok());
+  EXPECT_EQ(ok.value(), 42);
+  EXPECT_EQ(ok.error(), ErrorCode::kOk);
+
+  Result<int> bad(ErrorCode::kTimeout);
+  EXPECT_FALSE(bad.ok());
+  EXPECT_EQ(bad.error(), ErrorCode::kTimeout);
+  EXPECT_EQ(bad.value_or(-1), -1);
+}
+
+TEST(Result, MoveOnlyValue) {
+  Result<std::unique_ptr<int>> r(std::make_unique<int>(5));
+  auto p = std::move(r).value();
+  EXPECT_EQ(*p, 5);
+}
+
+TEST(Status, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  Status e(ErrorCode::kNoSpace);
+  EXPECT_FALSE(e.ok());
+}
+
+TEST(ErrorCodeNames, AllDistinctAndNonEmpty) {
+  std::set<std::string_view> names;
+  for (int i = 0; i <= static_cast<int>(ErrorCode::kInternal); ++i) {
+    const auto name = to_string(static_cast<ErrorCode>(i));
+    EXPECT_FALSE(name.empty());
+    EXPECT_TRUE(names.insert(name).second) << name;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Encoder / Decoder
+// ---------------------------------------------------------------------------
+
+TEST(Serialize, PrimitiveRoundTrip) {
+  Encoder e;
+  e.u8(0xAB);
+  e.u16(0xCDEF);
+  e.u32(0x12345678);
+  e.u64(0x1122334455667788ull);
+  e.i64(-42);
+  e.boolean(true);
+  e.addr({3, 4});
+  e.range({{5, 6}, 7});
+  e.str("hello");
+  e.bytes(Bytes{1, 2, 3});
+
+  Decoder d(e.data());
+  EXPECT_EQ(d.u8(), 0xAB);
+  EXPECT_EQ(d.u16(), 0xCDEF);
+  EXPECT_EQ(d.u32(), 0x12345678u);
+  EXPECT_EQ(d.u64(), 0x1122334455667788ull);
+  EXPECT_EQ(d.i64(), -42);
+  EXPECT_TRUE(d.boolean());
+  EXPECT_EQ(d.addr(), GlobalAddress(3, 4));
+  const AddressRange r = d.range();
+  EXPECT_EQ(r.base, GlobalAddress(5, 6));
+  EXPECT_EQ(r.size, 7u);
+  EXPECT_EQ(d.str(), "hello");
+  EXPECT_EQ(d.bytes(), (Bytes{1, 2, 3}));
+  EXPECT_TRUE(d.at_end());
+}
+
+TEST(Serialize, TruncatedBufferSetsErrorNotCrash) {
+  Encoder e;
+  e.u64(12345);
+  Bytes data = e.data();
+  data.resize(4);  // cut the u64 in half
+  Decoder d(data);
+  (void)d.u64();
+  EXPECT_FALSE(d.ok());
+  // Further reads keep returning zero values without touching memory.
+  EXPECT_EQ(d.u32(), 0u);
+  EXPECT_TRUE(d.bytes().empty());
+}
+
+TEST(Serialize, OversizedLengthPrefixIsRejected) {
+  Encoder e;
+  e.u32(0xFFFFFFFF);  // blob claims 4 GiB
+  Decoder d(e.data());
+  EXPECT_TRUE(d.bytes().empty());
+  EXPECT_FALSE(d.ok());
+}
+
+TEST(Serialize, EmptyStringAndBlob) {
+  Encoder e;
+  e.str("");
+  e.bytes({});
+  Decoder d(e.data());
+  EXPECT_EQ(d.str(), "");
+  EXPECT_TRUE(d.bytes().empty());
+  EXPECT_TRUE(d.at_end());
+}
+
+TEST(Serialize, RestReturnsUndecodedTail) {
+  Encoder e;
+  e.u8(1);
+  e.u8(2);
+  e.u8(3);
+  Decoder d(e.data());
+  (void)d.u8();
+  EXPECT_EQ(d.rest().size(), 2u);
+}
+
+// ---------------------------------------------------------------------------
+// Rng
+// ---------------------------------------------------------------------------
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a(123);
+  Rng b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1);
+  Rng b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.next() == b.next()) ++same;
+  }
+  EXPECT_LT(same, 5);
+}
+
+TEST(Rng, BelowStaysInRange) {
+  Rng r(7);
+  for (int i = 0; i < 1000; ++i) EXPECT_LT(r.below(17), 17u);
+}
+
+TEST(Rng, BetweenIsInclusive) {
+  Rng r(9);
+  bool saw_lo = false;
+  bool saw_hi = false;
+  for (int i = 0; i < 2000; ++i) {
+    const auto v = r.between(-2, 2);
+    EXPECT_GE(v, -2);
+    EXPECT_LE(v, 2);
+    saw_lo |= v == -2;
+    saw_hi |= v == 2;
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Rng r(11);
+  double sum = 0;
+  const int n = 10000;
+  for (int i = 0; i < n; ++i) {
+    const double u = r.uniform();
+    ASSERT_GE(u, 0.0);
+    ASSERT_LT(u, 1.0);
+    sum += u;
+  }
+  EXPECT_NEAR(sum / n, 0.5, 0.02);
+}
+
+TEST(Rng, ChanceMatchesProbability) {
+  Rng r(13);
+  int hits = 0;
+  const int n = 10000;
+  for (int i = 0; i < n; ++i) {
+    if (r.chance(0.25)) ++hits;
+  }
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.25, 0.02);
+}
+
+}  // namespace
+}  // namespace khz

@@ -1,0 +1,145 @@
+// End-to-end smoke tests: the full stack (simulated network, storage,
+// consistency, core ops) on small worlds. If these pass, the finer-grained
+// module tests are meaningful.
+#include <gtest/gtest.h>
+
+#include "core/sim_world.h"
+
+namespace khz::core {
+namespace {
+
+using consistency::LockMode;
+
+Bytes pattern(std::size_t n, std::uint8_t seed = 7) {
+  Bytes b(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    b[i] = static_cast<std::uint8_t>(seed + i * 13);
+  }
+  return b;
+}
+
+TEST(CoreSmoke, SingleNodeReserveAllocateWriteRead) {
+  SimWorld world({.nodes = 1});
+  auto base = world.create_region(0, 8192);
+  ASSERT_TRUE(base.ok()) << to_string(base.error());
+
+  const Bytes data = pattern(8192);
+  ASSERT_TRUE(world.put(0, {base.value(), 8192}, data).ok());
+  auto back = world.get(0, {base.value(), 8192});
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back.value(), data);
+}
+
+TEST(CoreSmoke, RemoteNodeSeesWrite) {
+  SimWorld world({.nodes = 3});
+  auto base = world.create_region(0, 4096);
+  ASSERT_TRUE(base.ok());
+
+  const Bytes data = pattern(4096, 3);
+  ASSERT_TRUE(world.put(1, {base.value(), 4096}, data).ok());
+
+  auto back = world.get(2, {base.value(), 4096});
+  ASSERT_TRUE(back.ok()) << to_string(back.error());
+  EXPECT_EQ(back.value(), data);
+}
+
+TEST(CoreSmoke, CrewIsReadYourWritesAcrossNodes) {
+  SimWorld world({.nodes = 5});
+  auto base = world.create_region(2, 4096);
+  ASSERT_TRUE(base.ok());
+
+  for (int round = 0; round < 5; ++round) {
+    const NodeId writer = static_cast<NodeId>(round % 5);
+    const NodeId reader = static_cast<NodeId>((round + 3) % 5);
+    Bytes data = pattern(4096, static_cast<std::uint8_t>(round * 11 + 1));
+    ASSERT_TRUE(world.put(writer, {base.value(), 4096}, data).ok())
+        << "round " << round;
+    auto back = world.get(reader, {base.value(), 4096});
+    ASSERT_TRUE(back.ok()) << "round " << round;
+    EXPECT_EQ(back.value(), data) << "round " << round;
+  }
+}
+
+TEST(CoreSmoke, MultiPageRegionPartialIo) {
+  SimWorld world({.nodes = 2});
+  auto base = world.create_region(0, 4 * 4096);
+  ASSERT_TRUE(base.ok());
+
+  // Write a pattern spanning a page boundary via node 1.
+  const AddressRange span{base.value().plus(4096 - 100), 200};
+  const Bytes data = pattern(200, 42);
+  ASSERT_TRUE(world.put(1, span, data).ok());
+
+  auto back = world.get(0, span);
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back.value(), data);
+}
+
+TEST(CoreSmoke, ReservationsFromDifferentNodesAreDisjoint) {
+  SimWorld world({.nodes = 4});
+  std::vector<AddressRange> ranges;
+  for (NodeId n = 0; n < 4; ++n) {
+    auto base = world.reserve(n, 1 << 20);
+    ASSERT_TRUE(base.ok());
+    ranges.push_back({base.value(), 1 << 20});
+  }
+  for (std::size_t i = 0; i < ranges.size(); ++i) {
+    for (std::size_t j = i + 1; j < ranges.size(); ++j) {
+      EXPECT_FALSE(ranges[i].overlaps(ranges[j]))
+          << ranges[i].str() << " vs " << ranges[j].str();
+    }
+  }
+}
+
+TEST(CoreSmoke, LockOnUnallocatedRegionFails) {
+  SimWorld world({.nodes = 2});
+  auto base = world.reserve(0, 4096);
+  ASSERT_TRUE(base.ok());
+  auto ctx = world.lock(0, {base.value(), 4096}, LockMode::kRead);
+  ASSERT_FALSE(ctx.ok());
+  EXPECT_EQ(ctx.error(), ErrorCode::kNotAllocated);
+}
+
+TEST(CoreSmoke, GetattrSetattrRoundTrip) {
+  SimWorld world({.nodes = 2});
+  RegionAttrs attrs;
+  attrs.min_replicas = 1;
+  auto base = world.create_region(0, 4096, attrs);
+  ASSERT_TRUE(base.ok());
+
+  auto got = world.getattr(1, base.value());
+  ASSERT_TRUE(got.ok());
+  EXPECT_EQ(got.value().min_replicas, 1u);
+
+  RegionAttrs updated = got.value();
+  updated.min_replicas = 2;
+  ASSERT_TRUE(world.setattr(1, base.value(), updated).ok());
+  auto after = world.getattr(1, base.value());
+  ASSERT_TRUE(after.ok());
+  EXPECT_EQ(after.value().min_replicas, 2u);
+}
+
+TEST(CoreSmoke, LocateReportsHolders) {
+  SimWorld world({.nodes = 3});
+  auto base = world.create_region(0, 4096);
+  ASSERT_TRUE(base.ok());
+  // Node 2 reads the page, becoming a sharer.
+  ASSERT_TRUE(world.get(2, {base.value(), 4096}).ok());
+  auto holders = world.locate(1, base.value());
+  ASSERT_TRUE(holders.ok());
+  EXPECT_NE(std::find(holders.value().begin(), holders.value().end(), 2u),
+            holders.value().end());
+}
+
+TEST(CoreSmoke, UnreserveMakesRegionUnresolvable) {
+  SimWorld world({.nodes = 2});
+  auto base = world.create_region(0, 4096);
+  ASSERT_TRUE(base.ok());
+  ASSERT_TRUE(world.unreserve(0, base.value()).ok());
+  world.pump_for(1'000'000);
+  auto ctx = world.lock(0, {base.value(), 4096}, LockMode::kRead);
+  EXPECT_FALSE(ctx.ok());
+}
+
+}  // namespace
+}  // namespace khz::core

@@ -1,0 +1,365 @@
+// Unit tests for src/net: message codec, the discrete-event simulator
+// (latency, FIFO, drops, partitions, crashes, timers), and the real TCP
+// transport.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+
+#include "net/sim_network.h"
+#include "net/tcp_transport.h"
+
+namespace khz::net {
+namespace {
+
+Message make(MsgType type, NodeId dst, Bytes payload = {}, RpcId rpc = 0) {
+  Message m;
+  m.type = type;
+  m.dst = dst;
+  m.rpc_id = rpc;
+  m.payload = std::move(payload);
+  return m;
+}
+
+// ---------------------------------------------------------------------------
+// Message codec
+// ---------------------------------------------------------------------------
+
+TEST(MessageCodec, RoundTrip) {
+  Message m;
+  m.type = MsgType::kPageFetchReq;
+  m.src = 3;
+  m.dst = 9;
+  m.rpc_id = 0x1234567890ull;
+  m.payload = {1, 2, 3, 4, 5};
+  Message out;
+  ASSERT_TRUE(Message::decode(m.encode(), out));
+  EXPECT_EQ(out.type, m.type);
+  EXPECT_EQ(out.src, m.src);
+  EXPECT_EQ(out.dst, m.dst);
+  EXPECT_EQ(out.rpc_id, m.rpc_id);
+  EXPECT_EQ(out.payload, m.payload);
+}
+
+TEST(MessageCodec, RejectsTruncatedFrame) {
+  Message m = make(MsgType::kPing, 1, Bytes(10, 7));
+  Bytes wire = m.encode();
+  wire.resize(wire.size() - 3);
+  Message out;
+  EXPECT_FALSE(Message::decode(wire, out));
+}
+
+TEST(MessageCodec, RejectsTrailingGarbage) {
+  Message m = make(MsgType::kPing, 1);
+  Bytes wire = m.encode();
+  wire.push_back(0xFF);
+  Message out;
+  EXPECT_FALSE(Message::decode(wire, out));
+}
+
+class MessageTypeNames : public ::testing::TestWithParam<MsgType> {};
+
+TEST_P(MessageTypeNames, HasName) {
+  EXPECT_NE(to_string(GetParam()), "?");
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllTypes, MessageTypeNames,
+    ::testing::Values(MsgType::kJoinReq, MsgType::kJoinResp,
+                      MsgType::kNodeListGossip, MsgType::kReserveReq,
+                      MsgType::kReserveResp, MsgType::kUnreserveReq,
+                      MsgType::kUnreserveResp, MsgType::kSpaceReq,
+                      MsgType::kSpaceResp, MsgType::kDescLookupReq,
+                      MsgType::kDescLookupResp, MsgType::kHintQueryReq,
+                      MsgType::kHintQueryResp, MsgType::kHintPublish,
+                      MsgType::kClusterWalkReq, MsgType::kClusterWalkResp,
+                      MsgType::kAllocReq, MsgType::kAllocResp,
+                      MsgType::kFreeReq, MsgType::kFreeResp,
+                      MsgType::kGetAttrReq, MsgType::kGetAttrResp,
+                      MsgType::kSetAttrReq, MsgType::kSetAttrResp,
+                      MsgType::kPageFetchReq, MsgType::kPageFetchResp,
+                      MsgType::kReplicaPush, MsgType::kReplicaDrop,
+                      MsgType::kCm, MsgType::kMapMutateReq,
+                      MsgType::kMapMutateResp, MsgType::kLocateReq,
+                      MsgType::kLocateResp, MsgType::kPing, MsgType::kPong,
+                      MsgType::kObjInvokeReq, MsgType::kObjInvokeResp));
+
+// ---------------------------------------------------------------------------
+// SimNetwork
+// ---------------------------------------------------------------------------
+
+class SimNetTest : public ::testing::Test {
+ protected:
+  SimNetTest() : net_(42) {
+    for (NodeId i = 0; i < 3; ++i) {
+      auto& t = net_.add_node(i);
+      t.set_handler([this, i](Message m) { received_[i].push_back(m); });
+      transports_.push_back(&t);
+    }
+  }
+
+  SimNetwork net_;
+  std::vector<SimTransport*> transports_;
+  std::map<NodeId, std::vector<Message>> received_;
+};
+
+TEST_F(SimNetTest, DeliversWithLatency) {
+  net_.set_default_link({.latency = 500, .jitter = 0});
+  transports_[0]->send(make(MsgType::kPing, 1));
+  EXPECT_TRUE(received_[1].empty());
+  net_.run();
+  ASSERT_EQ(received_[1].size(), 1u);
+  EXPECT_EQ(net_.now(), 500);
+  EXPECT_EQ(received_[1][0].src, 0u);
+}
+
+TEST_F(SimNetTest, PerLinkOverrideBeatsDefault) {
+  net_.set_default_link({.latency = 100, .jitter = 0});
+  net_.set_link(0, 2, {.latency = 10'000, .jitter = 0});
+  transports_[0]->send(make(MsgType::kPing, 1));
+  transports_[0]->send(make(MsgType::kPing, 2));
+  net_.run();
+  EXPECT_EQ(net_.now(), 10'000);  // last delivery on the slow link
+}
+
+TEST_F(SimNetTest, FifoPerDirectedPairEvenWithJitter) {
+  net_.set_default_link({.latency = 100, .jitter = 90});
+  for (std::uint8_t i = 0; i < 50; ++i) {
+    transports_[0]->send(make(MsgType::kPing, 1, Bytes{i}));
+  }
+  net_.run();
+  ASSERT_EQ(received_[1].size(), 50u);
+  for (std::uint8_t i = 0; i < 50; ++i) {
+    EXPECT_EQ(received_[1][i].payload[0], i);
+  }
+}
+
+TEST_F(SimNetTest, BandwidthAddsSizeProportionalDelay) {
+  net_.set_default_link(
+      {.latency = 0, .jitter = 0, .bytes_per_micro = 1.0});
+  transports_[0]->send(make(MsgType::kPing, 1, Bytes(1000, 0)));
+  net_.run();
+  EXPECT_GE(net_.now(), 1000);
+}
+
+TEST_F(SimNetTest, DropsToCrashedNode) {
+  net_.set_node_up(1, false);
+  transports_[0]->send(make(MsgType::kPing, 1));
+  net_.run();
+  EXPECT_TRUE(received_[1].empty());
+  EXPECT_EQ(net_.stats().messages_dropped, 1u);
+}
+
+TEST_F(SimNetTest, InFlightMessageToNodeThatCrashesIsLost) {
+  net_.set_default_link({.latency = 1000, .jitter = 0});
+  transports_[0]->send(make(MsgType::kPing, 1));
+  // Crash after the send but before delivery.
+  net_.set_node_up(1, false);
+  net_.run();
+  EXPECT_TRUE(received_[1].empty());
+}
+
+TEST_F(SimNetTest, RestartedNodeReceivesAgain) {
+  net_.set_node_up(1, false);
+  transports_[0]->send(make(MsgType::kPing, 1));
+  net_.run();
+  net_.set_node_up(1, true);
+  transports_[0]->send(make(MsgType::kPing, 1));
+  net_.run();
+  EXPECT_EQ(received_[1].size(), 1u);
+}
+
+TEST_F(SimNetTest, PartitionBlocksCrossTraffic) {
+  net_.partition({0}, {1, 2});
+  transports_[0]->send(make(MsgType::kPing, 1));
+  transports_[1]->send(make(MsgType::kPing, 2));
+  net_.run();
+  EXPECT_TRUE(received_[1].empty());   // crossed the partition
+  EXPECT_EQ(received_[2].size(), 1u);  // same side
+  net_.clear_partitions();
+  transports_[0]->send(make(MsgType::kPing, 1));
+  net_.run();
+  EXPECT_EQ(received_[1].size(), 1u);
+}
+
+TEST_F(SimNetTest, DropProbabilityLosesRoughlyThatFraction) {
+  net_.set_default_link({.latency = 10, .jitter = 0, .drop_probability = 0.5});
+  for (int i = 0; i < 1000; ++i) {
+    transports_[0]->send(make(MsgType::kPing, 1));
+  }
+  net_.run();
+  EXPECT_GT(received_[1].size(), 350u);
+  EXPECT_LT(received_[1].size(), 650u);
+}
+
+TEST_F(SimNetTest, TimersFireInOrderAndAdvanceClock) {
+  std::vector<int> order;
+  transports_[0]->schedule(300, [&] { order.push_back(3); });
+  transports_[0]->schedule(100, [&] { order.push_back(1); });
+  transports_[0]->schedule(200, [&] { order.push_back(2); });
+  net_.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(net_.now(), 300);
+}
+
+TEST_F(SimNetTest, CancelledTimerDoesNotFire) {
+  bool fired = false;
+  const auto id = transports_[0]->schedule(100, [&] { fired = true; });
+  transports_[0]->cancel(id);
+  net_.run();
+  EXPECT_FALSE(fired);
+}
+
+TEST_F(SimNetTest, CrashedNodesTimersAreSuppressed) {
+  bool fired = false;
+  transports_[1]->schedule(100, [&] { fired = true; });
+  net_.set_node_up(1, false);
+  net_.run();
+  EXPECT_FALSE(fired);
+}
+
+TEST_F(SimNetTest, RunForStopsAtDeadline) {
+  int count = 0;
+  transports_[0]->schedule(100, [&] { ++count; });
+  transports_[0]->schedule(10'000, [&] { ++count; });
+  net_.run_for(1000);
+  EXPECT_EQ(count, 1);
+  EXPECT_EQ(net_.now(), 1000);
+}
+
+TEST_F(SimNetTest, RunUntilStopsEarly) {
+  int count = 0;
+  for (int i = 0; i < 10; ++i) {
+    transports_[0]->schedule(100 * (i + 1), [&] { ++count; });
+  }
+  EXPECT_TRUE(net_.run_until([&] { return count >= 3; }));
+  EXPECT_EQ(count, 3);
+}
+
+TEST_F(SimNetTest, StatsCountTypesAndBytes) {
+  transports_[0]->send(make(MsgType::kPing, 1));
+  transports_[0]->send(make(MsgType::kPong, 1));
+  transports_[0]->send(make(MsgType::kPing, 2, Bytes(100, 0)));
+  net_.run();
+  const auto& s = net_.stats();
+  EXPECT_EQ(s.messages_sent, 3u);
+  EXPECT_EQ(s.messages_delivered, 3u);
+  EXPECT_EQ(s.per_type.at(MsgType::kPing), 2u);
+  EXPECT_EQ(s.per_type.at(MsgType::kPong), 1u);
+  EXPECT_GT(s.bytes_sent, 100u);
+}
+
+TEST_F(SimNetTest, SameSeedSameSchedule) {
+  // Two separately seeded networks with jitter produce identical
+  // delivery times: the basis of reproducible benchmarks.
+  auto run_once = [](std::uint64_t seed) {
+    SimNetwork net(seed);
+    std::vector<Micros> times;
+    auto& a = net.add_node(0);
+    auto& b = net.add_node(1);
+    b.set_handler([&](Message) { times.push_back(net.now()); });
+    a.set_handler([](Message) {});
+    net.set_default_link({.latency = 100, .jitter = 50});
+    for (int i = 0; i < 20; ++i) {
+      Message m;
+      m.type = MsgType::kPing;
+      m.dst = 1;
+      a.send(std::move(m));
+    }
+    net.run();
+    return times;
+  };
+  EXPECT_EQ(run_once(5), run_once(5));
+  EXPECT_NE(run_once(5), run_once(6));
+}
+
+// ---------------------------------------------------------------------------
+// TcpTransport (real sockets on localhost)
+// ---------------------------------------------------------------------------
+
+TEST(TcpTransportTest, SendReceiveRoundTrip) {
+  TcpBus bus(41200);
+  auto& a = bus.add_node(0);
+  auto& b = bus.add_node(1);
+
+  std::atomic<int> got{0};
+  Message seen;
+  std::mutex mu;
+  b.set_handler([&](Message m) {
+    std::lock_guard lk(mu);
+    seen = std::move(m);
+    got.fetch_add(1);
+  });
+  a.set_handler([](Message) {});
+
+  Message m = make(MsgType::kPing, 1, Bytes{9, 8, 7}, 55);
+  a.send(std::move(m));
+  for (int i = 0; i < 200 && got.load() == 0; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  ASSERT_EQ(got.load(), 1);
+  std::lock_guard lk(mu);
+  EXPECT_EQ(seen.type, MsgType::kPing);
+  EXPECT_EQ(seen.src, 0u);
+  EXPECT_EQ(seen.rpc_id, 55u);
+  EXPECT_EQ(seen.payload, (Bytes{9, 8, 7}));
+}
+
+TEST(TcpTransportTest, ManyMessagesArriveInOrder) {
+  TcpBus bus(41300);
+  auto& a = bus.add_node(0);
+  auto& b = bus.add_node(1);
+  std::atomic<int> count{0};
+  std::vector<std::uint8_t> order;
+  std::mutex mu;
+  b.set_handler([&](Message m) {
+    std::lock_guard lk(mu);
+    order.push_back(m.payload[0]);
+    count.fetch_add(1);
+  });
+  a.set_handler([](Message) {});
+  for (std::uint8_t i = 0; i < 100; ++i) {
+    a.send(make(MsgType::kPing, 1, Bytes{i}));
+  }
+  for (int i = 0; i < 400 && count.load() < 100; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  ASSERT_EQ(count.load(), 100);
+  std::lock_guard lk(mu);
+  for (std::uint8_t i = 0; i < 100; ++i) EXPECT_EQ(order[i], i);
+}
+
+TEST(TcpTransportTest, TimersFireOnExecutor) {
+  TcpBus bus(41400);
+  auto& a = bus.add_node(0);
+  a.set_handler([](Message) {});
+  std::atomic<bool> fired{false};
+  a.schedule(10'000, [&] { fired.store(true); });
+  for (int i = 0; i < 200 && !fired.load(); ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  EXPECT_TRUE(fired.load());
+}
+
+TEST(TcpTransportTest, CancelledTimerIsSilent) {
+  TcpBus bus(41500);
+  auto& a = bus.add_node(0);
+  a.set_handler([](Message) {});
+  std::atomic<bool> fired{false};
+  const auto id = a.schedule(50'000, [&] { fired.store(true); });
+  a.cancel(id);
+  std::this_thread::sleep_for(std::chrono::milliseconds(120));
+  EXPECT_FALSE(fired.load());
+}
+
+TEST(TcpTransportTest, SendToDeadPeerIsBestEffort) {
+  TcpBus bus(41600);
+  auto& a = bus.add_node(0);
+  a.set_handler([](Message) {});
+  // Node 7 was never started; the send must not crash or block.
+  a.send(make(MsgType::kPing, 7));
+  SUCCEED();
+}
+
+}  // namespace
+}  // namespace khz::net

@@ -1,0 +1,340 @@
+// Unit tests for src/storage: memory store (LRU, pins), disk store
+// (persistence, scan, metadata blobs), the two-level hierarchy
+// (promotion, victimization, eviction hook), and the page directory.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+
+#include "storage/hierarchy.h"
+#include "storage/page_directory.h"
+
+namespace khz::storage {
+namespace {
+
+namespace fs = std::filesystem;
+
+Bytes page(std::uint8_t fill) { return Bytes(4096, fill); }
+
+class TempDir {
+ public:
+  TempDir() {
+    dir_ = fs::temp_directory_path() /
+           ("khz_storage_test_" + std::to_string(counter_++));
+    fs::remove_all(dir_);
+  }
+  ~TempDir() { fs::remove_all(dir_); }
+  [[nodiscard]] const fs::path& path() const { return dir_; }
+
+ private:
+  static inline int counter_ = 0;
+  fs::path dir_;
+};
+
+// ---------------------------------------------------------------------------
+// MemoryStore
+// ---------------------------------------------------------------------------
+
+TEST(MemoryStore, PutGetOverwrite) {
+  MemoryStore m;
+  m.put({0, 0}, page(1));
+  ASSERT_NE(m.get({0, 0}), nullptr);
+  EXPECT_EQ((*m.get({0, 0}))[0], 1);
+  m.put({0, 0}, page(2));
+  EXPECT_EQ((*m.get({0, 0}))[0], 2);
+  EXPECT_EQ(m.size(), 1u);
+}
+
+TEST(MemoryStore, VictimIsLeastRecentlyUsed) {
+  MemoryStore m(3);
+  m.put({0, 0}, page(0));
+  m.put({0, 4096}, page(1));
+  m.put({0, 8192}, page(2));
+  (void)m.get({0, 0});  // refresh 0: LRU is now 4096
+  EXPECT_EQ(m.pick_victim(), GlobalAddress(0, 4096));
+}
+
+TEST(MemoryStore, PinnedPagesAreNotVictims) {
+  MemoryStore m(2);
+  m.put({0, 0}, page(0));
+  m.put({0, 4096}, page(1));
+  m.pin({0, 0});
+  m.pin({0, 4096});
+  EXPECT_FALSE(m.pick_victim().has_value());
+  m.unpin({0, 4096});
+  EXPECT_EQ(m.pick_victim(), GlobalAddress(0, 4096));
+}
+
+TEST(MemoryStore, NestedPinsRequireMatchingUnpins) {
+  MemoryStore m;
+  m.put({0, 0}, page(0));
+  m.pin({0, 0});
+  m.pin({0, 0});
+  m.unpin({0, 0});
+  EXPECT_FALSE(m.pick_victim().has_value());
+  m.unpin({0, 0});
+  EXPECT_TRUE(m.pick_victim().has_value());
+}
+
+TEST(MemoryStore, EraseRemovesFromLru) {
+  MemoryStore m;
+  m.put({0, 0}, page(0));
+  EXPECT_TRUE(m.erase({0, 0}));
+  EXPECT_FALSE(m.erase({0, 0}));
+  EXPECT_EQ(m.get({0, 0}), nullptr);
+  EXPECT_FALSE(m.pick_victim().has_value());
+}
+
+TEST(MemoryStore, OverCapacityDetection) {
+  MemoryStore m(2);
+  m.put({0, 0}, page(0));
+  m.put({0, 4096}, page(1));
+  EXPECT_FALSE(m.over_capacity());
+  m.put({0, 8192}, page(2));
+  EXPECT_TRUE(m.over_capacity());
+}
+
+TEST(MemoryStore, GetMutableEditsInPlace) {
+  MemoryStore m;
+  m.put({0, 0}, page(0));
+  (*m.get_mutable({0, 0}))[5] = 42;
+  EXPECT_EQ((*m.get({0, 0}))[5], 42);
+}
+
+// ---------------------------------------------------------------------------
+// DiskStore
+// ---------------------------------------------------------------------------
+
+TEST(DiskStore, PutGetEraseRoundTrip) {
+  TempDir tmp;
+  DiskStore d(tmp.path());
+  EXPECT_TRUE(d.put({1, 4096}, page(7)).ok());
+  auto got = d.get({1, 4096});
+  ASSERT_TRUE(got.has_value());
+  EXPECT_EQ((*got)[0], 7);
+  EXPECT_TRUE(d.erase({1, 4096}));
+  EXPECT_FALSE(d.get({1, 4096}).has_value());
+}
+
+TEST(DiskStore, SurvivesReopen) {
+  TempDir tmp;
+  {
+    DiskStore d(tmp.path());
+    ASSERT_TRUE(d.put({0, 0}, page(3)).ok());
+    ASSERT_TRUE(d.put({0, 4096}, page(4)).ok());
+  }
+  DiskStore d2(tmp.path());
+  EXPECT_EQ(d2.size(), 2u);
+  auto got = d2.get({0, 4096});
+  ASSERT_TRUE(got.has_value());
+  EXPECT_EQ((*got)[0], 4);
+}
+
+TEST(DiskStore, ScanReturnsSortedAddresses) {
+  TempDir tmp;
+  DiskStore d(tmp.path());
+  ASSERT_TRUE(d.put({0, 8192}, page(0)).ok());
+  ASSERT_TRUE(d.put({0, 0}, page(0)).ok());
+  ASSERT_TRUE(d.put({1, 0}, page(0)).ok());
+  const auto pages = d.scan();
+  ASSERT_EQ(pages.size(), 3u);
+  EXPECT_EQ(pages[0], GlobalAddress(0, 0));
+  EXPECT_EQ(pages[1], GlobalAddress(0, 8192));
+  EXPECT_EQ(pages[2], GlobalAddress(1, 0));
+}
+
+TEST(DiskStore, CapacityEnforced) {
+  TempDir tmp;
+  DiskStore d(tmp.path(), 2);
+  EXPECT_TRUE(d.put({0, 0}, page(0)).ok());
+  EXPECT_TRUE(d.put({0, 4096}, page(0)).ok());
+  EXPECT_EQ(d.put({0, 8192}, page(0)).error(), ErrorCode::kNoSpace);
+  // Overwrites of resident pages are always allowed.
+  EXPECT_TRUE(d.put({0, 0}, page(9)).ok());
+}
+
+TEST(DiskStore, MetaBlobsRoundTripAndPersist) {
+  TempDir tmp;
+  {
+    DiskStore d(tmp.path());
+    ASSERT_TRUE(d.put_meta("state", Bytes{1, 2, 3}).ok());
+  }
+  DiskStore d2(tmp.path());
+  auto got = d2.get_meta("state");
+  ASSERT_TRUE(got.has_value());
+  EXPECT_EQ(*got, (Bytes{1, 2, 3}));
+  EXPECT_FALSE(d2.get_meta("missing").has_value());
+}
+
+TEST(DiskStore, MetaIsNotAPage) {
+  TempDir tmp;
+  DiskStore d(tmp.path());
+  ASSERT_TRUE(d.put_meta("state", Bytes{1}).ok());
+  EXPECT_TRUE(d.scan().empty());
+  EXPECT_EQ(d.size(), 0u);
+}
+
+// ---------------------------------------------------------------------------
+// StorageHierarchy
+// ---------------------------------------------------------------------------
+
+TEST(Hierarchy, RamHitThenDiskHitThenMiss) {
+  TempDir tmp;
+  StorageHierarchy h(1, std::make_unique<DiskStore>(tmp.path()));
+  h.put({0, 0}, page(1));
+  h.put({0, 4096}, page(2));  // evicts {0,0} to disk (capacity 1)
+  EXPECT_EQ(h.probe({0, 4096}), HitLevel::kRam);
+  EXPECT_EQ(h.probe({0, 0}), HitLevel::kDisk);
+  EXPECT_EQ(h.probe({0, 8192}), HitLevel::kMiss);
+  EXPECT_EQ(h.stats().ram_to_disk, 1u);
+
+  // A get() promotes the disk page back to RAM (demoting the other).
+  ASSERT_NE(h.get({0, 0}), nullptr);
+  EXPECT_EQ(h.stats().disk_hits, 1u);
+  EXPECT_EQ(h.probe({0, 0}), HitLevel::kRam);
+}
+
+TEST(Hierarchy, DisklessEvictionConsultsHook) {
+  std::vector<GlobalAddress> evicted;
+  StorageHierarchy h(2, nullptr);
+  h.set_evict_hook([&](const GlobalAddress& a, const Bytes&) {
+    evicted.push_back(a);
+    return true;
+  });
+  h.put({0, 0}, page(0));
+  h.put({0, 4096}, page(1));
+  h.put({0, 8192}, page(2));
+  EXPECT_EQ(evicted.size(), 1u);
+  EXPECT_EQ(evicted[0], GlobalAddress(0, 0));
+  EXPECT_FALSE(h.contains({0, 0}));
+}
+
+TEST(Hierarchy, VetoedEvictionKeepsPage) {
+  StorageHierarchy h(1, nullptr);
+  h.set_evict_hook([](const GlobalAddress&, const Bytes&) { return false; });
+  h.put({0, 0}, page(0));
+  h.put({0, 4096}, page(1));
+  // Both pages survive (over capacity) because every drop was vetoed; the
+  // hierarchy proposed each resident page once before giving up.
+  EXPECT_TRUE(h.contains({0, 0}));
+  EXPECT_TRUE(h.contains({0, 4096}));
+  EXPECT_GE(h.stats().eviction_vetoes, 1u);
+}
+
+TEST(Hierarchy, PinnedPagesSurviveCapacityPressure) {
+  StorageHierarchy h(2, nullptr);
+  std::vector<GlobalAddress> evicted;
+  h.set_evict_hook([&](const GlobalAddress& a, const Bytes&) {
+    evicted.push_back(a);
+    return true;
+  });
+  h.put({0, 0}, page(0));
+  h.pin({0, 0});
+  h.put({0, 4096}, page(1));
+  h.pin({0, 4096});
+  // A third page pushes over capacity; only the unpinned newcomer is a
+  // candidate, so the pinned pages survive.
+  h.put({0, 8192}, page(2));
+  EXPECT_TRUE(h.contains({0, 0}));
+  EXPECT_TRUE(h.contains({0, 4096}));
+  ASSERT_EQ(evicted.size(), 1u);
+  EXPECT_EQ(evicted[0], GlobalAddress(0, 8192));
+}
+
+TEST(Hierarchy, DiskFullFallsBackToEviction) {
+  TempDir tmp;
+  std::vector<GlobalAddress> evicted;
+  StorageHierarchy h(1, std::make_unique<DiskStore>(tmp.path(), 1));
+  h.set_evict_hook([&](const GlobalAddress& a, const Bytes&) {
+    evicted.push_back(a);
+    return true;
+  });
+  h.put({0, 0}, page(0));
+  h.put({0, 4096}, page(1));  // {0,0} -> disk
+  h.put({0, 8192}, page(2));  // disk full -> {0,4096} dropped via hook
+  EXPECT_EQ(h.stats().ram_to_disk, 1u);
+  EXPECT_EQ(evicted.size(), 1u);
+}
+
+TEST(Hierarchy, FlushWritesThrough) {
+  TempDir tmp;
+  StorageHierarchy h(8, std::make_unique<DiskStore>(tmp.path()));
+  h.put({0, 0}, page(9));
+  ASSERT_TRUE(h.flush({0, 0}).ok());
+  EXPECT_EQ(h.disk()->get({0, 0}).value()[0], 9);
+  EXPECT_EQ(h.flush({0, 4096}).error(), ErrorCode::kNotFound);
+}
+
+TEST(Hierarchy, EraseRemovesAllLevels) {
+  TempDir tmp;
+  StorageHierarchy h(8, std::make_unique<DiskStore>(tmp.path()));
+  h.put({0, 0}, page(1));
+  ASSERT_TRUE(h.flush({0, 0}).ok());
+  h.erase({0, 0});
+  EXPECT_EQ(h.probe({0, 0}), HitLevel::kMiss);
+}
+
+TEST(Hierarchy, StatsTrackHitsAndMisses) {
+  StorageHierarchy h(8, nullptr);
+  h.put({0, 0}, page(0));
+  (void)h.get({0, 0});
+  (void)h.get({0, 4096});
+  EXPECT_EQ(h.stats().ram_hits, 1u);
+  EXPECT_EQ(h.stats().misses, 1u);
+}
+
+// ---------------------------------------------------------------------------
+// PageDirectory
+// ---------------------------------------------------------------------------
+
+TEST(PageDirectory, EnsureCreatesOnce) {
+  PageDirectory pd;
+  auto& a = pd.ensure({0, 0});
+  a.version = 7;
+  auto& b = pd.ensure({0, 0});
+  EXPECT_EQ(b.version, 7u);
+  EXPECT_EQ(pd.size(), 1u);
+  EXPECT_EQ(a.addr, GlobalAddress(0, 0));
+}
+
+TEST(PageDirectory, FindReturnsNullForMissing) {
+  PageDirectory pd;
+  EXPECT_EQ(pd.find({0, 0}), nullptr);
+  pd.ensure({0, 0});
+  EXPECT_NE(pd.find({0, 0}), nullptr);
+}
+
+TEST(PageDirectory, HomedSubsetIsFiltered) {
+  PageDirectory pd;
+  pd.ensure({0, 0}).homed_locally = true;
+  pd.ensure({0, 4096});
+  pd.ensure({0, 8192}).homed_locally = true;
+  const auto homed = pd.homed_pages();
+  ASSERT_EQ(homed.size(), 2u);
+  EXPECT_EQ(homed[0], GlobalAddress(0, 0));
+  EXPECT_EQ(homed[1], GlobalAddress(0, 8192));
+}
+
+TEST(PageDirectory, LockedReflectsHolds) {
+  PageDirectory pd;
+  auto& info = pd.ensure({0, 0});
+  EXPECT_FALSE(info.locked());
+  info.read_holds = 1;
+  EXPECT_TRUE(info.locked());
+  info.read_holds = 0;
+  info.write_holds = 2;
+  EXPECT_TRUE(info.locked());
+}
+
+TEST(PageDirectory, PagesSortedDeterministically) {
+  PageDirectory pd;
+  pd.ensure({1, 0});
+  pd.ensure({0, 4096});
+  pd.ensure({0, 0});
+  const auto pages = pd.pages();
+  ASSERT_EQ(pages.size(), 3u);
+  EXPECT_EQ(pages[0], GlobalAddress(0, 0));
+  EXPECT_EQ(pages[2], GlobalAddress(1, 0));
+}
+
+}  // namespace
+}  // namespace khz::storage
