@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig2_lockfetch.dir/bench_fig2_lockfetch.cc.o"
+  "CMakeFiles/bench_fig2_lockfetch.dir/bench_fig2_lockfetch.cc.o.d"
+  "bench_fig2_lockfetch"
+  "bench_fig2_lockfetch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig2_lockfetch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_kfs.dir/bench_kfs.cc.o"
+  "CMakeFiles/bench_kfs.dir/bench_kfs.cc.o.d"
+  "bench_kfs"
+  "bench_kfs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_kfs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_location.dir/bench_location.cc.o"
+  "CMakeFiles/bench_location.dir/bench_location.cc.o.d"
+  "bench_location"
+  "bench_location.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_location.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_objects.dir/bench_objects.cc.o"
+  "CMakeFiles/bench_objects.dir/bench_objects.cc.o.d"
+  "bench_objects"
+  "bench_objects.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_objects.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_tcp.dir/bench_tcp.cc.o"
+  "CMakeFiles/bench_tcp.dir/bench_tcp.cc.o.d"
+  "bench_tcp"
+  "bench_tcp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_tcp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kfs_demo.dir/kfs_demo.cpp.o"
+  "CMakeFiles/kfs_demo.dir/kfs_demo.cpp.o.d"
+  "kfs_demo"
+  "kfs_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kfs_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

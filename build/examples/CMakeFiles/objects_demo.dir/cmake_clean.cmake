@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/objects_demo.dir/objects_demo.cpp.o"
+  "CMakeFiles/objects_demo.dir/objects_demo.cpp.o.d"
+  "objects_demo"
+  "objects_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/objects_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/web_cache.cpp" "examples/CMakeFiles/web_cache.dir/web_cache.cpp.o" "gcc" "examples/CMakeFiles/web_cache.dir/web_cache.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/khz_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/kfs/CMakeFiles/khz_kfs.dir/DependInfo.cmake"
+  "/root/repo/build/src/obj/CMakeFiles/khz_obj.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/khz_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/consistency/CMakeFiles/khz_consistency.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/khz_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/khz_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/web_cache.dir/web_cache.cpp.o"
+  "CMakeFiles/web_cache.dir/web_cache.cpp.o.d"
+  "web_cache"
+  "web_cache.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/web_cache.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/khz_common.dir/global_address.cc.o"
+  "CMakeFiles/khz_common.dir/global_address.cc.o.d"
+  "CMakeFiles/khz_common.dir/log.cc.o"
+  "CMakeFiles/khz_common.dir/log.cc.o.d"
+  "CMakeFiles/khz_common.dir/serialize.cc.o"
+  "CMakeFiles/khz_common.dir/serialize.cc.o.d"
+  "libkhz_common.a"
+  "libkhz_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/khz_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/consistency/cm.cc" "src/consistency/CMakeFiles/khz_consistency.dir/cm.cc.o" "gcc" "src/consistency/CMakeFiles/khz_consistency.dir/cm.cc.o.d"
+  "/root/repo/src/consistency/crew.cc" "src/consistency/CMakeFiles/khz_consistency.dir/crew.cc.o" "gcc" "src/consistency/CMakeFiles/khz_consistency.dir/crew.cc.o.d"
+  "/root/repo/src/consistency/eventual.cc" "src/consistency/CMakeFiles/khz_consistency.dir/eventual.cc.o" "gcc" "src/consistency/CMakeFiles/khz_consistency.dir/eventual.cc.o.d"
+  "/root/repo/src/consistency/release.cc" "src/consistency/CMakeFiles/khz_consistency.dir/release.cc.o" "gcc" "src/consistency/CMakeFiles/khz_consistency.dir/release.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/khz_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/khz_storage.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/khz_consistency.dir/cm.cc.o"
+  "CMakeFiles/khz_consistency.dir/cm.cc.o.d"
+  "CMakeFiles/khz_consistency.dir/crew.cc.o"
+  "CMakeFiles/khz_consistency.dir/crew.cc.o.d"
+  "CMakeFiles/khz_consistency.dir/eventual.cc.o"
+  "CMakeFiles/khz_consistency.dir/eventual.cc.o.d"
+  "CMakeFiles/khz_consistency.dir/release.cc.o"
+  "CMakeFiles/khz_consistency.dir/release.cc.o.d"
+  "libkhz_consistency.a"
+  "libkhz_consistency.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/khz_consistency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

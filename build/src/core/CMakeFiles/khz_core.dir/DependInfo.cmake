@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/address_map.cc" "src/core/CMakeFiles/khz_core.dir/address_map.cc.o" "gcc" "src/core/CMakeFiles/khz_core.dir/address_map.cc.o.d"
+  "/root/repo/src/core/cluster.cc" "src/core/CMakeFiles/khz_core.dir/cluster.cc.o" "gcc" "src/core/CMakeFiles/khz_core.dir/cluster.cc.o.d"
+  "/root/repo/src/core/node.cc" "src/core/CMakeFiles/khz_core.dir/node.cc.o" "gcc" "src/core/CMakeFiles/khz_core.dir/node.cc.o.d"
+  "/root/repo/src/core/node_handlers.cc" "src/core/CMakeFiles/khz_core.dir/node_handlers.cc.o" "gcc" "src/core/CMakeFiles/khz_core.dir/node_handlers.cc.o.d"
+  "/root/repo/src/core/node_ops.cc" "src/core/CMakeFiles/khz_core.dir/node_ops.cc.o" "gcc" "src/core/CMakeFiles/khz_core.dir/node_ops.cc.o.d"
+  "/root/repo/src/core/region.cc" "src/core/CMakeFiles/khz_core.dir/region.cc.o" "gcc" "src/core/CMakeFiles/khz_core.dir/region.cc.o.d"
+  "/root/repo/src/core/region_directory.cc" "src/core/CMakeFiles/khz_core.dir/region_directory.cc.o" "gcc" "src/core/CMakeFiles/khz_core.dir/region_directory.cc.o.d"
+  "/root/repo/src/core/sim_world.cc" "src/core/CMakeFiles/khz_core.dir/sim_world.cc.o" "gcc" "src/core/CMakeFiles/khz_core.dir/sim_world.cc.o.d"
+  "/root/repo/src/core/tcp_world.cc" "src/core/CMakeFiles/khz_core.dir/tcp_world.cc.o" "gcc" "src/core/CMakeFiles/khz_core.dir/tcp_world.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/khz_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/khz_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/khz_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/consistency/CMakeFiles/khz_consistency.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

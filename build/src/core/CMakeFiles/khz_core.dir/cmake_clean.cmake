@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/khz_core.dir/address_map.cc.o"
+  "CMakeFiles/khz_core.dir/address_map.cc.o.d"
+  "CMakeFiles/khz_core.dir/cluster.cc.o"
+  "CMakeFiles/khz_core.dir/cluster.cc.o.d"
+  "CMakeFiles/khz_core.dir/node.cc.o"
+  "CMakeFiles/khz_core.dir/node.cc.o.d"
+  "CMakeFiles/khz_core.dir/node_handlers.cc.o"
+  "CMakeFiles/khz_core.dir/node_handlers.cc.o.d"
+  "CMakeFiles/khz_core.dir/node_ops.cc.o"
+  "CMakeFiles/khz_core.dir/node_ops.cc.o.d"
+  "CMakeFiles/khz_core.dir/region.cc.o"
+  "CMakeFiles/khz_core.dir/region.cc.o.d"
+  "CMakeFiles/khz_core.dir/region_directory.cc.o"
+  "CMakeFiles/khz_core.dir/region_directory.cc.o.d"
+  "CMakeFiles/khz_core.dir/sim_world.cc.o"
+  "CMakeFiles/khz_core.dir/sim_world.cc.o.d"
+  "CMakeFiles/khz_core.dir/tcp_world.cc.o"
+  "CMakeFiles/khz_core.dir/tcp_world.cc.o.d"
+  "libkhz_core.a"
+  "libkhz_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/khz_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libkhz_core.a"
+)

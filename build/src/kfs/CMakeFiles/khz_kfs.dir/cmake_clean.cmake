@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/khz_kfs.dir/fs.cc.o"
+  "CMakeFiles/khz_kfs.dir/fs.cc.o.d"
+  "libkhz_kfs.a"
+  "libkhz_kfs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/khz_kfs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/khz_net.dir/message.cc.o"
+  "CMakeFiles/khz_net.dir/message.cc.o.d"
+  "CMakeFiles/khz_net.dir/sim_network.cc.o"
+  "CMakeFiles/khz_net.dir/sim_network.cc.o.d"
+  "CMakeFiles/khz_net.dir/tcp_transport.cc.o"
+  "CMakeFiles/khz_net.dir/tcp_transport.cc.o.d"
+  "libkhz_net.a"
+  "libkhz_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/khz_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/khz_obj.dir/runtime.cc.o"
+  "CMakeFiles/khz_obj.dir/runtime.cc.o.d"
+  "libkhz_obj.a"
+  "libkhz_obj.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/khz_obj.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/storage/disk_store.cc" "src/storage/CMakeFiles/khz_storage.dir/disk_store.cc.o" "gcc" "src/storage/CMakeFiles/khz_storage.dir/disk_store.cc.o.d"
+  "/root/repo/src/storage/hierarchy.cc" "src/storage/CMakeFiles/khz_storage.dir/hierarchy.cc.o" "gcc" "src/storage/CMakeFiles/khz_storage.dir/hierarchy.cc.o.d"
+  "/root/repo/src/storage/memory_store.cc" "src/storage/CMakeFiles/khz_storage.dir/memory_store.cc.o" "gcc" "src/storage/CMakeFiles/khz_storage.dir/memory_store.cc.o.d"
+  "/root/repo/src/storage/page_directory.cc" "src/storage/CMakeFiles/khz_storage.dir/page_directory.cc.o" "gcc" "src/storage/CMakeFiles/khz_storage.dir/page_directory.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/khz_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

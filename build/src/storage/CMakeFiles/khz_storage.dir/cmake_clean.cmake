@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/khz_storage.dir/disk_store.cc.o"
+  "CMakeFiles/khz_storage.dir/disk_store.cc.o.d"
+  "CMakeFiles/khz_storage.dir/hierarchy.cc.o"
+  "CMakeFiles/khz_storage.dir/hierarchy.cc.o.d"
+  "CMakeFiles/khz_storage.dir/memory_store.cc.o"
+  "CMakeFiles/khz_storage.dir/memory_store.cc.o.d"
+  "CMakeFiles/khz_storage.dir/page_directory.cc.o"
+  "CMakeFiles/khz_storage.dir/page_directory.cc.o.d"
+  "libkhz_storage.a"
+  "libkhz_storage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/khz_storage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/address_map_test.dir/address_map_test.cc.o"
+  "CMakeFiles/address_map_test.dir/address_map_test.cc.o.d"
+  "address_map_test"
+  "address_map_test.pdb"
+  "address_map_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/address_map_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

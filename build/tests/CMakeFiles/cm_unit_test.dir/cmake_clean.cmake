@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cm_unit_test.dir/cm_unit_test.cc.o"
+  "CMakeFiles/cm_unit_test.dir/cm_unit_test.cc.o.d"
+  "cm_unit_test"
+  "cm_unit_test.pdb"
+  "cm_unit_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cm_unit_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/integration_tcp_test.dir/integration_tcp_test.cc.o"
+  "CMakeFiles/integration_tcp_test.dir/integration_tcp_test.cc.o.d"
+  "integration_tcp_test"
+  "integration_tcp_test.pdb"
+  "integration_tcp_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/integration_tcp_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kfs_test.dir/kfs_test.cc.o"
+  "CMakeFiles/kfs_test.dir/kfs_test.cc.o.d"
+  "kfs_test"
+  "kfs_test.pdb"
+  "kfs_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kfs_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multi_manager_test.dir/multi_manager_test.cc.o"
+  "CMakeFiles/multi_manager_test.dir/multi_manager_test.cc.o.d"
+  "multi_manager_test"
+  "multi_manager_test.pdb"
+  "multi_manager_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multi_manager_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

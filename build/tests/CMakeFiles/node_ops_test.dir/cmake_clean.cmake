@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/node_ops_test.dir/node_ops_test.cc.o"
+  "CMakeFiles/node_ops_test.dir/node_ops_test.cc.o.d"
+  "node_ops_test"
+  "node_ops_test.pdb"
+  "node_ops_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/node_ops_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

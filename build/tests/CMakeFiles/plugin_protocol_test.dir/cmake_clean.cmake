@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/plugin_protocol_test.dir/plugin_protocol_test.cc.o"
+  "CMakeFiles/plugin_protocol_test.dir/plugin_protocol_test.cc.o.d"
+  "plugin_protocol_test"
+  "plugin_protocol_test.pdb"
+  "plugin_protocol_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/plugin_protocol_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

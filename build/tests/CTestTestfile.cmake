@@ -1,0 +1,27 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/common_test[1]_include.cmake")
+include("/root/repo/build/tests/net_test[1]_include.cmake")
+include("/root/repo/build/tests/storage_test[1]_include.cmake")
+include("/root/repo/build/tests/address_map_test[1]_include.cmake")
+include("/root/repo/build/tests/region_test[1]_include.cmake")
+include("/root/repo/build/tests/consistency_test[1]_include.cmake")
+include("/root/repo/build/tests/cm_unit_test[1]_include.cmake")
+include("/root/repo/build/tests/core_smoke_test[1]_include.cmake")
+include("/root/repo/build/tests/lookup_test[1]_include.cmake")
+include("/root/repo/build/tests/node_ops_test[1]_include.cmake")
+include("/root/repo/build/tests/migration_test[1]_include.cmake")
+include("/root/repo/build/tests/multi_manager_test[1]_include.cmake")
+include("/root/repo/build/tests/membership_test[1]_include.cmake")
+include("/root/repo/build/tests/plugin_protocol_test[1]_include.cmake")
+include("/root/repo/build/tests/soak_test[1]_include.cmake")
+include("/root/repo/build/tests/regression_test[1]_include.cmake")
+include("/root/repo/build/tests/property_test[1]_include.cmake")
+include("/root/repo/build/tests/failure_test[1]_include.cmake")
+include("/root/repo/build/tests/kfs_test[1]_include.cmake")
+include("/root/repo/build/tests/obj_test[1]_include.cmake")
+include("/root/repo/build/tests/integration_tcp_test[1]_include.cmake")
