@@ -1,5 +1,7 @@
 #include "core/tcp_world.h"
 
+#include <algorithm>
+
 namespace khz::core {
 
 TcpWorld::TcpWorld(TcpWorldOptions opts) : bus_(opts.base_port) {
@@ -32,6 +34,25 @@ TcpWorld::TcpWorld(TcpWorldOptions opts) : bus_(opts.base_port) {
     const auto id = static_cast<NodeId>(i);
     transports_[i]->run_on_executor([&, id] { nodes_[id]->start(); });
   }
+}
+
+net::TransportStats TcpWorld::total_transport_stats() const {
+  net::TransportStats sum;
+  for (const auto* t : transports_) {
+    const net::TransportStats s = t->stats();
+    sum.messages_sent += s.messages_sent;
+    sum.messages_received += s.messages_received;
+    sum.bytes_sent += s.bytes_sent;
+    sum.bytes_received += s.bytes_received;
+    sum.frames_dropped += s.frames_dropped;
+    sum.connects += s.connects;
+    sum.reconnects += s.reconnects;
+    sum.connect_failures += s.connect_failures;
+    sum.queued_bytes += s.queued_bytes;
+    sum.peak_queued_bytes =
+        std::max(sum.peak_queued_bytes, s.peak_queued_bytes);
+  }
+  return sum;
 }
 
 TcpWorld::~TcpWorld() {

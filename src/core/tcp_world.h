@@ -46,6 +46,14 @@ class TcpWorld {
   }
   [[nodiscard]] std::size_t size() const { return nodes_.size(); }
 
+  /// Wire-level counters of one node's endpoint, the transport analogue of
+  /// Node::stats().
+  [[nodiscard]] net::TransportStats transport_stats(NodeId id) const {
+    return transports_.at(id)->stats();
+  }
+  /// Sum of transport_stats() across the whole deployment.
+  [[nodiscard]] net::TransportStats total_transport_stats() const;
+
  private:
   net::TcpBus bus_;
   std::vector<net::TcpTransport*> transports_;

@@ -62,6 +62,22 @@ Bytes Message::encode() const {
   return std::move(e).take();
 }
 
+Bytes Message::encode_framed() const {
+  Encoder e;
+  e.u32(0);  // frame-length placeholder, patched below
+  e.u16(static_cast<std::uint16_t>(type));
+  e.u32(src);
+  e.u32(dst);
+  e.u64(rpc_id);
+  e.bytes(payload);
+  Bytes out = std::move(e).take();
+  const auto body_len = static_cast<std::uint32_t>(out.size() - 4);
+  for (std::size_t i = 0; i < 4; ++i) {
+    out[i] = static_cast<std::uint8_t>(body_len >> (8 * i));
+  }
+  return out;
+}
+
 bool Message::decode(std::span<const std::uint8_t> wire, Message& out) {
   Decoder d(wire);
   out.type = static_cast<MsgType>(d.u16());

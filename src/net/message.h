@@ -105,6 +105,10 @@ struct Message {
 
   /// Flat wire encoding, used by the TCP transport.
   [[nodiscard]] Bytes encode() const;
+  /// encode() preceded by the 4-byte little-endian frame length that stream
+  /// transports use for delimiting — built in one buffer so the send path
+  /// queues (and writes) a single contiguous frame.
+  [[nodiscard]] Bytes encode_framed() const;
   static bool decode(std::span<const std::uint8_t> wire, Message& out);
 };
 

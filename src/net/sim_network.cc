@@ -42,7 +42,13 @@ void SimNetwork::set_link_pair(NodeId a, NodeId b, LinkProfile profile) {
   set_link(b, a, profile);
 }
 
-void SimNetwork::set_node_up(NodeId id, bool up) { up_[id] = up; }
+void SimNetwork::set_node_up(NodeId id, bool up) {
+  // A crash invalidates every timer the dying incarnation scheduled: their
+  // callbacks capture objects that are destroyed with the node, so letting
+  // them fire after a crash+restart would touch freed memory.
+  if (!up && node_up(id)) ++crash_epoch_[id];
+  up_[id] = up;
+}
 
 bool SimNetwork::node_up(NodeId id) const {
   auto it = up_.find(id);
@@ -116,6 +122,8 @@ std::uint64_t SimNetwork::schedule_timer(NodeId node, Micros delay,
   ev.fn = std::move(fn);
   ev.is_timer = true;
   ev.timer_id = next_timer_id_++;
+  auto epoch_it = crash_epoch_.find(node);
+  ev.epoch = epoch_it == crash_epoch_.end() ? 0 : epoch_it->second;
   const std::uint64_t id = ev.timer_id;
   queue_.push(std::move(ev));
   return id;
@@ -126,8 +134,13 @@ void SimNetwork::dispatch(Event& ev) {
   if (ev.is_timer) {
     if (cancelled_timers_.erase(ev.timer_id) > 0) return;
     // A crashed node's timers are suppressed, matching the loss of its
-    // volatile state; they do not fire later on restart.
+    // volatile state; they do not fire later on restart either — the
+    // epoch check catches timers from a pre-crash incarnation even when
+    // the node is already back up.
     if (!node_up(ev.node)) return;
+    auto epoch_it = crash_epoch_.find(ev.node);
+    if (ev.epoch != (epoch_it == crash_epoch_.end() ? 0 : epoch_it->second))
+      return;
     ev.fn();
     return;
   }

@@ -136,6 +136,7 @@ class SimNetwork {
     std::function<void()> fn;
     bool is_timer = false;
     std::uint64_t timer_id = 0;
+    int epoch = 0;  // node incarnation the timer belongs to
   };
   struct EventOrder {
     bool operator()(const Event& a, const Event& b) const {
@@ -159,6 +160,10 @@ class SimNetwork {
 
   std::unordered_map<NodeId, std::unique_ptr<SimTransport>> endpoints_;
   std::unordered_map<NodeId, bool> up_;
+  // Bumped on every crash: timers scheduled by an earlier incarnation of a
+  // node must never fire into a later one (their callbacks capture state
+  // that died with the crash).
+  std::unordered_map<NodeId, int> crash_epoch_;
   std::map<std::pair<NodeId, NodeId>, LinkProfile> links_;
   LinkProfile default_link_ = LinkProfile::lan();
   std::unordered_map<NodeId, int> partition_group_;  // absent = group 0

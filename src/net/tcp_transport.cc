@@ -1,12 +1,16 @@
 #include "net/tcp_transport.h"
 
 #include <arpa/inet.h>
+#include <fcntl.h>
 #include <netinet/in.h>
 #include <netinet/tcp.h>
+#include <sys/epoll.h>
+#include <sys/eventfd.h>
 #include <sys/socket.h>
 #include <unistd.h>
 
 #include <algorithm>
+#include <cerrno>
 #include <cstring>
 
 #include "common/log.h"
@@ -16,26 +20,18 @@ namespace khz::net {
 namespace {
 const SteadyClock g_steady_clock;
 
-bool read_exact(int fd, std::uint8_t* buf, std::size_t n) {
-  std::size_t got = 0;
-  while (got < n) {
-    const ssize_t r = ::read(fd, buf + got, n - got);
-    if (r <= 0) return false;
-    got += static_cast<std::size_t>(r);
-  }
-  return true;
+constexpr std::uint32_t kMaxFrameLen = 64u << 20;  // sanity cap: 64 MiB
+
+void set_nodelay(int fd) {
+  int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
 }
 
-bool write_all(int fd, const std::uint8_t* buf, std::size_t n) {
-  std::size_t put = 0;
-  while (put < n) {
-    // MSG_NOSIGNAL: a peer that closed mid-write yields EPIPE, not a
-    // process-killing SIGPIPE.
-    const ssize_t w = ::send(fd, buf + put, n - put, MSG_NOSIGNAL);
-    if (w <= 0) return false;
-    put += static_cast<std::size_t>(w);
-  }
-  return true;
+std::uint32_t read_le32(const std::uint8_t* p) {
+  return static_cast<std::uint32_t>(p[0]) |
+         static_cast<std::uint32_t>(p[1]) << 8 |
+         static_cast<std::uint32_t>(p[2]) << 16 |
+         static_cast<std::uint32_t>(p[3]) << 24;
 }
 }  // namespace
 
@@ -51,7 +47,14 @@ void TcpTransport::set_handler(Handler handler) {
 const Clock& TcpTransport::clock() const { return g_steady_clock; }
 
 void TcpTransport::start() {
-  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  epoll_fd_ = ::epoll_create1(0);
+  wake_fd_ = ::eventfd(0, EFD_NONBLOCK);
+  epoll_event ev{};
+  ev.events = EPOLLIN;
+  ev.data.fd = wake_fd_;
+  ::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, wake_fd_, &ev);
+
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK, 0);
   int one = 1;
   ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
   sockaddr_in addr{};
@@ -61,130 +64,362 @@ void TcpTransport::start() {
   if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) !=
           0 ||
       ::listen(listen_fd_, 64) != 0) {
+    // Still run (timers and outbound sends work); we just can't be reached.
     KHZ_ERROR("tcp: node %u failed to listen on port %u", id_, port_);
     ::close(listen_fd_);
     listen_fd_ = -1;
-    return;
+  } else {
+    ev.events = EPOLLIN;
+    ev.data.fd = listen_fd_;
+    ::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, listen_fd_, &ev);
   }
   running_.store(true);
   executor_ = std::thread([this] { executor_loop(); });
-  acceptor_ = std::thread([this] { accept_loop(); });
+  io_ = std::thread([this] { io_loop(); });
 }
 
 void TcpTransport::stop() {
   bool was_running = running_.exchange(false);
   if (!was_running) return;
-  ::shutdown(listen_fd_, SHUT_RDWR);
-  ::close(listen_fd_);
+  wake_io();
+  if (io_.joinable()) io_.join();
   {
-    std::lock_guard lk(conn_mu_);
-    for (auto& [_, fd] : out_fds_) {
-      ::shutdown(fd, SHUT_RDWR);
-      ::close(fd);
+    std::lock_guard lk(io_mu_);
+    for (auto& [_, p] : peers_) {
+      if (p.fd >= 0) ::close(p.fd);
+      p.fd = -1;
     }
-    out_fds_.clear();
+    peers_.clear();
+    out_by_fd_.clear();
+    for (auto& [fd, _] : in_conns_) ::close(fd);
+    in_conns_.clear();
+    if (listen_fd_ >= 0) ::close(listen_fd_);
+    listen_fd_ = -1;
+    ::close(wake_fd_);
+    wake_fd_ = -1;
+    ::close(epoll_fd_);
+    epoll_fd_ = -1;
   }
   cv_.notify_all();
-  if (acceptor_.joinable()) acceptor_.join();
-  {
-    std::lock_guard lk(readers_mu_);
-    // Unblock reader threads parked in read() on accepted sockets.
-    for (int fd : in_fds_) ::shutdown(fd, SHUT_RDWR);
-    for (auto& t : readers_) {
-      if (t.joinable()) t.join();
-    }
-    readers_.clear();
-    in_fds_.clear();
-  }
   if (executor_.joinable()) executor_.join();
 }
 
-void TcpTransport::accept_loop() {
+void TcpTransport::wake_io() {
+  const std::uint64_t one = 1;
+  if (wake_fd_ >= 0) {
+    [[maybe_unused]] ssize_t r = ::write(wake_fd_, &one, sizeof(one));
+  }
+}
+
+// ---------------------------------------------------------------------------
+// I/O thread: one epoll over the listener, inbound and outbound sockets.
+// ---------------------------------------------------------------------------
+
+void TcpTransport::io_loop() {
+  std::vector<epoll_event> events(64);
   while (running_.load()) {
+    const int timeout = backoff_timeout_ms();
+    const int n =
+        ::epoll_wait(epoll_fd_, events.data(),
+                     static_cast<int>(events.size()), timeout);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      break;
+    }
+    std::lock_guard lk(io_mu_);
+    if (!running_.load()) break;
+    for (int i = 0; i < n; ++i) {
+      const int fd = events[i].data.fd;
+      const std::uint32_t evs = events[i].events;
+      if (fd == wake_fd_) {
+        std::uint64_t drain;
+        while (::read(wake_fd_, &drain, sizeof(drain)) > 0) {
+        }
+      } else if (fd == listen_fd_) {
+        accept_ready();
+      } else if (auto it = out_by_fd_.find(fd); it != out_by_fd_.end()) {
+        peer_event(it->second, evs);
+      } else if (in_conns_.count(fd) != 0) {
+        inbound_ready(fd, evs);
+      }
+    }
+    attempt_due_connects(g_steady_clock.now());
+  }
+}
+
+int TcpTransport::backoff_timeout_ms() {
+  std::lock_guard lk(io_mu_);
+  Micros soonest = -1;
+  const Micros now = g_steady_clock.now();
+  for (const auto& [_, p] : peers_) {
+    if (p.fd >= 0 || p.queue.empty()) continue;
+    const Micros wait = p.next_attempt > now ? p.next_attempt - now : 0;
+    if (soonest < 0 || wait < soonest) soonest = wait;
+  }
+  if (soonest < 0) return -1;  // nothing pending: block until woken
+  return static_cast<int>((soonest + 999) / 1000);
+}
+
+void TcpTransport::accept_ready() {
+  while (true) {
     sockaddr_in peer{};
     socklen_t len = sizeof(peer);
-    const int fd =
-        ::accept(listen_fd_, reinterpret_cast<sockaddr*>(&peer), &len);
-    if (fd < 0) break;
-    int one = 1;
-    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
-    std::lock_guard lk(readers_mu_);
-    in_fds_.push_back(fd);
-    readers_.emplace_back([this, fd] { reader_loop(fd); });
+    const int fd = ::accept4(listen_fd_, reinterpret_cast<sockaddr*>(&peer),
+                             &len, SOCK_NONBLOCK);
+    if (fd < 0) return;  // EAGAIN or listener gone
+    set_nodelay(fd);
+    in_conns_.emplace(fd, InConn{});
+    epoll_event ev{};
+    ev.events = EPOLLIN | EPOLLRDHUP;
+    ev.data.fd = fd;
+    ::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, fd, &ev);
   }
 }
 
-void TcpTransport::reader_loop(int fd) {
-  while (running_.load()) {
-    std::uint8_t hdr[4];
-    if (!read_exact(fd, hdr, 4)) break;
-    const std::uint32_t frame_len =
-        static_cast<std::uint32_t>(hdr[0]) |
-        static_cast<std::uint32_t>(hdr[1]) << 8 |
-        static_cast<std::uint32_t>(hdr[2]) << 16 |
-        static_cast<std::uint32_t>(hdr[3]) << 24;
-    if (frame_len > 64u << 20) break;  // sanity cap: 64 MiB
-    Bytes frame(frame_len);
-    if (!read_exact(fd, frame.data(), frame_len)) break;
-    Message msg;
-    if (!Message::decode(frame, msg)) {
-      KHZ_WARN("tcp: node %u dropping undecodable frame", id_);
+void TcpTransport::close_inbound(int fd) {
+  ::epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, fd, nullptr);
+  ::close(fd);
+  in_conns_.erase(fd);
+}
+
+void TcpTransport::inbound_ready(int fd, std::uint32_t events) {
+  auto& conn = in_conns_.at(fd);
+  bool closed = (events & (EPOLLHUP | EPOLLERR)) != 0;
+  std::uint8_t tmp[64 * 1024];
+  while (!closed) {
+    const ssize_t r = ::recv(fd, tmp, sizeof(tmp), 0);
+    if (r > 0) {
+      conn.buf.insert(conn.buf.end(), tmp, tmp + r);
+      counters_.bytes_received += static_cast<std::uint64_t>(r);
       continue;
     }
-    enqueue([this, m = std::move(msg)]() mutable {
-      if (handler_) handler_(std::move(m));
-    });
+    if (r < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) break;
+    closed = true;  // EOF or hard error
   }
-  ::close(fd);
+  // Peel off complete frames: 4-byte little-endian length + body.
+  std::size_t off = 0;
+  while (conn.buf.size() - off >= 4) {
+    const std::uint32_t frame_len = read_le32(conn.buf.data() + off);
+    if (frame_len > kMaxFrameLen) {
+      KHZ_WARN("tcp: node %u dropping oversized frame (%u bytes)", id_,
+               frame_len);
+      closed = true;
+      break;
+    }
+    if (conn.buf.size() - off < 4u + frame_len) break;
+    Message msg;
+    if (Message::decode({conn.buf.data() + off + 4, frame_len}, msg)) {
+      ++counters_.messages_received;
+      enqueue([this, m = std::move(msg)]() mutable {
+        if (handler_) handler_(std::move(m));
+      });
+    } else {
+      KHZ_WARN("tcp: node %u dropping undecodable frame", id_);
+      ++counters_.frames_dropped;
+    }
+    off += 4u + frame_len;
+  }
+  if (off > 0) {
+    conn.buf.erase(conn.buf.begin(),
+                   conn.buf.begin() + static_cast<std::ptrdiff_t>(off));
+  }
+  if (closed || (events & EPOLLRDHUP) != 0) close_inbound(fd);
 }
 
-int TcpTransport::connect_to(std::uint16_t port) {
-  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
-  if (fd < 0) return -1;
+// ---------------------------------------------------------------------------
+// Outbound: per-peer non-blocking write queues + reconnect with backoff.
+// ---------------------------------------------------------------------------
+
+void TcpTransport::update_peer_events(PeerConn& p) {
+  if (p.fd < 0) return;
+  std::uint32_t want = EPOLLIN | EPOLLRDHUP;  // detect peer close
+  if (p.connecting || !p.queue.empty()) want |= EPOLLOUT;
+  if (want == p.armed) return;
+  epoll_event ev{};
+  ev.events = want;
+  ev.data.fd = p.fd;
+  const int op = p.armed == 0 ? EPOLL_CTL_ADD : EPOLL_CTL_MOD;
+  ::epoll_ctl(epoll_fd_, op, p.fd, &ev);
+  p.armed = want;
+}
+
+void TcpTransport::start_connect(NodeId peer) {
+  auto& p = peers_[peer];
+  const int fd = ::socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK, 0);
+  if (fd < 0) return;
   sockaddr_in addr{};
   addr.sin_family = AF_INET;
   addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
-  addr.sin_port = htons(port);
-  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+  addr.sin_port = htons(bus_.port_of(peer));
+  const int rc = ::connect(fd, reinterpret_cast<sockaddr*>(&addr),
+                           sizeof(addr));
+  if (rc != 0 && errno != EINPROGRESS) {
     ::close(fd);
-    return -1;
+    ++counters_.connect_failures;
+    ++p.backoff_exp;
+    const Micros delay = std::min<Micros>(
+        kBackoffBase << std::min(p.backoff_exp - 1, 20), kBackoffMax);
+    p.next_attempt = g_steady_clock.now() + delay;
+    return;
   }
-  int one = 1;
-  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
-  return fd;
+  p.fd = fd;
+  p.armed = 0;
+  out_by_fd_[fd] = peer;
+  p.connecting = (rc != 0);
+  if (p.connecting) {
+    update_peer_events(p);
+  } else {
+    finish_connect(peer);
+  }
+}
+
+void TcpTransport::finish_connect(NodeId peer) {
+  auto& p = peers_[peer];
+  int err = 0;
+  socklen_t len = sizeof(err);
+  ::getsockopt(p.fd, SOL_SOCKET, SO_ERROR, &err, &len);
+  if (err != 0) {
+    ::epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, p.fd, nullptr);
+    out_by_fd_.erase(p.fd);
+    ::close(p.fd);
+    p.fd = -1;
+    p.armed = 0;
+    p.connecting = false;
+    ++counters_.connect_failures;
+    ++p.backoff_exp;
+    const Micros delay = std::min<Micros>(
+        kBackoffBase << std::min(p.backoff_exp - 1, 20), kBackoffMax);
+    p.next_attempt = g_steady_clock.now() + delay;
+    return;
+  }
+  p.connecting = false;
+  p.backoff_exp = 0;
+  p.next_attempt = 0;
+  set_nodelay(p.fd);
+  ++counters_.connects;
+  if (p.was_connected) ++counters_.reconnects;
+  p.was_connected = true;
+  if (!flush_queue(p)) {
+    connection_lost(peer);
+    return;
+  }
+  update_peer_events(p);
+}
+
+void TcpTransport::connection_lost(NodeId peer) {
+  auto& p = peers_[peer];
+  if (p.fd >= 0) {
+    ::epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, p.fd, nullptr);
+    out_by_fd_.erase(p.fd);
+    ::close(p.fd);
+  }
+  p.fd = -1;
+  p.armed = 0;
+  p.connecting = false;
+  // A partially written frame cannot be resumed on a new connection.
+  if (p.front_off > 0 && !p.queue.empty()) {
+    p.queue_bytes -= p.queue.front().size() - p.front_off;
+    p.queue.pop_front();
+    p.front_off = 0;
+    ++counters_.frames_dropped;
+  }
+  // First retry is immediate; repeated failures back off exponentially.
+  p.next_attempt = g_steady_clock.now();
+}
+
+bool TcpTransport::flush_queue(PeerConn& p) {
+  while (!p.queue.empty()) {
+    const Bytes& frame = p.queue.front();
+    const ssize_t w = ::send(p.fd, frame.data() + p.front_off,
+                             frame.size() - p.front_off, MSG_NOSIGNAL);
+    if (w < 0) {
+      if (errno == EAGAIN || errno == EWOULDBLOCK) return true;
+      return false;
+    }
+    counters_.bytes_sent += static_cast<std::uint64_t>(w);
+    p.front_off += static_cast<std::size_t>(w);
+    p.queue_bytes -= static_cast<std::size_t>(w);
+    if (p.front_off == frame.size()) {
+      p.queue.pop_front();
+      p.front_off = 0;
+      ++counters_.messages_sent;
+    }
+  }
+  return true;
+}
+
+void TcpTransport::peer_event(NodeId peer, std::uint32_t events) {
+  auto& p = peers_[peer];
+  if (p.connecting) {
+    // Writability (or an error flag) resolves the pending connect().
+    if ((events & (EPOLLOUT | EPOLLERR | EPOLLHUP)) != 0) finish_connect(peer);
+    return;
+  }
+  if ((events & (EPOLLERR | EPOLLHUP | EPOLLRDHUP | EPOLLIN)) != 0) {
+    // Peers never send data on our outbound connections, so readability
+    // means EOF (peer died) or an error.
+    std::uint8_t probe[256];
+    const ssize_t r = ::recv(p.fd, probe, sizeof(probe), 0);
+    if (r == 0 || (r < 0 && errno != EAGAIN && errno != EWOULDBLOCK) ||
+        (events & (EPOLLERR | EPOLLHUP)) != 0) {
+      connection_lost(peer);
+      return;
+    }
+  }
+  if ((events & EPOLLOUT) != 0) {
+    if (!flush_queue(p)) {
+      connection_lost(peer);
+      return;
+    }
+    update_peer_events(p);
+  }
+}
+
+void TcpTransport::attempt_due_connects(Micros now) {
+  for (auto& [peer, p] : peers_) {
+    if (p.fd < 0 && !p.queue.empty() && now >= p.next_attempt) {
+      start_connect(peer);
+    }
+  }
 }
 
 void TcpTransport::send(Message msg) {
+  if (!running_.load()) return;
   msg.src = id_;
-  const Bytes body = msg.encode();
-  int fd = -1;
+  Bytes frame = msg.encode_framed();
+  bool need_wake = false;
   {
-    std::lock_guard lk(conn_mu_);
-    auto it = out_fds_.find(msg.dst);
-    if (it != out_fds_.end()) fd = it->second;
-  }
-  if (fd < 0) {
-    fd = connect_to(bus_.port_of(msg.dst));
-    if (fd < 0) return;  // peer down: best-effort drop, retries handle it
-    std::lock_guard lk(conn_mu_);
-    auto [it, inserted] = out_fds_.emplace(msg.dst, fd);
-    if (!inserted) {
-      ::close(fd);
-      fd = it->second;
+    std::lock_guard lk(io_mu_);
+    auto& p = peers_[msg.dst];
+    if (p.queue_bytes + frame.size() > kMaxPeerQueueBytes) {
+      ++counters_.frames_dropped;  // backlogged peer: shed, don't grow
+      return;
     }
-  }
-  std::uint8_t hdr[4] = {
-      static_cast<std::uint8_t>(body.size()),
-      static_cast<std::uint8_t>(body.size() >> 8),
-      static_cast<std::uint8_t>(body.size() >> 16),
-      static_cast<std::uint8_t>(body.size() >> 24),
-  };
-  std::lock_guard lk(conn_mu_);
-  if (!write_all(fd, hdr, 4) || !write_all(fd, body.data(), body.size())) {
-    out_fds_.erase(msg.dst);
-    ::close(fd);
+    const bool was_idle = p.queue.empty();
+    p.queue_bytes += frame.size();
+    p.queue.push_back(std::move(frame));
+    counters_.peak_queued_bytes =
+        std::max<std::uint64_t>(counters_.peak_queued_bytes, p.queue_bytes);
+    if (p.fd >= 0 && !p.connecting && was_idle) {
+      // Opportunistic inline flush: skip the I/O-thread hop on the common
+      // uncontended path. Leftovers drain via EPOLLOUT.
+      if (!flush_queue(p)) {
+        connection_lost(msg.dst);
+        need_wake = true;
+      } else {
+        update_peer_events(p);
+      }
+    } else {
+      // Disconnected or already backlogged: the I/O thread owns progress.
+      need_wake = true;
+    }
+    if (need_wake) wake_io();
   }
 }
+
+// ---------------------------------------------------------------------------
+// Executor thread: serialized callbacks + timer heap.
+// ---------------------------------------------------------------------------
 
 void TcpTransport::enqueue(std::function<void()> fn) {
   {
@@ -198,19 +433,44 @@ std::uint64_t TcpTransport::schedule(Micros delay, std::function<void()> fn) {
   std::lock_guard lk(mu_);
   Timer t;
   t.fire_at = g_steady_clock.now() + delay;
-  t.id = next_timer_id_++;
+  const std::uint64_t id = next_timer_id_++;
+  t.id = id;
   t.fn = std::move(fn);
   timers_.push_back(std::move(t));
   std::push_heap(timers_.begin(), timers_.end());
   cv_.notify_one();
-  return timers_.back().id;
+  // NOT timers_.back().id: push_heap may have moved another timer there.
+  return id;
 }
 
 void TcpTransport::cancel(std::uint64_t timer_id) {
   std::lock_guard lk(mu_);
   for (auto& t : timers_) {
-    if (t.id == timer_id) t.fn = nullptr;  // fires as a no-op
+    if (t.id == timer_id && t.fn) {
+      t.fn = nullptr;  // fires as a no-op if not compacted first
+      ++timer_tombstones_;
+    }
   }
+  // Lazy compaction: once tombstones dominate, rebuild the heap without
+  // them so long-running schedule/cancel loops don't leak entries.
+  if (timer_tombstones_ * 2 > timers_.size()) {
+    std::erase_if(timers_, [](const Timer& t) { return !t.fn; });
+    std::make_heap(timers_.begin(), timers_.end());
+    timer_tombstones_ = 0;
+  }
+}
+
+std::size_t TcpTransport::pending_timers() const {
+  std::lock_guard lk(mu_);
+  return timers_.size();
+}
+
+TransportStats TcpTransport::stats() const {
+  std::lock_guard lk(io_mu_);
+  TransportStats s = counters_;
+  s.queued_bytes = 0;
+  for (const auto& [_, p] : peers_) s.queued_bytes += p.queue_bytes;
+  return s;
 }
 
 void TcpTransport::run_on_executor(std::function<void()> fn) {
@@ -245,7 +505,10 @@ void TcpTransport::executor_loop() {
             std::pop_heap(timers_.begin(), timers_.end());
             job = std::move(timers_.back().fn);
             timers_.pop_back();
-            if (!job) continue;  // cancelled
+            if (!job) {
+              if (timer_tombstones_ > 0) --timer_tombstones_;
+              continue;  // cancelled
+            }
             break;
           }
           const Micros wait_us = timers_.front().fire_at - now;
@@ -264,10 +527,12 @@ TcpBus::~TcpBus() { stop_all(); }
 TcpTransport& TcpBus::add_node(NodeId id) {
   auto ep = std::make_unique<TcpTransport>(*this, id, port_of(id));
   auto& ref = *ep;
-  endpoints_.emplace(id, std::move(ep));
+  endpoints_[id] = std::move(ep);  // replaces (and stops) any prior endpoint
   ref.start();
   return ref;
 }
+
+void TcpBus::remove_node(NodeId id) { endpoints_.erase(id); }
 
 void TcpBus::stop_all() {
   for (auto& [_, ep] : endpoints_) ep->stop();

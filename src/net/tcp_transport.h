@@ -2,9 +2,16 @@
 //
 // TcpBus hosts one listening socket per node (localhost, distinct ports) and
 // lazily opened client connections between them, with 4-byte-length-prefixed
-// Message frames. Each endpoint owns an executor thread on which ALL of its
-// callbacks (inbound messages and timers) run, preserving the single-threaded
-// execution model that node logic assumes under the simulator.
+// Message frames. Each endpoint owns two threads:
+//
+//  * an executor thread on which ALL of its callbacks (inbound messages and
+//    timers) run, preserving the single-threaded execution model that node
+//    logic assumes under the simulator; and
+//  * an I/O thread multiplexing every socket — listener, inbound and
+//    outbound — through one epoll instance. Outbound traffic goes through
+//    per-peer non-blocking write queues, so a slow or dead peer can never
+//    stall sends to healthy peers, and lost connections are re-established
+//    with exponential backoff while frames wait (bounded) in the queue.
 //
 // This is the "real system" path: the integration tests run a full Khazana
 // cluster over actual sockets to show the node logic is transport-agnostic.
@@ -29,6 +36,14 @@ class TcpBus;
 
 class TcpTransport final : public Transport {
  public:
+  /// Backoff policy for outbound reconnects: first retry is immediate,
+  /// then delays double from kBackoffBase up to kBackoffMax.
+  static constexpr Micros kBackoffBase = 10'000;     // 10 ms
+  static constexpr Micros kBackoffMax = 1'000'000;   // 1 s
+  /// Per-peer outbound backlog cap; frames beyond it are dropped (and
+  /// counted) rather than growing memory without bound.
+  static constexpr std::size_t kMaxPeerQueueBytes = 64u << 20;
+
   TcpTransport(TcpBus& bus, NodeId id, std::uint16_t port);
   ~TcpTransport() override;
 
@@ -46,6 +61,13 @@ class TcpTransport final : public Transport {
   /// Used by synchronous client wrappers to call into node logic safely.
   void run_on_executor(std::function<void()> fn);
 
+  /// Snapshot of the wire-level counters (thread-safe).
+  [[nodiscard]] TransportStats stats() const;
+
+  /// Timer-heap entries currently held, including cancelled tombstones
+  /// awaiting compaction. Observability for leak tests.
+  [[nodiscard]] std::size_t pending_timers() const;
+
   void start();
   void stop();
 
@@ -57,10 +79,41 @@ class TcpTransport final : public Transport {
     bool operator<(const Timer& o) const { return fire_at > o.fire_at; }
   };
 
+  /// Outbound connection to one peer. The fd is non-blocking; frames that
+  /// the kernel won't take immediately wait in `queue` and drain on
+  /// EPOLLOUT from the I/O thread.
+  struct PeerConn {
+    int fd = -1;
+    bool connecting = false;     // non-blocking connect() in flight
+    bool was_connected = false;  // a later connect counts as a reconnect
+    std::uint32_t armed = 0;     // epoll events currently registered
+    std::deque<Bytes> queue;     // framed (length-prefixed) buffers
+    std::size_t queue_bytes = 0; // unsent bytes across `queue`
+    std::size_t front_off = 0;   // bytes of queue.front() already written
+    int backoff_exp = 0;         // consecutive failed connection attempts
+    Micros next_attempt = 0;     // earliest time for the next connect
+  };
+
+  /// Inbound connection accepted from a peer; bytes accumulate in `buf`
+  /// until whole frames can be peeled off.
+  struct InConn {
+    Bytes buf;
+  };
+
   void executor_loop();
-  void accept_loop();
-  void reader_loop(int fd);
-  int connect_to(std::uint16_t port);
+  void io_loop();
+  void accept_ready();
+  void inbound_ready(int fd, std::uint32_t events);
+  void peer_event(NodeId peer, std::uint32_t events);
+  void start_connect(NodeId peer);            // io_mu_ held
+  void finish_connect(NodeId peer);           // io_mu_ held
+  void connection_lost(NodeId peer);          // io_mu_ held
+  bool flush_queue(PeerConn& p);              // io_mu_ held
+  void update_peer_events(PeerConn& p);       // io_mu_ held
+  void attempt_due_connects(Micros now);      // io_mu_ held
+  [[nodiscard]] int backoff_timeout_ms();     // locks io_mu_
+  void close_inbound(int fd);                 // io_mu_ held
+  void wake_io();
   void enqueue(std::function<void()> fn);
 
   TcpBus& bus_;
@@ -69,22 +122,29 @@ class TcpTransport final : public Transport {
   Handler handler_;
 
   int listen_fd_ = -1;
+  int epoll_fd_ = -1;
+  int wake_fd_ = -1;  // eventfd: send()/stop() nudge the I/O thread
   std::atomic<bool> running_{false};
 
-  std::mutex mu_;
+  // Executor state (lock order: io_mu_ before mu_; never the reverse).
+  mutable std::mutex mu_;
   std::condition_variable cv_;
   std::deque<std::function<void()>> work_;
   std::vector<Timer> timers_;  // heap ordered by fire_at
+  std::size_t timer_tombstones_ = 0;  // cancelled entries still in timers_
   std::uint64_t next_timer_id_ = 1;
 
-  std::mutex conn_mu_;
-  std::map<NodeId, int> out_fds_;
+  // Socket state, shared between send() callers and the I/O thread.
+  mutable std::mutex io_mu_;
+  std::map<NodeId, PeerConn> peers_;
+  std::map<int, NodeId> out_by_fd_;
+  std::map<int, InConn> in_conns_;
+
+  // Counters. Plain uint64 guarded by io_mu_ (all writers hold it).
+  TransportStats counters_;
 
   std::thread executor_;
-  std::thread acceptor_;
-  std::vector<std::thread> readers_;
-  std::vector<int> in_fds_;  // accepted sockets, shut down on stop()
-  std::mutex readers_mu_;
+  std::thread io_;
 };
 
 /// A set of TcpTransport endpoints that know each other's ports.
@@ -98,6 +158,9 @@ class TcpBus {
 
   /// Creates and starts the endpoint for `id` on base_port + id.
   TcpTransport& add_node(NodeId id);
+  /// Stops and destroys the endpoint for `id` (simulates a process kill);
+  /// the same id can later be re-added to simulate a restart.
+  void remove_node(NodeId id);
   void stop_all();
 
   [[nodiscard]] std::uint16_t port_of(NodeId id) const {

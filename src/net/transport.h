@@ -10,12 +10,30 @@
 // posted functions) are serialized; node logic never needs internal locking.
 #pragma once
 
+#include <cstdint>
 #include <functional>
 
 #include "common/clock.h"
 #include "net/message.h"
 
 namespace khz::net {
+
+/// Wire-level counters for one transport endpoint (observability for tests
+/// and benches, mirroring core::NodeStats). All values are cumulative since
+/// start() except `queued_bytes`, a point-in-time gauge of the outbound
+/// backlog across all peers.
+struct TransportStats {
+  std::uint64_t messages_sent = 0;      // frames fully handed to the kernel
+  std::uint64_t messages_received = 0;  // frames decoded and dispatched
+  std::uint64_t bytes_sent = 0;
+  std::uint64_t bytes_received = 0;
+  std::uint64_t frames_dropped = 0;   // queue overflow or undecodable frame
+  std::uint64_t connects = 0;         // successful outbound connections
+  std::uint64_t reconnects = 0;       // connects to a peer we had lost
+  std::uint64_t connect_failures = 0; // failed outbound connection attempts
+  std::uint64_t queued_bytes = 0;     // current outbound backlog (gauge)
+  std::uint64_t peak_queued_bytes = 0;
+};
 
 class Transport {
  public:

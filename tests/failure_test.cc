@@ -3,6 +3,7 @@
 // availability across crashes, partition behaviour, and restart recovery
 // from persistent storage.
 #include <gtest/gtest.h>
+#include <unistd.h>
 
 #include <filesystem>
 
@@ -20,8 +21,11 @@ Bytes fill(std::size_t n, std::uint8_t v) { return Bytes(n, v); }
 class TempDir {
  public:
   TempDir() {
+    // Pid-qualified: ctest runs each case in its own process, so a static
+    // counter alone collides across concurrently running cases.
     dir_ = fs::temp_directory_path() /
-           ("khz_failure_test_" + std::to_string(counter_++));
+           ("khz_failure_test_" + std::to_string(::getpid()) + "_" +
+            std::to_string(counter_++));
     fs::remove_all(dir_);
     fs::create_directories(dir_);
   }

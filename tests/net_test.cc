@@ -3,6 +3,11 @@
 // transport.
 #include <gtest/gtest.h>
 
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
 #include <atomic>
 #include <thread>
 
@@ -359,6 +364,158 @@ TEST(TcpTransportTest, SendToDeadPeerIsBestEffort) {
   // Node 7 was never started; the send must not crash or block.
   a.send(make(MsgType::kPing, 7));
   SUCCEED();
+}
+
+// Regression: schedule() used to return timers_.back().id *after*
+// std::push_heap had reordered the heap, so scheduling a sooner timer after
+// a later one returned the LATER timer's id — and cancel() then silenced
+// the wrong timer.
+TEST(TcpTransportTest, ScheduleReturnsIdOfTheTimerJustScheduled) {
+  TcpBus bus(44100);
+  auto& a = bus.add_node(0);
+  a.set_handler([](Message) {});
+  std::atomic<bool> late_fired{false};
+  std::atomic<bool> soon_fired{false};
+  // The later timer first, then a sooner one: push_heap moves the sooner
+  // timer to the heap front, leaving the later timer at back().
+  const auto late_id = a.schedule(60'000'000, [&] { late_fired.store(true); });
+  const auto soon_id = a.schedule(20'000, [&] { soon_fired.store(true); });
+  EXPECT_NE(late_id, soon_id);
+  a.cancel(soon_id);
+  std::this_thread::sleep_for(std::chrono::milliseconds(200));
+  EXPECT_FALSE(soon_fired.load());  // the buggy id would cancel late instead
+  EXPECT_FALSE(late_fired.load());
+  a.cancel(late_id);
+}
+
+TEST(TcpTransportTest, CancelPurgesTimerTombstones) {
+  TcpBus bus(44200);
+  auto& a = bus.add_node(0);
+  a.set_handler([](Message) {});
+  std::vector<std::uint64_t> ids;
+  for (int i = 0; i < 200; ++i) {
+    ids.push_back(a.schedule(60'000'000, [] {}));
+  }
+  EXPECT_EQ(a.pending_timers(), 200u);
+  for (const auto id : ids) a.cancel(id);
+  // Lazy compaction must have reclaimed the cancelled entries rather than
+  // leaving 200 tombstones until their distant fire time.
+  EXPECT_EQ(a.pending_timers(), 0u);
+}
+
+/// A listening socket that accepts connections into its backlog but never
+/// reads: connect() succeeds, then the tiny receive buffer fills and the
+/// sender's frames back up — a "live but wedged" peer.
+class Blackhole {
+ public:
+  explicit Blackhole(std::uint16_t port) {
+    fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+    int one = 1;
+    ::setsockopt(fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+    int tiny = 4096;
+    ::setsockopt(fd_, SOL_SOCKET, SO_RCVBUF, &tiny, sizeof(tiny));
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    addr.sin_port = htons(port);
+    ::bind(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr));
+    ::listen(fd_, 8);
+  }
+  ~Blackhole() { ::close(fd_); }
+
+ private:
+  int fd_;
+};
+
+TEST(TcpTransportTest, WedgedPeerDoesNotStallSendsToHealthyPeers) {
+  TcpBus bus(44300);
+  auto& a = bus.add_node(0);
+  auto& b = bus.add_node(1);
+  Blackhole wedged(bus.port_of(2));
+
+  std::atomic<int> got{0};
+  b.set_handler([&](Message) { got.fetch_add(1); });
+  a.set_handler([](Message) {});
+
+  // ~10 MB to the wedged peer: far more than its kernel buffers absorb,
+  // so most of it must park in the per-peer write queue without blocking.
+  for (int i = 0; i < 300; ++i) {
+    a.send(make(MsgType::kPing, 2, Bytes(32 * 1024, 0xAB)));
+  }
+  // Healthy traffic right behind it must still flow promptly.
+  for (std::uint8_t i = 0; i < 50; ++i) {
+    a.send(make(MsgType::kPing, 1, Bytes{i}));
+  }
+  for (int i = 0; i < 1000 && got.load() < 50; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  EXPECT_EQ(got.load(), 50);
+  const auto s = a.stats();
+  EXPECT_GT(s.queued_bytes, 0u);  // the wedged peer's backlog is parked
+  EXPECT_GT(s.peak_queued_bytes, 1u << 20);
+}
+
+TEST(TcpTransportTest, ReconnectsWithBackoffAfterPeerRestart) {
+  TcpBus bus(44400);
+  auto& a = bus.add_node(0);
+  auto& b = bus.add_node(1);
+  std::atomic<int> got{0};
+  b.set_handler([&](Message) { got.fetch_add(1); });
+  a.set_handler([](Message) {});
+
+  a.send(make(MsgType::kPing, 1));
+  for (int i = 0; i < 400 && got.load() < 1; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  ASSERT_EQ(got.load(), 1);
+
+  // Kill the peer and let the EOF reach a's event loop.
+  bus.remove_node(1);
+  std::this_thread::sleep_for(std::chrono::milliseconds(100));
+
+  // Sends while the peer is down queue up and drive connect attempts that
+  // fail (with backoff) until the peer returns.
+  a.send(make(MsgType::kPing, 1));
+  std::this_thread::sleep_for(std::chrono::milliseconds(150));
+  EXPECT_GE(a.stats().connect_failures, 1u);
+  EXPECT_EQ(got.load(), 1);
+
+  // Restart the peer: the queued frame must arrive via a fresh connection.
+  std::atomic<int> got2{0};
+  auto& b2 = bus.add_node(1);
+  b2.set_handler([&](Message) { got2.fetch_add(1); });
+  for (int i = 0; i < 1000 && got2.load() < 1; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  EXPECT_GE(got2.load(), 1);
+  const auto s = a.stats();
+  EXPECT_GE(s.reconnects, 1u);
+  EXPECT_GE(s.connects, 2u);
+}
+
+TEST(TcpTransportTest, StatsCountTraffic) {
+  TcpBus bus(44500);
+  auto& a = bus.add_node(0);
+  auto& b = bus.add_node(1);
+  std::atomic<int> got{0};
+  b.set_handler([&](Message) { got.fetch_add(1); });
+  a.set_handler([](Message) {});
+  for (int i = 0; i < 10; ++i) {
+    a.send(make(MsgType::kPing, 1, Bytes(100, 1)));
+  }
+  for (int i = 0; i < 400 && got.load() < 10; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  ASSERT_EQ(got.load(), 10);
+  const auto sa = a.stats();
+  const auto sb = b.stats();
+  EXPECT_EQ(sa.messages_sent, 10u);
+  EXPECT_GT(sa.bytes_sent, 1000u);
+  EXPECT_EQ(sa.connects, 1u);
+  EXPECT_EQ(sa.frames_dropped, 0u);
+  EXPECT_EQ(sb.messages_received, 10u);
+  EXPECT_EQ(sb.bytes_received, sa.bytes_sent);
+  EXPECT_EQ(sa.queued_bytes, 0u);
 }
 
 }  // namespace

@@ -1,10 +1,16 @@
 // Soak tests: larger worlds, mixed protocols and workloads, background
 // churn — the "whole system under sustained load" check, plus tests for
-// the replicate_to client-guidance hook.
+// the replicate_to client-guidance hook and transport resource leaks
+// under reconnect churn.
 #include <gtest/gtest.h>
+
+#include <atomic>
+#include <fstream>
+#include <thread>
 
 #include "core/client.h"
 #include "kfs/fs.h"
+#include "net/tcp_transport.h"
 
 namespace khz::core {
 namespace {
@@ -172,6 +178,56 @@ TEST(SoakTest, KfsUnderConcurrentMultiNodeUse) {
     ASSERT_TRUE(entries.ok());
     EXPECT_EQ(entries.value().size(), 6u);
   }
+}
+
+// The pre-epoll transport spawned one reader thread per accepted
+// connection and never reaped them, so peer restart churn grew a thread
+// (and stack) per cycle forever. The epoll transport owns exactly two
+// threads per endpoint regardless of churn; assert that, plus that the
+// timer heap doesn't accumulate cancelled tombstones under a ping-loop
+// style schedule/cancel pattern.
+TEST(SoakTest, TcpReconnectChurnLeaksNoThreadsOrTimers) {
+  const auto thread_count = [] {
+    std::ifstream in("/proc/self/status");
+    std::string line;
+    while (std::getline(in, line)) {
+      if (line.rfind("Threads:", 0) == 0) return std::stoi(line.substr(8));
+    }
+    return -1;
+  };
+
+  net::TcpBus bus(44800);
+  auto& a = bus.add_node(0);
+  a.set_handler([](net::Message) {});
+  std::atomic<int> got{0};
+
+  int baseline = -1;
+  for (int cycle = 0; cycle < 8; ++cycle) {
+    auto& b = bus.add_node(1);
+    b.set_handler([&](net::Message) { got.fetch_add(1); });
+    // Drive traffic until at least one message of this cycle lands
+    // (resending is fine: the transport is best-effort and sends during
+    // reconnection races may be lost).
+    const int want = got.load() + 1;
+    for (int i = 0; i < 2000 && got.load() < want; ++i) {
+      net::Message m;
+      m.type = net::MsgType::kPing;
+      m.dst = 1;
+      a.send(std::move(m));
+      std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    }
+    ASSERT_GE(got.load(), want) << "cycle " << cycle;
+    bus.remove_node(1);  // joins the peer's threads deterministically
+    if (cycle == 0) baseline = thread_count();
+  }
+  EXPECT_EQ(thread_count(), baseline) << "reconnect churn grew threads";
+
+  // A long-running ping loop schedules and cancels constantly; the timer
+  // heap must not accumulate the cancelled entries.
+  for (int i = 0; i < 5000; ++i) {
+    a.cancel(a.schedule(60'000'000, [] {}));
+  }
+  EXPECT_LT(a.pending_timers(), 10u);
 }
 
 TEST(SoakTest, RepeatedCrashRecoverCyclesWithPersistence) {

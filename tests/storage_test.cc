@@ -2,6 +2,7 @@
 // (persistence, scan, metadata blobs), the two-level hierarchy
 // (promotion, victimization, eviction hook), and the page directory.
 #include <gtest/gtest.h>
+#include <unistd.h>
 
 #include <filesystem>
 
@@ -18,8 +19,11 @@ Bytes page(std::uint8_t fill) { return Bytes(4096, fill); }
 class TempDir {
  public:
   TempDir() {
+    // Pid-qualified: ctest runs each case in its own process, so a static
+    // counter alone collides across concurrently running cases.
     dir_ = fs::temp_directory_path() /
-           ("khz_storage_test_" + std::to_string(counter_++));
+           ("khz_storage_test_" + std::to_string(::getpid()) + "_" +
+            std::to_string(counter_++));
     fs::remove_all(dir_);
   }
   ~TempDir() { fs::remove_all(dir_); }
