@@ -111,10 +111,11 @@ RunResult run(const net::LinkProfile& link, bool trace) {
 }  // namespace
 }  // namespace khz
 
-int main() {
+int main(int argc, char** argv) {
   using namespace khz;        // NOLINT
   using namespace khz::bench; // NOLINT
 
+  JsonReport report("fig2_lockfetch", argc, argv);
   title("FIG2 | bench_fig2_lockfetch",
         "Figure 2: lock+fetch of page p at node A, owned by node B.\n"
         "Message trace (LAN profile), then latency/message summary.");
@@ -136,6 +137,18 @@ int main() {
     cell(r.warm_read_msgs); endrow();
     cell(name); cell(std::string("write+own")); cell(us(r.cold_write));
     cell(r.cold_write_msgs); endrow();
+
+    const std::string prefix = name == "LAN" ? "lan_" : "wan_";
+    report.metric(prefix + "cold_read_us", static_cast<double>(r.cold_read));
+    report.metric(prefix + "cold_read_msgs",
+                  static_cast<double>(r.cold_read_msgs));
+    report.metric(prefix + "warm_read_us", static_cast<double>(r.warm_read));
+    report.metric(prefix + "warm_read_msgs",
+                  static_cast<double>(r.warm_read_msgs));
+    report.metric(prefix + "cold_write_us",
+                  static_cast<double>(r.cold_write));
+    report.metric(prefix + "cold_write_msgs",
+                  static_cast<double>(r.cold_write_msgs));
   }
   std::printf(
       "\nShape check vs paper: the cold path costs a handful of messages\n"

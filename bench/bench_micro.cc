@@ -5,6 +5,9 @@
 // tree, the page caches, the region directory).
 #include <benchmark/benchmark.h>
 
+#include <tuple>
+
+#include "bench/bench_util.h"
 #include "core/address_map.h"
 #include "core/region_directory.h"
 #include "net/message.h"
@@ -123,7 +126,78 @@ void BM_RegionDirectoryLookup(benchmark::State& state) {
 }
 BENCHMARK(BM_RegionDirectoryLookup);
 
+// End-to-end op latencies over the simulator, read back from the node's own
+// op.* histograms (deterministic virtual micros). This is the same registry
+// a production node would export, so the section doubles as an integration
+// check of the metrics path.
+void sim_latency_section(bench::JsonReport& report) {
+  constexpr std::uint64_t kPages = 32;
+  constexpr int kRounds = 8;
+
+  core::SimWorld world({.nodes = 3});
+  auto base = world.create_region(0, kPages * 4096);
+  if (!base.ok()) std::abort();
+  for (std::uint64_t p = 0; p < kPages; ++p) {
+    const AddressRange page{base.value().plus(p * 4096), 4096};
+    if (!world.put(0, page, bench::fill(4096, 0xAB)).ok()) std::abort();
+  }
+  // Node 1 drives a mixed remote/cached workload against node 0's region.
+  for (int r = 0; r < kRounds; ++r) {
+    for (std::uint64_t p = 0; p < kPages; ++p) {
+      const AddressRange page{base.value().plus(p * 4096), 4096};
+      if (!world.get(1, page).ok()) std::abort();
+      if (p % 4 == 0 &&
+          !world.put(1, page, bench::fill(4096, 0x11)).ok()) {
+        std::abort();
+      }
+    }
+  }
+
+  const obs::MetricsSnapshot snap = world.node(1).metrics().snapshot();
+  std::printf("\nSimulated end-to-end op latencies (node 1, virtual us):\n\n");
+  bench::table_header({"op", "count", "p50", "p95", "p99", "max"});
+  for (const auto& [label, hist_name, key] :
+       std::vector<std::tuple<std::string, std::string, std::string>>{
+           {"lock(read)", "op.lock.read_us", "lock"},
+           {"lock(write)", "op.lock.write_us", "lock_write"},
+           {"read", "op.read_us", "read"},
+           {"write", "op.write_us", "write"}}) {
+    const auto it = snap.histograms.find(hist_name);
+    if (it == snap.histograms.end()) continue;
+    const obs::HistogramSnapshot& h = it->second;
+    bench::cell(label);
+    bench::cell(h.count);
+    bench::cell(h.percentile(50));
+    bench::cell(h.percentile(95));
+    bench::cell(h.percentile(99));
+    bench::cell(h.max);
+    bench::endrow();
+    report.metric(key + "_p50_us", h.percentile(50));
+    report.metric(key + "_p95_us", h.percentile(95));
+    report.metric(key + "_p99_us", h.percentile(99));
+    report.metric(key + "_count", static_cast<double>(h.count));
+  }
+}
+
 }  // namespace
 }  // namespace khz
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  khz::bench::JsonReport report("micro", argc, argv);
+  // google-benchmark rejects flags it does not know, so strip --json
+  // before handing argv over.
+  std::vector<char*> args;
+  for (int i = 0; i < argc; ++i) {
+    if (std::string(argv[i]) != "--json") args.push_back(argv[i]);
+  }
+  int bench_argc = static_cast<int>(args.size());
+  benchmark::Initialize(&bench_argc, args.data());
+  if (benchmark::ReportUnrecognizedArguments(bench_argc, args.data())) {
+    return 1;
+  }
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+
+  khz::sim_latency_section(report);
+  return 0;
+}

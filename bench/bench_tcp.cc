@@ -17,6 +17,7 @@
 #include <cstdio>
 #include <thread>
 
+#include "bench/bench_util.h"
 #include "core/tcp_world.h"
 
 using namespace khz;        // NOLINT
@@ -116,7 +117,8 @@ int bench_blackhole_isolation() {
 }
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bench::JsonReport report("tcp", argc, argv);
   std::printf(
       "\n================================================================\n"
       "TCP | bench_tcp\n"
@@ -126,6 +128,9 @@ int main() {
   TcpWorld world({.nodes = 2, .base_port = 43100});
   TcpClient home(world, 0);
   TcpClient client(world, 1);
+  // Generalized TrafficMeter: same meter type the simulated benches use,
+  // here sampling the deployment-wide TCP endpoint aggregate.
+  bench::TrafficMeter meter(world);
 
   auto base = home.create_region(4096);
   if (!base.ok()) {
@@ -136,10 +141,12 @@ int main() {
   if (!home.put(p, Bytes(4096, 0xF2)).ok()) return 1;
 
   // Cold read (descriptor lookup + CM exchange + data over TCP).
+  meter.reset();
   Micros t0 = wall_now();
   auto cold = client.get(p);
   const Micros cold_us = wall_now() - t0;
   if (!cold.ok() || cold.value()[0] != 0xF2) return 1;
+  const auto cold_traffic = meter.delta();
 
   // Warm read (local replica, no sockets touched).
   t0 = wall_now();
@@ -162,14 +169,24 @@ int main() {
   }
   const Micros owner_us = (wall_now() - t0) / kOwnerWrites;
 
-  std::printf("%-36s %8lld us\n", "cold read (lock+fetch, Figure 2):",
-              static_cast<long long>(cold_us));
+  std::printf("%-36s %8lld us  (%llu msgs / %llu bytes on the wire)\n",
+              "cold read (lock+fetch, Figure 2):",
+              static_cast<long long>(cold_us),
+              static_cast<unsigned long long>(cold_traffic.messages),
+              static_cast<unsigned long long>(cold_traffic.bytes));
   std::printf("%-36s %8lld us\n", "warm read (cached replica):",
               static_cast<long long>(warm_us));
   std::printf("%-36s %8lld us\n", "write + ownership transfer:",
               static_cast<long long>(write_us));
   std::printf("%-36s %8lld us\n", "owner write (steady state, avg):",
               static_cast<long long>(owner_us));
+
+  report.metric("cold_read_us", static_cast<double>(cold_us));
+  report.metric("cold_read_msgs", static_cast<double>(cold_traffic.messages));
+  report.metric("cold_read_bytes", static_cast<double>(cold_traffic.bytes));
+  report.metric("warm_read_us", static_cast<double>(warm_us));
+  report.metric("write_transfer_us", static_cast<double>(write_us));
+  report.metric("owner_write_us", static_cast<double>(owner_us));
   std::printf(
       "\nShape check: identical ordering to the simulated FIG2 table —\n"
       "cold >> write-transfer >> warm/owner — with real-socket absolute\n"

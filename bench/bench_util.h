@@ -7,10 +7,13 @@
 #pragma once
 
 #include <cstdio>
+#include <functional>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "core/client.h"
+#include "core/tcp_world.h"
 
 namespace khz::bench {
 
@@ -55,22 +58,91 @@ struct TrafficDelta {
   std::uint64_t bytes;
 };
 
+/// Measures wire traffic between two points in a run. Works over any world:
+/// the SimWorld constructor samples the simulator's global NetStats, the
+/// TcpWorld constructor the deployment-wide aggregate of every endpoint's
+/// TransportStats, and the sampler constructor anything else.
 class TrafficMeter {
  public:
-  explicit TrafficMeter(core::SimWorld& world) : world_(world) { reset(); }
-  void reset() {
-    msgs_ = world_.net().stats().messages_sent;
-    bytes_ = world_.net().stats().bytes_sent;
+  /// (messages_sent, bytes_sent) at the time of the call.
+  using Sampler = std::function<TrafficDelta()>;
+
+  explicit TrafficMeter(Sampler sampler) : sample_(std::move(sampler)) {
+    reset();
   }
+  explicit TrafficMeter(core::SimWorld& world)
+      : TrafficMeter(Sampler([&world] {
+          const auto& s = world.net().stats();
+          return TrafficDelta{s.messages_sent, s.bytes_sent};
+        })) {}
+  explicit TrafficMeter(core::TcpWorld& world)
+      : TrafficMeter(Sampler([&world] {
+          const auto s = world.total_transport_stats();
+          return TrafficDelta{s.messages_sent, s.bytes_sent};
+        })) {}
+
+  void reset() { base_ = sample_(); }
   [[nodiscard]] TrafficDelta delta() const {
-    return {world_.net().stats().messages_sent - msgs_,
-            world_.net().stats().bytes_sent - bytes_};
+    const TrafficDelta now = sample_();
+    return {now.messages - base_.messages, now.bytes - base_.bytes};
   }
 
  private:
-  core::SimWorld& world_;
-  std::uint64_t msgs_ = 0;
-  std::uint64_t bytes_ = 0;
+  Sampler sample_;
+  TrafficDelta base_{0, 0};
+};
+
+/// Machine-readable sidecar for a bench binary. Pass argc/argv; if the
+/// `--json` flag is present, every metric() call is collected and written
+/// to BENCH_<name>.json in the working directory when finish() runs (or at
+/// destruction). Without the flag all calls are no-ops, so benches can
+/// report unconditionally.
+class JsonReport {
+ public:
+  JsonReport(std::string name, int argc, char** argv)
+      : name_(std::move(name)) {
+    for (int i = 1; i < argc; ++i) {
+      if (std::string(argv[i]) == "--json") enabled_ = true;
+    }
+  }
+  JsonReport(const JsonReport&) = delete;
+  JsonReport& operator=(const JsonReport&) = delete;
+  ~JsonReport() { finish(); }
+
+  [[nodiscard]] bool enabled() const { return enabled_; }
+
+  /// Integral values convert implicitly; a single overload avoids
+  /// int-literal ambiguity.
+  void metric(const std::string& key, double value) {
+    if (enabled_) metrics_.emplace_back(key, value);
+  }
+
+  /// Writes BENCH_<name>.json (idempotent; also called by the destructor).
+  void finish() {
+    if (!enabled_ || written_) return;
+    written_ = true;
+    const std::string path = "BENCH_" + name_ + ".json";
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "JsonReport: cannot open %s\n", path.c_str());
+      return;
+    }
+    std::fprintf(f, "{\n  \"bench\": \"%s\",\n  \"metrics\": {", name_.c_str());
+    for (std::size_t i = 0; i < metrics_.size(); ++i) {
+      std::fprintf(f, "%s\n    \"%s\": %.6g", i == 0 ? "" : ",",
+                   metrics_[i].first.c_str(), metrics_[i].second);
+    }
+    std::fprintf(f, "\n  }\n}\n");
+    std::fclose(f);
+    std::printf("[json] wrote %s (%zu metrics)\n", path.c_str(),
+                metrics_.size());
+  }
+
+ private:
+  std::string name_;
+  bool enabled_ = false;
+  bool written_ = false;
+  std::vector<std::pair<std::string, double>> metrics_;
 };
 
 }  // namespace khz::bench

@@ -74,5 +74,19 @@ int main() {
   std::printf("total messages exchanged: %llu (%llu bytes)\n",
               static_cast<unsigned long long>(stats.messages_sent),
               static_cast<unsigned long long>(stats.bytes_sent));
+
+  // 5. Observability: every node keeps a metrics registry (counters +
+  //    latency histograms) and a causal trace of its operations. Dump
+  //    node 2's metrics, and export the whole run as a Chrome trace —
+  //    open quickstart_trace.json in chrome://tracing or ui.perfetto.dev
+  //    to see Bob's lock() fan out across the cluster.
+  std::printf("\nnode 2 metrics:\n%s", world.metrics_text(2).c_str());
+  const std::string trace = world.trace_json();
+  if (std::FILE* f = std::fopen("quickstart_trace.json", "w")) {
+    std::fwrite(trace.data(), 1, trace.size(), f);
+    std::fclose(f);
+    std::printf("\nwrote quickstart_trace.json (%zu bytes of trace events)\n",
+                trace.size());
+  }
   return 0;
 }

@@ -1,12 +1,17 @@
 #include "common/log.h"
 
 #include <atomic>
+#include <chrono>
 #include <cstdio>
+#include <limits>
 
 namespace khz {
 
 namespace {
 std::atomic<int> g_level{static_cast<int>(LogLevel::kWarn)};
+
+constexpr std::uint32_t kNoLogNode = std::numeric_limits<std::uint32_t>::max();
+thread_local std::uint32_t t_log_node = kNoLogNode;
 
 const char* level_name(LogLevel level) {
   switch (level) {
@@ -19,6 +24,25 @@ const char* level_name(LogLevel level) {
   }
   return "?";
 }
+
+/// Milliseconds since the first log call: monotonic, cheap, and small
+/// enough to read at a glance.
+double uptime_ms() {
+  using clock = std::chrono::steady_clock;
+  static const clock::time_point start = clock::now();
+  return std::chrono::duration<double, std::milli>(clock::now() - start)
+      .count();
+}
+
+std::mutex& sink_mu() {
+  static std::mutex mu;
+  return mu;
+}
+
+LogSink& sink_ref() {
+  static LogSink sink;  // empty = default stderr behaviour
+  return sink;
+}
 }  // namespace
 
 void set_log_level(LogLevel level) {
@@ -29,15 +53,58 @@ LogLevel log_level() {
   return static_cast<LogLevel>(g_level.load(std::memory_order_relaxed));
 }
 
+LogSink set_log_sink(LogSink sink) {
+  std::lock_guard lk(sink_mu());
+  LogSink prev = std::move(sink_ref());
+  sink_ref() = std::move(sink);
+  return prev;
+}
+
+void set_thread_log_node(std::uint32_t node) { t_log_node = node; }
+
+LogCapture::LogCapture(LogLevel level) : prev_level_(log_level()) {
+  set_log_level(level);
+  prev_sink_ = set_log_sink([this](LogLevel, const std::string& line) {
+    std::lock_guard lk(mu_);
+    lines_.push_back(line);
+  });
+}
+
+LogCapture::~LogCapture() {
+  (void)set_log_sink(std::move(prev_sink_));
+  set_log_level(prev_level_);
+}
+
+std::vector<std::string> LogCapture::lines() const {
+  std::lock_guard lk(mu_);
+  return lines_;
+}
+
 namespace log_internal {
 
 void emit(LogLevel level, const char* fmt, ...) {
-  char line[1024];
+  char msg[1024];
   va_list ap;
   va_start(ap, fmt);
-  std::vsnprintf(line, sizeof(line), fmt, ap);
+  std::vsnprintf(msg, sizeof(msg), fmt, ap);
   va_end(ap);
-  std::fprintf(stderr, "[khz %s] %s\n", level_name(level), line);
+
+  char prefix[64];
+  if (t_log_node != kNoLogNode) {
+    std::snprintf(prefix, sizeof(prefix), "[khz %10.3fms n%u %s] ",
+                  uptime_ms(), t_log_node, level_name(level));
+  } else {
+    std::snprintf(prefix, sizeof(prefix), "[khz %10.3fms %s] ", uptime_ms(),
+                  level_name(level));
+  }
+  std::string line = std::string(prefix) + msg;
+
+  std::lock_guard lk(sink_mu());
+  if (sink_ref()) {
+    sink_ref()(level, line);
+  } else {
+    std::fprintf(stderr, "%s\n", line.c_str());
+  }
 }
 
 }  // namespace log_internal

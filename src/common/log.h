@@ -1,13 +1,19 @@
 // Leveled logging.
 //
 // Lightweight printf-style logger; everything routes through a process-wide
-// sink so tests can silence or capture output. Default level is kWarn to
-// keep benchmark output clean; protocol traces (e.g. the Figure 2 step
-// trace) use their own explicit channels rather than the logger.
+// pluggable sink so tests can silence or capture output. Each line is
+// prefixed with a monotonic timestamp (milliseconds since process start)
+// and, when the emitting thread declared one, a node id. Default level is
+// kWarn to keep benchmark output clean; protocol traces (e.g. the Figure 2
+// step trace) use their own explicit channels rather than the logger.
 #pragma once
 
 #include <cstdarg>
+#include <cstdint>
+#include <functional>
+#include <mutex>
 #include <string>
+#include <vector>
 
 namespace khz {
 
@@ -20,6 +26,39 @@ void emit(LogLevel level, const char* fmt, ...)
 
 void set_log_level(LogLevel level);
 LogLevel log_level();
+
+/// A sink receives the fully formatted line (timestamp + optional node id +
+/// level + message, no trailing newline). The default sink writes it to
+/// stderr.
+using LogSink = std::function<void(LogLevel, const std::string& line)>;
+
+/// Installs `sink` and returns the previous one. Pass nullptr to restore
+/// the default stderr sink.
+LogSink set_log_sink(LogSink sink);
+
+/// Tags log lines emitted from the calling thread with a node id (the TCP
+/// executor threads use this; simulator logs embed ids in the message).
+/// Pass kNoNode to clear.
+void set_thread_log_node(std::uint32_t node);
+
+/// Test helper: captures every log line emitted while alive, then restores
+/// the previous sink. Also drops the threshold to `level` for the capture
+/// window so the lines under test actually fire.
+class LogCapture {
+ public:
+  explicit LogCapture(LogLevel level = LogLevel::kTrace);
+  ~LogCapture();
+  LogCapture(const LogCapture&) = delete;
+  LogCapture& operator=(const LogCapture&) = delete;
+
+  [[nodiscard]] std::vector<std::string> lines() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::vector<std::string> lines_;
+  LogSink prev_sink_;
+  LogLevel prev_level_;
+};
 
 #define KHZ_LOG(level, ...)                                 \
   do {                                                      \

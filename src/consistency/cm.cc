@@ -6,6 +6,11 @@
 
 namespace khz::consistency {
 
+obs::MetricsRegistry& CmHost::metrics() {
+  static obs::MetricsRegistry fallback;
+  return fallback;
+}
+
 std::string_view to_string(ProtocolId p) {
   switch (p) {
     case ProtocolId::kCrew: return "crew";

@@ -26,6 +26,7 @@
 #include "common/serialize.h"
 #include "common/types.h"
 #include "consistency/lock.h"
+#include "obs/metrics.h"
 #include "storage/page_directory.h"
 
 namespace khz::consistency {
@@ -94,6 +95,11 @@ class CmHost {
   /// retrying, and how many times, before reporting failure upward.
   [[nodiscard]] virtual Micros rpc_timeout() const = 0;
   [[nodiscard]] virtual int max_retries() const = 0;
+
+  /// The host node's metric registry; protocols record their round
+  /// latencies and counters here. Defaulted (to a process-wide registry)
+  /// so minimal hosts — test fakes — need not provide one.
+  [[nodiscard]] virtual obs::MetricsRegistry& metrics();
 };
 
 using GrantCallback = std::function<void(Status)>;

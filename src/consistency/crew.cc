@@ -83,10 +83,23 @@ void CrewManager::try_grant_local(const GlobalAddress& page) {
   if (needs_remote) send_request(page, head.mode);
 }
 
+void CrewManager::finish_round(PageState& st) {
+  if (st.request_timer != 0) {
+    host_.cancel(st.request_timer);
+    st.request_timer = 0;
+  }
+  if (st.request_outstanding) {
+    round_us_->record(
+        static_cast<std::uint64_t>(host_.now() - st.request_sent_at));
+  }
+  st.request_outstanding = false;
+}
+
 void CrewManager::send_request(const GlobalAddress& page, LockMode mode) {
   auto& st = state(page);
   st.request_outstanding = true;
   st.requested_mode = mode;
+  st.request_sent_at = host_.now();
 
   // Retry the primary home first; on later retries, walk the alternates
   // (paper, Section 3.5: operations are retried on all known nodes).
@@ -465,11 +478,7 @@ void CrewManager::on_message(NodeId from, const GlobalAddress& page,
     case Sub::kData: {
       const Version v = d.u64();
       Bytes data = d.bytes();
-      if (st.request_timer != 0) {
-        host_.cancel(st.request_timer);
-        st.request_timer = 0;
-      }
-      st.request_outstanding = false;
+      finish_round(st);
       st.retries = 0;
       install_data(page, v, std::move(data), PS::kShared);
       try_grant_local(page);
@@ -478,11 +487,7 @@ void CrewManager::on_message(NodeId from, const GlobalAddress& page,
     case Sub::kOwner: {
       const Version v = d.u64();
       Bytes data = d.bytes();
-      if (st.request_timer != 0) {
-        host_.cancel(st.request_timer);
-        st.request_timer = 0;
-      }
-      st.request_outstanding = false;
+      finish_round(st);
       st.retries = 0;
       install_data(page, v, std::move(data), PS::kExclusive);
       info.owner = host_.self();
@@ -560,11 +565,7 @@ void CrewManager::on_message(NodeId from, const GlobalAddress& page,
 
     case Sub::kNack: {
       const auto e = static_cast<ErrorCode>(d.u8());
-      if (st.request_timer != 0) {
-        host_.cancel(st.request_timer);
-        st.request_timer = 0;
-      }
-      st.request_outstanding = false;
+      finish_round(st);
       fail_waiters(page, e);
       break;
     }

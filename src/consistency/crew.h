@@ -33,7 +33,9 @@ namespace khz::consistency {
 
 class CrewManager final : public ConsistencyManager {
  public:
-  explicit CrewManager(CmHost& host) : host_(host) {}
+  explicit CrewManager(CmHost& host)
+      : host_(host),
+        round_us_(&host.metrics().histogram("crew.round_us")) {}
 
   [[nodiscard]] ProtocolId id() const override { return ProtocolId::kCrew; }
   [[nodiscard]] std::string_view name() const override { return "crew"; }
@@ -77,6 +79,7 @@ class CrewManager final : public ConsistencyManager {
     bool request_outstanding = false;
     LockMode requested_mode = LockMode::kNone;
     std::uint64_t request_timer = 0;
+    Micros request_sent_at = 0;  // for the crew.round_us histogram
     int retries = 0;
     // --- home side ---
     bool busy = false;  // one directory transaction at a time
@@ -121,7 +124,12 @@ class CrewManager final : public ConsistencyManager {
   void install_data(const GlobalAddress& page, Version version, Bytes data,
                     storage::PageState new_state);
 
+  /// Records how long each home round trip (request -> Data/Owner/Nack)
+  /// took, the protocol-level cost of Figure 2's steps 5-10.
+  void finish_round(PageState& st);
+
   CmHost& host_;
+  obs::Histogram* round_us_;
   std::map<GlobalAddress, PageState> pages_;
 };
 

@@ -43,6 +43,14 @@ bool is_response(MsgType t) {
   }
 }
 
+/// Span names like "rpc:DescLookupReq" / "rx:Cm".
+std::string span_name(const char* kind, MsgType t) {
+  std::string out(kind);
+  out += ':';
+  out += net::to_string(t);
+  return out;
+}
+
 }  // namespace
 
 // ---------------------------------------------------------------------------
@@ -58,8 +66,34 @@ Node::Node(NodeConfig config, net::Transport& transport)
                    ? nullptr
                    : std::make_unique<storage::DiskStore>(config_.disk_dir,
                                                           config_.disk_pages)),
-      regions_(1024) {
+      regions_(1024),
+      tracer_(config_.id) {
   consistency::register_builtin_protocols();
+  tracer_.set_clock(&transport_.clock());
+  regions_.bind_metrics(metrics_);
+  ins_.reserves = &metrics_.counter("node.reserves");
+  ins_.locks_granted = &metrics_.counter("node.locks_granted");
+  ins_.locks_failed = &metrics_.counter("node.locks_failed");
+  ins_.reads = &metrics_.counter("node.reads");
+  ins_.writes = &metrics_.counter("node.writes");
+  ins_.resolve_cache_hits = &metrics_.counter("node.resolve_cache_hits");
+  ins_.resolve_manager_hits = &metrics_.counter("node.resolve_manager_hits");
+  ins_.resolve_map_walks = &metrics_.counter("node.resolve_map_walks");
+  ins_.resolve_cluster_walks = &metrics_.counter("node.resolve_cluster_walks");
+  ins_.replica_pushes = &metrics_.counter("node.replica_pushes");
+  ins_.background_retries = &metrics_.counter("node.background_retries");
+  ins_.reserve_us = &metrics_.histogram("op.reserve_us");
+  ins_.lock_read_us = &metrics_.histogram("op.lock.read_us");
+  ins_.lock_write_us = &metrics_.histogram("op.lock.write_us");
+  ins_.lock_write_shared_us = &metrics_.histogram("op.lock.write_shared_us");
+  ins_.read_us = &metrics_.histogram("op.read_us");
+  ins_.write_us = &metrics_.histogram("op.write_us");
+  ins_.resolve_region_dir_us = &metrics_.histogram("resolve.region_dir_us");
+  ins_.resolve_manager_hint_us =
+      &metrics_.histogram("resolve.manager_hint_us");
+  ins_.resolve_map_walk_us = &metrics_.histogram("resolve.map_walk_us");
+  ins_.resolve_cluster_walk_us =
+      &metrics_.histogram("resolve.cluster_walk_us");
   members_.insert(config_.id);
   for (NodeId p : config_.peers) members_.insert(p);
   storage_.set_evict_hook([this](const GlobalAddress& page,
@@ -71,6 +105,29 @@ Node::Node(NodeConfig config, net::Transport& transport)
 
 Node::~Node() = default;
 
+NodeStats Node::stats() const {
+  NodeStats s;
+  s.reserves = ins_.reserves->value();
+  s.locks_granted = ins_.locks_granted->value();
+  s.locks_failed = ins_.locks_failed->value();
+  s.reads = ins_.reads->value();
+  s.writes = ins_.writes->value();
+  s.resolve_cache_hits = ins_.resolve_cache_hits->value();
+  s.resolve_manager_hits = ins_.resolve_manager_hits->value();
+  s.resolve_map_walks = ins_.resolve_map_walks->value();
+  s.resolve_cluster_walks = ins_.resolve_cluster_walks->value();
+  s.replica_pushes = ins_.replica_pushes->value();
+  s.background_retries = ins_.background_retries->value();
+  return s;
+}
+
+obs::Histogram* Node::lock_hist(LockMode mode) {
+  switch (mode) {
+    case LockMode::kWrite: return ins_.lock_write_us;
+    case LockMode::kWriteShared: return ins_.lock_write_shared_us;
+    default: return ins_.lock_read_us;
+  }
+}
 void Node::start() {
   if (started_) return;
   started_ = true;
@@ -120,16 +177,7 @@ void Node::send_cm(NodeId peer, ProtocolId protocol, const GlobalAddress& page,
   m.type = MsgType::kCm;
   m.dst = peer;
   m.payload = std::move(e).take();
-  if (peer == config_.id) {
-    // Self-sends loop back through the scheduler so protocol handlers are
-    // never re-entered from within themselves.
-    m.src = config_.id;
-    transport_.schedule(0, [this, m = std::move(m)]() mutable {
-      on_message(std::move(m));
-    });
-    return;
-  }
-  transport_.send(std::move(m));
+  send_msg(std::move(m));
 }
 
 storage::PageInfo& Node::page_info(const GlobalAddress& page) {
@@ -303,7 +351,7 @@ void Node::release_region_pages(const RegionDescriptor& desc,
         Encoder e;
         e.addr(p);
         m.payload = std::move(e).take();
-        transport_.send(std::move(m));
+        send_msg(std::move(m));
       }
     }
     storage_.erase(p);
@@ -344,6 +392,26 @@ void Node::LocalMapStore::write_page(std::uint32_t index, const Bytes& data) {
 // Messaging plumbing
 // ---------------------------------------------------------------------------
 
+void Node::route(Message m) {
+  if (m.dst == config_.id) {
+    // Self-sends loop back through the scheduler so handlers are never
+    // re-entered from within themselves.
+    m.src = config_.id;
+    transport_.schedule(0, [this, m = std::move(m)]() mutable {
+      on_message(std::move(m));
+    });
+    return;
+  }
+  transport_.send(std::move(m));
+}
+
+void Node::send_msg(Message m) {
+  const obs::TraceContext ctx = tracer_.current();
+  m.trace_id = ctx.trace_id;
+  m.span_id = ctx.span_id;
+  route(std::move(m));
+}
+
 void Node::on_message(Message msg) {
   if (down_nodes_.contains(msg.src)) mark_node_up(msg.src);
 
@@ -353,12 +421,29 @@ void Node::on_message(Message msg) {
     PendingRpc pending = std::move(it->second);
     pending_rpcs_.erase(it);
     if (pending.timer != 0) transport_.cancel(pending.timer);
+    tracer_.end_span(pending.span);
+    // The continuation belongs to the trace that issued the rpc.
+    obs::ScopedTraceContext scope(tracer_, pending.issue_ctx);
     Decoder d(msg.payload);
     pending.handler(true, d);
     return;
   }
 
-  handle_request(msg);
+  // Server side of a hop: everything this request triggers is parented to
+  // the caller's wire context. Untraced messages stay untraced.
+  const obs::TraceContext wire{msg.trace_id, msg.span_id};
+  if (!wire.active()) {
+    obs::ScopedTraceContext scope(tracer_, {});
+    handle_request(msg);
+    return;
+  }
+  const obs::TraceContext rx =
+      tracer_.begin_span(span_name("rx", msg.type), wire);
+  {
+    obs::ScopedTraceContext scope(tracer_, rx);
+    handle_request(msg);
+  }
+  tracer_.end_span(rx);
 }
 
 void Node::handle_request(const Message& msg) {
@@ -426,24 +511,28 @@ void Node::rpc(NodeId dst, MsgType type, Bytes payload, RespHandler handler) {
 
   PendingRpc pending;
   pending.handler = std::move(handler);
+  pending.issue_ctx = tracer_.current();
+  if (pending.issue_ctx.active()) {
+    // Client-side span covering the whole exchange; the wire carries the
+    // span id so the server's rx span parents under it.
+    pending.span = tracer_.begin_span(span_name("rpc", type),
+                                      pending.issue_ctx);
+    m.trace_id = pending.span.trace_id;
+    m.span_id = pending.span.span_id;
+  }
   pending.timer = transport_.schedule(config_.rpc_timeout, [this, id] {
     auto it = pending_rpcs_.find(id);
     if (it == pending_rpcs_.end()) return;
     PendingRpc p = std::move(it->second);
     pending_rpcs_.erase(it);
+    tracer_.end_span(p.span);
+    obs::ScopedTraceContext scope(tracer_, p.issue_ctx);
     Decoder empty(std::span<const std::uint8_t>{});
     p.handler(false, empty);
   });
   pending_rpcs_.emplace(id, std::move(pending));
 
-  if (dst == config_.id) {
-    m.src = config_.id;
-    transport_.schedule(0, [this, m = std::move(m)]() mutable {
-      on_message(std::move(m));
-    });
-  } else {
-    transport_.send(std::move(m));
-  }
+  route(std::move(m));
 }
 
 void Node::respond(const Message& req, MsgType type, Bytes payload) {
@@ -452,14 +541,7 @@ void Node::respond(const Message& req, MsgType type, Bytes payload) {
   m.dst = req.src;
   m.rpc_id = req.rpc_id;
   m.payload = std::move(payload);
-  if (m.dst == config_.id) {
-    m.src = config_.id;
-    transport_.schedule(0, [this, m = std::move(m)]() mutable {
-      on_message(std::move(m));
-    });
-  } else {
-    transport_.send(std::move(m));
-  }
+  send_msg(std::move(m));
 }
 
 void Node::app_rpc(NodeId dst, net::MsgType type, Bytes payload,
@@ -489,7 +571,7 @@ void Node::reliable_attempt(std::uint64_t rid) {
       reliable_.erase(rid);
       return;
     }
-    ++stats_.background_retries;
+    ins_.background_retries->inc();
     transport_.schedule(config_.rpc_timeout,
                         [this, rid] { reliable_attempt(rid); });
   });

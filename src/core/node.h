@@ -38,6 +38,8 @@
 #include "core/region.h"
 #include "core/region_directory.h"
 #include "net/transport.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "storage/hierarchy.h"
 #include "storage/page_directory.h"
 
@@ -74,6 +76,10 @@ struct NodeConfig {
 };
 
 /// Per-node operation counters (observability for tests and benches).
+/// Since the obs::MetricsRegistry migration this is a *snapshot* struct:
+/// Node::stats() synthesizes it from the node's registry counters, so the
+/// legacy field-by-field consumers keep working while new code reads the
+/// registry (which also carries latency histograms).
 struct NodeStats {
   std::uint64_t reserves = 0;
   std::uint64_t locks_granted = 0;
@@ -176,8 +182,10 @@ class Node final : public consistency::CmHost {
   // --- introspection ----------------------------------------------------
   [[nodiscard]] NodeId id() const { return config_.id; }
   [[nodiscard]] const NodeConfig& config() const { return config_; }
-  [[nodiscard]] const NodeStats& stats() const { return stats_; }
-  NodeStats& stats() { return stats_; }
+  [[nodiscard]] NodeStats stats() const;
+  /// Causal span recorder for this node (spans export via the worlds'
+  /// trace_json helpers).
+  [[nodiscard]] obs::Tracer& tracer() { return tracer_; }
   [[nodiscard]] storage::StorageHierarchy& storage() { return storage_; }
   [[nodiscard]] storage::PageDirectory& page_directory() { return pages_; }
   [[nodiscard]] RegionDirectory& region_directory() { return regions_; }
@@ -239,6 +247,7 @@ class Node final : public consistency::CmHost {
   [[nodiscard]] int max_retries() const override {
     return config_.max_retries;
   }
+  [[nodiscard]] obs::MetricsRegistry& metrics() override { return metrics_; }
 
  private:
   // -- map page store over region-0 pages (manager side) ------------------
@@ -261,6 +270,12 @@ class Node final : public consistency::CmHost {
   // Messaging.
   void on_message(net::Message msg);
   void handle_request(const net::Message& msg);
+  /// Routes a fully-built message: self-sends loop back through the
+  /// scheduler (handlers are never re-entered), everything else goes to
+  /// the transport. Does not touch the trace fields.
+  void route(net::Message m);
+  /// Stamps the message with the tracer's current context, then route().
+  void send_msg(net::Message m);
   void rpc(NodeId dst, net::MsgType type, Bytes payload, RespHandler handler);
   /// Retries across `candidates` until a response arrives or `attempts`
   /// sends have failed (acquire-side retry policy, Section 3.5).
@@ -291,15 +306,20 @@ class Node final : public consistency::CmHost {
   void on_migrate_data(const net::Message& m);
   void on_replicate_to_req(const net::Message& m);
 
-  // Three-level location lookup (Section 3.2).
+  // Three-level location lookup (Section 3.2). `t0` is when resolve()
+  // started; each terminal records into the histogram of the hit class
+  // that actually produced the descriptor (`hist` threads the pending
+  // class through fetch_descriptor, whose fallback is the cluster walk).
   void resolve(const GlobalAddress& addr, DescCb cb);
-  void resolve_via_manager(const GlobalAddress& addr, DescCb cb);
-  void resolve_via_map_walk(const GlobalAddress& addr, DescCb cb);
+  void resolve_via_manager(const GlobalAddress& addr, Micros t0, DescCb cb);
+  void resolve_via_map_walk(const GlobalAddress& addr, Micros t0, DescCb cb);
   void map_walk_step(std::uint32_t page_index, GlobalAddress addr, int depth,
-                     DescCb cb);
-  void resolve_via_cluster_walk(const GlobalAddress& addr, DescCb cb);
+                     Micros t0, DescCb cb);
+  void resolve_via_cluster_walk(const GlobalAddress& addr, Micros t0,
+                                DescCb cb);
   void fetch_descriptor(std::vector<NodeId> candidates, std::size_t next,
-                        const GlobalAddress& addr, DescCb cb);
+                        const GlobalAddress& addr, Micros t0,
+                        obs::Histogram* hist, DescCb cb);
 
   // Map page access for the tree walk (readers replicate map pages via the
   // release protocol).
@@ -372,6 +392,11 @@ class Node final : public consistency::CmHost {
   struct PendingRpc {
     RespHandler handler;
     std::uint64_t timer = 0;
+    /// Client-side span covering the request/response exchange, and the
+    /// context that issued the rpc — restored around the handler so the
+    /// continuation stays in the issuing trace.
+    obs::TraceContext span;
+    obs::TraceContext issue_ctx;
   };
   std::unordered_map<RpcId, PendingRpc> pending_rpcs_;
 
@@ -400,7 +425,35 @@ class Node final : public consistency::CmHost {
   std::map<NodeId, int> missed_pongs_;
   std::function<void(const net::Message&)> obj_handler_;
 
-  NodeStats stats_;
+  // Observability. `ins_` pre-binds the hot-path instruments so counting
+  // never takes the registry's name-lookup mutex.
+  obs::MetricsRegistry metrics_;
+  obs::Tracer tracer_;
+  struct Instruments {
+    obs::Counter* reserves = nullptr;
+    obs::Counter* locks_granted = nullptr;
+    obs::Counter* locks_failed = nullptr;
+    obs::Counter* reads = nullptr;
+    obs::Counter* writes = nullptr;
+    obs::Counter* resolve_cache_hits = nullptr;
+    obs::Counter* resolve_manager_hits = nullptr;
+    obs::Counter* resolve_map_walks = nullptr;
+    obs::Counter* resolve_cluster_walks = nullptr;
+    obs::Counter* replica_pushes = nullptr;
+    obs::Counter* background_retries = nullptr;
+    obs::Histogram* reserve_us = nullptr;
+    obs::Histogram* lock_read_us = nullptr;
+    obs::Histogram* lock_write_us = nullptr;
+    obs::Histogram* lock_write_shared_us = nullptr;
+    obs::Histogram* read_us = nullptr;
+    obs::Histogram* write_us = nullptr;
+    obs::Histogram* resolve_region_dir_us = nullptr;
+    obs::Histogram* resolve_manager_hint_us = nullptr;
+    obs::Histogram* resolve_map_walk_us = nullptr;
+    obs::Histogram* resolve_cluster_walk_us = nullptr;
+  } ins_;
+  [[nodiscard]] obs::Histogram* lock_hist(consistency::LockMode mode);
+
   bool started_ = false;
 };
 

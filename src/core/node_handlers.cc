@@ -44,7 +44,7 @@ void Node::on_join_req(const Message& m) {
     gm.type = MsgType::kNodeListGossip;
     gm.dst = n;
     gm.payload = std::move(g).take();
-    transport_.send(std::move(gm));
+    send_msg(std::move(gm));
   }
 }
 
@@ -102,14 +102,7 @@ void Node::publish_hint(const AddressRange& range, bool retract) {
     m.type = MsgType::kHintPublish;
     m.dst = manager;
     m.payload = std::move(hint).take();
-    if (m.dst == config_.id) {
-      m.src = config_.id;
-      transport_.schedule(0, [this, m = std::move(m)]() mutable {
-        on_message(std::move(m));
-      });
-    } else {
-      transport_.send(std::move(m));
-    }
+    send_msg(std::move(m));
   }
 }
 
@@ -433,9 +426,9 @@ void Node::maintain_replicas(const GlobalAddress& page) {
       m.type = MsgType::kReplicaPush;
       m.dst = n;
       m.payload = std::move(e).take();
-      transport_.send(std::move(m));
+      send_msg(std::move(m));
       info->sharers.insert(n);
-      ++stats_.replica_pushes;
+      ins_.replica_pushes->inc();
       // Record the replica as an alternate home so lookups and failure
       // fallbacks can find it (the map entry's home list is
       // non-exhaustive by design).
@@ -477,9 +470,9 @@ void Node::maintain_replicas(const GlobalAddress& page) {
     m.type = MsgType::kReplicaPush;
     m.dst = desc->primary_home();
     m.payload = std::move(e).take();
-    transport_.send(std::move(m));
+    send_msg(std::move(m));
     info->state = PageState::kShared;
-    ++stats_.replica_pushes;
+    ins_.replica_pushes->inc();
   }
 }
 
@@ -677,13 +670,13 @@ void Node::on_replicate_to_req(const Message& m) {
     push.type = MsgType::kReplicaPush;
     push.dst = target;
     push.payload = std::move(e).take();
-    transport_.send(std::move(push));
+    send_msg(std::move(push));
     info->sharers.insert(target);
     // A pushed copy means the page is no longer exclusive here.
     if (info->state == PageState::kExclusive) {
       info->state = PageState::kShared;
     }
-    ++stats_.replica_pushes;
+    ins_.replica_pushes->inc();
   }
   respond(m, MsgType::kReplicateToResp, status_payload(ErrorCode::kOk));
 }
@@ -715,7 +708,7 @@ void Node::leave(StatusCb cb) {
       Message lm;
       lm.type = MsgType::kLeave;
       lm.dst = n;
-      transport_.send(std::move(lm));
+      send_msg(std::move(lm));
     }
     cb(Status{});
   };

@@ -127,6 +127,16 @@ std::uint64_t Node::pool_bytes() const {
 
 void Node::reserve(std::uint64_t size, const RegionAttrs& raw_attrs,
                    ReserveCb cb) {
+  // Root the operation's trace and time it end-to-end; every rpc issued on
+  // behalf of this reserve parents under `span` via the ambient context.
+  const Micros t0 = now();
+  const obs::TraceContext span = tracer_.begin_span("op:reserve");
+  obs::ScopedTraceContext scope(tracer_, span);
+  cb = [this, t0, span, cb = std::move(cb)](Result<GlobalAddress> r) {
+    if (r.ok()) ins_.reserve_us->record(now() - t0);
+    tracer_.end_span(span);
+    cb(std::move(r));
+  };
   if (size == 0 || !valid_page_size(raw_attrs.page_size)) {
     cb(ErrorCode::kBadArgument);
     return;
@@ -188,7 +198,7 @@ void Node::finish_reserve(const AddressRange& range, const RegionAttrs& attrs,
   homed_regions_[range.base] = desc;
   regions_.insert(desc);
   persist_meta();
-  ++stats_.reserves;
+  ins_.reserves->inc();
 
   // Register the reservation with the address map (background-reliable;
   // the map is a hint structure and tolerates lag) and publish a location
@@ -331,6 +341,17 @@ void Node::deallocate(const AddressRange& range, StatusCb cb) {
 // ---------------------------------------------------------------------------
 
 void Node::lock(const AddressRange& range, LockMode mode, LockCb cb) {
+  // Root span for the whole acquisition: resolve, home rpc, CREW round and
+  // grant all join this trace (across nodes, via the message envelope).
+  const Micros t0 = now();
+  const obs::TraceContext span = tracer_.begin_span("op:lock");
+  obs::ScopedTraceContext scope(tracer_, span);
+  cb = [this, t0, h = lock_hist(mode), span,
+        cb = std::move(cb)](Result<LockContext> r) {
+    if (r.ok()) h->record(now() - t0);
+    tracer_.end_span(span);
+    cb(std::move(r));
+  };
   if (range.size == 0 || mode == LockMode::kNone) {
     cb(ErrorCode::kBadArgument);
     return;
@@ -338,7 +359,7 @@ void Node::lock(const AddressRange& range, LockMode mode, LockCb cb) {
   resolve(range.base, [this, range, mode, cb = std::move(cb)](
                           Result<RegionDescriptor> r) mutable {
     if (!r) {
-      ++stats_.locks_failed;
+      ins_.locks_failed->inc();
       cb(r.error());
       return;
     }
@@ -366,20 +387,20 @@ void Node::lock(const AddressRange& range, LockMode mode, LockCb cb) {
               [this, range, mode, cb = std::move(cb)](bool ok,
                                                       Decoder& d) mutable {
                 if (!ok) {
-                  ++stats_.locks_failed;
+                  ins_.locks_failed->inc();
                   cb(ErrorCode::kUnreachable);
                   return;
                 }
                 const ErrorCode err = from_wire(d.u8());
                 if (err != ErrorCode::kOk) {
-                  ++stats_.locks_failed;
+                  ins_.locks_failed->inc();
                   cb(err);
                   return;
                 }
                 RegionDescriptor fresh = RegionDescriptor::decode(d);
                 regions_.insert(fresh);
                 if (!fresh.allocated) {
-                  ++stats_.locks_failed;
+                  ins_.locks_failed->inc();
                   cb(ErrorCode::kNotAllocated);
                   return;
                 }
@@ -415,7 +436,7 @@ void Node::lock_next_page(std::shared_ptr<LockOp> op) {
     al.page_size = op->desc.attrs.page_size;
     for (const auto& p : al.pages) storage_.pin(p);
     active_locks_.emplace(id, std::move(al));
-    ++stats_.locks_granted;
+    ins_.locks_granted->inc();
     op->cb(LockContext{id, op->range, op->mode});
     return;
   }
@@ -447,7 +468,7 @@ void Node::lock_next_page(std::shared_ptr<LockOp> op) {
       regions_.invalidate(op->range.base);
       resolve(op->range.base, [this, op](Result<RegionDescriptor> r) mutable {
         if (!r) {
-          ++stats_.locks_failed;
+          ins_.locks_failed->inc();
           op->cb(r.error());
           return;
         }
@@ -456,7 +477,7 @@ void Node::lock_next_page(std::shared_ptr<LockOp> op) {
       });
       return;
     }
-    ++stats_.locks_failed;
+    ins_.locks_failed->inc();
     op->cb(s.error());
   });
 }
@@ -482,7 +503,10 @@ Result<Bytes> Node::read(const LockContext& ctx, std::uint64_t offset,
   if (it == active_locks_.end()) return ErrorCode::kBadLock;
   const ActiveLock& al = it->second;
   if (offset + len > al.ctx.range.size) return ErrorCode::kBadArgument;
-  ++stats_.reads;
+  ins_.reads->inc();
+  const Micros t0 = now();
+  const obs::TraceContext span =
+      tracer_.begin_span("op:read", tracer_.current());
 
   Bytes out(len);
   const std::uint32_t psz = al.page_size;
@@ -495,12 +519,15 @@ Result<Bytes> Node::read(const LockContext& ctx, std::uint64_t offset,
                                                         psz - in_page);
     const Bytes* data = storage_.get(page);
     if (data == nullptr || data->size() < in_page + chunk) {
+      tracer_.end_span(span);
       return ErrorCode::kInternal;  // locked pages must be resident
     }
     std::copy_n(data->begin() + static_cast<long>(in_page), chunk,
                 out.begin() + static_cast<long>(done));
     done += chunk;
   }
+  tracer_.end_span(span);
+  ins_.read_us->record(now() - t0);
   return out;
 }
 
@@ -511,7 +538,10 @@ Status Node::write(const LockContext& ctx, std::uint64_t offset,
   ActiveLock& al = it->second;
   if (!is_write(al.ctx.mode)) return ErrorCode::kBadLock;
   if (offset + data.size() > al.ctx.range.size) return ErrorCode::kBadArgument;
-  ++stats_.writes;
+  ins_.writes->inc();
+  const Micros t0 = now();
+  const obs::TraceContext span =
+      tracer_.begin_span("op:write", tracer_.current());
 
   const std::uint32_t psz = al.page_size;
   std::uint64_t done = 0;
@@ -523,6 +553,7 @@ Status Node::write(const LockContext& ctx, std::uint64_t offset,
         std::min<std::uint64_t>(data.size() - done, psz - in_page);
     Bytes* stored = storage_.get_mutable(page);
     if (stored == nullptr || stored->size() < in_page + chunk) {
+      tracer_.end_span(span);
       return ErrorCode::kInternal;
     }
     std::copy_n(data.begin() + static_cast<long>(done), chunk,
@@ -530,6 +561,8 @@ Status Node::write(const LockContext& ctx, std::uint64_t offset,
     al.dirty.insert(page);
     done += chunk;
   }
+  tracer_.end_span(span);
+  ins_.write_us->record(now() - t0);
   return {};
 }
 
@@ -688,6 +721,7 @@ void Node::replicate_to(const GlobalAddress& base, NodeId target,
 // ---------------------------------------------------------------------------
 
 void Node::resolve(const GlobalAddress& addr, DescCb cb) {
+  const Micros t0 = now();
   // Level 0: well-known bootstrap region.
   if (AddressRange{kMapRegionBase, kMapRegionSize}.contains(addr)) {
     cb(map_region_descriptor(config_.genesis));
@@ -704,22 +738,27 @@ void Node::resolve(const GlobalAddress& addr, DescCb cb) {
   }
   // Level 1: region directory (possibly stale; used optimistically).
   if (auto cached = regions_.lookup(addr)) {
-    ++stats_.resolve_cache_hits;
+    ins_.resolve_cache_hits->inc();
+    // Effectively free, but recording it keeps the hit-class latency mix
+    // comparable across the resolve.* histograms.
+    ins_.resolve_region_dir_us->record(now() - t0);
     cb(*cached);
     return;
   }
-  resolve_via_manager(addr, std::move(cb));
+  resolve_via_manager(addr, t0, std::move(cb));
 }
 
-void Node::resolve_via_manager(const GlobalAddress& addr, DescCb cb) {
+void Node::resolve_via_manager(const GlobalAddress& addr, Micros t0,
+                               DescCb cb) {
   // Level 2: the cluster manager's hint cache.
   if (is_manager()) {
     const auto nodes = cluster_.hint(addr);
     if (!nodes.empty()) {
-      ++stats_.resolve_manager_hits;
-      fetch_descriptor(nodes, 0, addr, std::move(cb));
+      ins_.resolve_manager_hits->inc();
+      fetch_descriptor(nodes, 0, addr, t0, ins_.resolve_manager_hint_us,
+                       std::move(cb));
     } else {
-      resolve_via_map_walk(addr, std::move(cb));
+      resolve_via_map_walk(addr, t0, std::move(cb));
     }
     return;
   }
@@ -727,7 +766,7 @@ void Node::resolve_via_manager(const GlobalAddress& addr, DescCb cb) {
   e.addr(addr);
   rpc_retry(managers(), MsgType::kHintQueryReq, std::move(e).take(),
       static_cast<int>(managers().size()),
-      [this, addr, cb = std::move(cb)](bool ok, Decoder& d) mutable {
+      [this, addr, t0, cb = std::move(cb)](bool ok, Decoder& d) mutable {
         if (ok) {
           const ErrorCode err = from_wire(d.u8());
           if (err == ErrorCode::kOk) {
@@ -737,44 +776,47 @@ void Node::resolve_via_manager(const GlobalAddress& addr, DescCb cb) {
               nodes.push_back(d.u32());
             }
             if (!nodes.empty()) {
-              ++stats_.resolve_manager_hits;
-              fetch_descriptor(std::move(nodes), 0, addr, std::move(cb));
+              ins_.resolve_manager_hits->inc();
+              fetch_descriptor(std::move(nodes), 0, addr, t0,
+                               ins_.resolve_manager_hint_us, std::move(cb));
               return;
             }
           }
         }
         // Level 3: walk the address-map tree.
-        resolve_via_map_walk(addr, std::move(cb));
+        resolve_via_map_walk(addr, t0, std::move(cb));
       });
 }
 
-void Node::resolve_via_map_walk(const GlobalAddress& addr, DescCb cb) {
-  ++stats_.resolve_map_walks;
-  map_walk_step(0, addr, 0, std::move(cb));
+void Node::resolve_via_map_walk(const GlobalAddress& addr, Micros t0,
+                                DescCb cb) {
+  ins_.resolve_map_walks->inc();
+  map_walk_step(0, addr, 0, t0, std::move(cb));
 }
 
 void Node::map_walk_step(std::uint32_t page_index, GlobalAddress addr,
-                         int depth, DescCb cb) {
-  fetch_map_page(page_index, [this, addr, depth, cb = std::move(cb)](
+                         int depth, Micros t0, DescCb cb) {
+  fetch_map_page(page_index, [this, addr, depth, t0, cb = std::move(cb)](
                                  Result<Bytes> r) mutable {
     if (!r) {
-      resolve_via_cluster_walk(addr, std::move(cb));
+      resolve_via_cluster_walk(addr, t0, std::move(cb));
       return;
     }
     const auto step = AddressMap::walk_step(r.value(), addr);
     if (step.found) {
-      fetch_descriptor(step.entry.homes, 0, addr, std::move(cb));
+      fetch_descriptor(step.entry.homes, 0, addr, t0,
+                       ins_.resolve_map_walk_us, std::move(cb));
       return;
     }
     if (step.descend && depth < 16) {
-      map_walk_step(step.child, addr, depth + 1, std::move(cb));
+      map_walk_step(step.child, addr, depth + 1, t0, std::move(cb));
       return;
     }
     // Not in the map (lagging registration) — cluster walk (Section 3.1:
     // "If the set of nodes specified in a given region's address map entry
     // is stale, the region can still be located using a cluster-walk
     // algorithm").
-    resolve_via_cluster_walk(addr, std::move(cb));
+    resolve_via_cluster_walk(addr, t0, std::move(cb));
   });
 }
 
@@ -801,11 +843,12 @@ void Node::fetch_map_page(std::uint32_t index,
 }
 
 void Node::fetch_descriptor(std::vector<NodeId> candidates, std::size_t next,
-                            const GlobalAddress& addr, DescCb cb) {
+                            const GlobalAddress& addr, Micros t0,
+                            obs::Histogram* hist, DescCb cb) {
   // Skip self (we would have answered from homed_regions_ already).
   while (next < candidates.size() && candidates[next] == config_.id) ++next;
   if (next >= candidates.size()) {
-    resolve_via_cluster_walk(addr, std::move(cb));
+    resolve_via_cluster_walk(addr, t0, std::move(cb));
     return;
   }
   Encoder e;
@@ -814,13 +857,14 @@ void Node::fetch_descriptor(std::vector<NodeId> candidates, std::size_t next,
   // evaluation order is unspecified.
   const NodeId target = candidates[next];
   rpc(target, MsgType::kDescLookupReq, std::move(e).take(),
-      [this, candidates = std::move(candidates), next, addr,
+      [this, candidates = std::move(candidates), next, addr, t0, hist,
        cb = std::move(cb)](bool ok, Decoder& d) mutable {
         if (ok) {
           const ErrorCode err = from_wire(d.u8());
           if (err == ErrorCode::kOk) {
             RegionDescriptor desc = RegionDescriptor::decode(d);
             regions_.insert(desc);
+            if (hist != nullptr) hist->record(now() - t0);
             cb(std::move(desc));
             return;
           }
@@ -828,13 +872,14 @@ void Node::fetch_descriptor(std::vector<NodeId> candidates, std::size_t next,
         // Stale hint: "the use of a stale home pointer will simply result
         // in a message being sent to a node that no longer is home"
         // (Section 3.2) — try the next candidate.
-        fetch_descriptor(std::move(candidates), next + 1, addr,
+        fetch_descriptor(std::move(candidates), next + 1, addr, t0, hist,
                          std::move(cb));
       });
 }
 
-void Node::resolve_via_cluster_walk(const GlobalAddress& addr, DescCb cb) {
-  ++stats_.resolve_cluster_walks;
+void Node::resolve_via_cluster_walk(const GlobalAddress& addr, Micros t0,
+                                    DescCb cb) {
+  ins_.resolve_cluster_walks->inc();
   std::vector<NodeId> targets;
   for (NodeId n : membership()) {
     if (n != config_.id) targets.push_back(n);
@@ -855,12 +900,13 @@ void Node::resolve_via_cluster_walk(const GlobalAddress& addr, DescCb cb) {
     Encoder e;
     e.addr(addr);
     rpc(t, MsgType::kClusterWalkReq, std::move(e).take(),
-        [this, st](bool ok, Decoder& d) {
+        [this, st, t0](bool ok, Decoder& d) {
           if (st->done) return;
           if (ok && d.boolean()) {
             RegionDescriptor desc = RegionDescriptor::decode(d);
             st->done = true;
             regions_.insert(desc);
+            ins_.resolve_cluster_walk_us->record(now() - t0);
             st->cb(std::move(desc));
             return;
           }

@@ -2,23 +2,32 @@
 
 namespace khz::core {
 
+void RegionDirectory::bind_metrics(obs::MetricsRegistry& registry) {
+  hits_ = &registry.counter("region_dir.hits");
+  misses_ = &registry.counter("region_dir.misses");
+  evictions_ = &registry.counter("region_dir.evictions");
+}
+
 std::optional<RegionDescriptor> RegionDirectory::lookup(
     const GlobalAddress& addr) {
   // Find the last entry with base <= addr, then verify containment.
   auto it = cache_.upper_bound(addr);
   if (it == cache_.begin()) {
     ++stats_.misses;
+    if (misses_ != nullptr) misses_->inc();
     return std::nullopt;
   }
   --it;
   if (!it->second.desc.range.contains(addr)) {
     ++stats_.misses;
+    if (misses_ != nullptr) misses_->inc();
     return std::nullopt;
   }
   lru_.erase(it->second.lru_pos);
   lru_.push_front(it->first);
   it->second.lru_pos = lru_.begin();
   ++stats_.hits;
+  if (hits_ != nullptr) hits_->inc();
   return it->second.desc;
 }
 
@@ -37,6 +46,7 @@ void RegionDirectory::insert(const RegionDescriptor& desc) {
     const GlobalAddress victim = lru_.back();
     lru_.pop_back();
     cache_.erase(victim);
+    if (evictions_ != nullptr) evictions_->inc();
   }
 }
 

@@ -13,6 +13,7 @@
 #include <optional>
 
 #include "core/region.h"
+#include "obs/metrics.h"
 
 namespace khz::core {
 
@@ -39,6 +40,10 @@ class RegionDirectory {
   };
   [[nodiscard]] const Stats& stats() const { return stats_; }
 
+  /// Mirrors hit/miss/eviction counts into the owning node's registry
+  /// (region_dir.hits / region_dir.misses / region_dir.evictions).
+  void bind_metrics(obs::MetricsRegistry& registry);
+
  private:
   struct Entry {
     RegionDescriptor desc;
@@ -49,6 +54,9 @@ class RegionDirectory {
   std::map<GlobalAddress, Entry> cache_;  // keyed by region base
   std::list<GlobalAddress> lru_;          // front = most recent
   Stats stats_;
+  obs::Counter* hits_ = nullptr;
+  obs::Counter* misses_ = nullptr;
+  obs::Counter* evictions_ = nullptr;
 };
 
 }  // namespace khz::core

@@ -202,4 +202,38 @@ Result<Bytes> SimWorld::get(NodeId n, const AddressRange& range) {
   return r;
 }
 
+// ---------------------------------------------------------------------------
+// Observability
+// ---------------------------------------------------------------------------
+
+std::string SimWorld::trace_json() const {
+  std::vector<obs::Span> spans;
+  for (const auto& n : nodes_) {
+    if (!n) continue;
+    auto s = n->tracer().finished_spans();
+    spans.insert(spans.end(), std::make_move_iterator(s.begin()),
+                 std::make_move_iterator(s.end()));
+  }
+  return obs::chrome_trace_json(spans);
+}
+
+void SimWorld::sync_net_metrics(NodeId n) {
+  auto& reg = node(n).metrics();
+  const net::NetStats& s = net_.stats();
+  reg.counter("net.messages_sent").set(s.messages_sent);
+  reg.counter("net.messages_delivered").set(s.messages_delivered);
+  reg.counter("net.messages_dropped").set(s.messages_dropped);
+  reg.counter("net.bytes_sent").set(s.bytes_sent);
+}
+
+std::string SimWorld::metrics_text(NodeId n) {
+  sync_net_metrics(n);
+  return node(n).metrics().dump_text();
+}
+
+std::string SimWorld::metrics_json(NodeId n) {
+  sync_net_metrics(n);
+  return node(n).metrics().dump_json();
+}
+
 }  // namespace khz::core

@@ -86,7 +86,19 @@ class SimWorld {
   /// lock(read) + read + unlock.
   Result<Bytes> get(NodeId n, const AddressRange& range);
 
+  // --- observability ----------------------------------------------------
+  /// Chrome trace-event JSON of every node's finished spans, merged.
+  /// Load the output in chrome://tracing or https://ui.perfetto.dev.
+  [[nodiscard]] std::string trace_json() const;
+  /// One node's metric registry, with the deployment-wide SimNetwork
+  /// counters mirrored in under net.* (the simulator counts traffic
+  /// globally, not per endpoint).
+  [[nodiscard]] std::string metrics_text(NodeId n);
+  [[nodiscard]] std::string metrics_json(NodeId n);
+
  private:
+  void sync_net_metrics(NodeId n);
+
   SimWorldOptions opts_;
   net::SimNetwork net_;
   std::vector<std::unique_ptr<Node>> nodes_;

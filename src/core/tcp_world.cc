@@ -55,6 +55,50 @@ net::TransportStats TcpWorld::total_transport_stats() const {
   return sum;
 }
 
+std::string TcpWorld::trace_json() {
+  std::vector<obs::Span> spans;
+  for (std::size_t i = 0; i < nodes_.size(); ++i) {
+    // The tracer ring is only touched from the node's executor thread, so
+    // snapshot it there rather than racing with in-flight operations.
+    std::vector<obs::Span> local;
+    transports_[i]->run_on_executor(
+        [&] { local = nodes_[i]->tracer().finished_spans(); });
+    spans.insert(spans.end(), std::make_move_iterator(local.begin()),
+                 std::make_move_iterator(local.end()));
+  }
+  return obs::chrome_trace_json(spans);
+}
+
+obs::MetricsSnapshot TcpWorld::merged_snapshot(NodeId id) {
+  auto& reg = node(id).metrics();
+  const net::TransportStats s = transports_.at(id)->stats();
+  reg.counter("tcp.messages_sent").set(s.messages_sent);
+  reg.counter("tcp.messages_received").set(s.messages_received);
+  reg.counter("tcp.bytes_sent").set(s.bytes_sent);
+  reg.counter("tcp.bytes_received").set(s.bytes_received);
+  reg.counter("tcp.frames_dropped").set(s.frames_dropped);
+  reg.counter("tcp.connects").set(s.connects);
+  reg.counter("tcp.reconnects").set(s.reconnects);
+  reg.counter("tcp.connect_failures").set(s.connect_failures);
+  reg.counter("tcp.peak_queued_bytes").set(s.peak_queued_bytes);
+
+  obs::MetricsSnapshot snap = reg.snapshot();
+  const obs::MetricsSnapshot wire = transports_.at(id)->metrics().snapshot();
+  for (const auto& [name, value] : wire.counters) snap.counters[name] = value;
+  for (const auto& [name, hist] : wire.histograms) {
+    snap.histograms[name] = hist;
+  }
+  return snap;
+}
+
+std::string TcpWorld::metrics_text(NodeId id) {
+  return merged_snapshot(id).to_text();
+}
+
+std::string TcpWorld::metrics_json(NodeId id) {
+  return merged_snapshot(id).to_json();
+}
+
 TcpWorld::~TcpWorld() {
   // Stop transports first so no executor callback touches a dead Node.
   bus_.stop_all();

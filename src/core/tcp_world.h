@@ -54,7 +54,19 @@ class TcpWorld {
   /// Sum of transport_stats() across the whole deployment.
   [[nodiscard]] net::TransportStats total_transport_stats() const;
 
+  // --- observability ----------------------------------------------------
+  /// Chrome trace-event JSON of every node's finished spans, merged.
+  /// Each node's span ring is read on its own executor thread.
+  [[nodiscard]] std::string trace_json();
+  /// One node's metric registry with its endpoint's wire counters
+  /// mirrored in under tcp.* and the transport's own instruments
+  /// (tcp.send_queue_us) merged into the dump.
+  [[nodiscard]] std::string metrics_text(NodeId id);
+  [[nodiscard]] std::string metrics_json(NodeId id);
+
  private:
+  [[nodiscard]] obs::MetricsSnapshot merged_snapshot(NodeId id);
+
   net::TcpBus bus_;
   std::vector<net::TcpTransport*> transports_;
   std::vector<std::unique_ptr<Node>> nodes_;

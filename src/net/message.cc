@@ -58,6 +58,8 @@ Bytes Message::encode() const {
   e.u32(src);
   e.u32(dst);
   e.u64(rpc_id);
+  e.u64(trace_id);
+  e.u64(span_id);
   e.bytes(payload);
   return std::move(e).take();
 }
@@ -69,6 +71,8 @@ Bytes Message::encode_framed() const {
   e.u32(src);
   e.u32(dst);
   e.u64(rpc_id);
+  e.u64(trace_id);
+  e.u64(span_id);
   e.bytes(payload);
   Bytes out = std::move(e).take();
   const auto body_len = static_cast<std::uint32_t>(out.size() - 4);
@@ -84,6 +88,8 @@ bool Message::decode(std::span<const std::uint8_t> wire, Message& out) {
   out.src = d.u32();
   out.dst = d.u32();
   out.rpc_id = d.u64();
+  out.trace_id = d.u64();
+  out.span_id = d.u64();
   out.payload = d.bytes();
   return d.at_end();
 }

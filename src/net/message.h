@@ -97,10 +97,16 @@ struct Message {
   NodeId dst = kNoNode;
   /// Non-zero when this message is an RPC request or its response.
   RpcId rpc_id = 0;
+  /// Causal trace context (obs::TraceContext flattened into the envelope):
+  /// the trace this message belongs to and the span that caused the send.
+  /// Zero = untraced. Carried on the wire so a receiver can parent its own
+  /// spans under the sender's, giving one cross-node trace per client op.
+  std::uint64_t trace_id = 0;
+  std::uint64_t span_id = 0;
   Bytes payload;
 
   [[nodiscard]] std::size_t wire_size() const {
-    return 2 + 4 + 4 + 8 + 4 + payload.size();
+    return 2 + 4 + 4 + 8 + 8 + 8 + 4 + payload.size();
   }
 
   /// Flat wire encoding, used by the TCP transport.

@@ -36,7 +36,10 @@ std::uint32_t read_le32(const std::uint8_t* p) {
 }  // namespace
 
 TcpTransport::TcpTransport(TcpBus& bus, NodeId id, std::uint16_t port)
-    : bus_(bus), id_(id), port_(port) {}
+    : bus_(bus),
+      id_(id),
+      port_(port),
+      send_queue_us_(&metrics_.histogram("tcp.send_queue_us")) {}
 
 TcpTransport::~TcpTransport() { stop(); }
 
@@ -116,6 +119,7 @@ void TcpTransport::wake_io() {
 // ---------------------------------------------------------------------------
 
 void TcpTransport::io_loop() {
+  set_thread_log_node(id_);
   std::vector<epoll_event> events(64);
   while (running_.load()) {
     const int timeout = backoff_timeout_ms();
@@ -318,7 +322,7 @@ void TcpTransport::connection_lost(NodeId peer) {
   p.connecting = false;
   // A partially written frame cannot be resumed on a new connection.
   if (p.front_off > 0 && !p.queue.empty()) {
-    p.queue_bytes -= p.queue.front().size() - p.front_off;
+    p.queue_bytes -= p.queue.front().data.size() - p.front_off;
     p.queue.pop_front();
     p.front_off = 0;
     ++counters_.frames_dropped;
@@ -329,7 +333,7 @@ void TcpTransport::connection_lost(NodeId peer) {
 
 bool TcpTransport::flush_queue(PeerConn& p) {
   while (!p.queue.empty()) {
-    const Bytes& frame = p.queue.front();
+    const Bytes& frame = p.queue.front().data;
     const ssize_t w = ::send(p.fd, frame.data() + p.front_off,
                              frame.size() - p.front_off, MSG_NOSIGNAL);
     if (w < 0) {
@@ -340,6 +344,8 @@ bool TcpTransport::flush_queue(PeerConn& p) {
     p.front_off += static_cast<std::size_t>(w);
     p.queue_bytes -= static_cast<std::size_t>(w);
     if (p.front_off == frame.size()) {
+      send_queue_us_->record(g_steady_clock.now() -
+                             p.queue.front().enqueued_at);
       p.queue.pop_front();
       p.front_off = 0;
       ++counters_.messages_sent;
@@ -397,7 +403,7 @@ void TcpTransport::send(Message msg) {
     }
     const bool was_idle = p.queue.empty();
     p.queue_bytes += frame.size();
-    p.queue.push_back(std::move(frame));
+    p.queue.push_back(Frame{std::move(frame), g_steady_clock.now()});
     counters_.peak_queued_bytes =
         std::max<std::uint64_t>(counters_.peak_queued_bytes, p.queue_bytes);
     if (p.fd >= 0 && !p.connecting && was_idle) {
@@ -488,6 +494,9 @@ void TcpTransport::run_on_executor(std::function<void()> fn) {
 }
 
 void TcpTransport::executor_loop() {
+  // All node logic runs here; prefix log lines with the node id so the
+  // interleaved output of a multi-node process stays attributable.
+  set_thread_log_node(id_);
   while (true) {
     std::function<void()> job;
     {

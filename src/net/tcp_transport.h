@@ -29,6 +29,7 @@
 
 #include "common/clock.h"
 #include "net/transport.h"
+#include "obs/metrics.h"
 
 namespace khz::net {
 
@@ -64,6 +65,11 @@ class TcpTransport final : public Transport {
   /// Snapshot of the wire-level counters (thread-safe).
   [[nodiscard]] TransportStats stats() const;
 
+  /// Transport-level instruments; currently the tcp.send_queue_us
+  /// histogram tracking how long frames sat in the per-peer write queues
+  /// (kernel-refused or disconnected-peer residency).
+  [[nodiscard]] obs::MetricsRegistry& metrics() { return metrics_; }
+
   /// Timer-heap entries currently held, including cancelled tombstones
   /// awaiting compaction. Observability for leak tests.
   [[nodiscard]] std::size_t pending_timers() const;
@@ -79,6 +85,13 @@ class TcpTransport final : public Transport {
     bool operator<(const Timer& o) const { return fire_at > o.fire_at; }
   };
 
+  /// One framed buffer awaiting transmission, stamped with its enqueue
+  /// time so completion can record queue residency.
+  struct Frame {
+    Bytes data;
+    Micros enqueued_at = 0;
+  };
+
   /// Outbound connection to one peer. The fd is non-blocking; frames that
   /// the kernel won't take immediately wait in `queue` and drain on
   /// EPOLLOUT from the I/O thread.
@@ -87,7 +100,7 @@ class TcpTransport final : public Transport {
     bool connecting = false;     // non-blocking connect() in flight
     bool was_connected = false;  // a later connect counts as a reconnect
     std::uint32_t armed = 0;     // epoll events currently registered
-    std::deque<Bytes> queue;     // framed (length-prefixed) buffers
+    std::deque<Frame> queue;     // framed (length-prefixed) buffers
     std::size_t queue_bytes = 0; // unsent bytes across `queue`
     std::size_t front_off = 0;   // bytes of queue.front() already written
     int backoff_exp = 0;         // consecutive failed connection attempts
@@ -142,6 +155,10 @@ class TcpTransport final : public Transport {
 
   // Counters. Plain uint64 guarded by io_mu_ (all writers hold it).
   TransportStats counters_;
+
+  // Latency instruments (histogram recording is internally wait-free).
+  obs::MetricsRegistry metrics_;
+  obs::Histogram* send_queue_us_;
 
   std::thread executor_;
   std::thread io_;

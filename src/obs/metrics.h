@@ -1,0 +1,111 @@
+// Per-node metrics: named counters and log2-bucketed latency histograms.
+//
+// The paper's evaluation is about *where time goes* when an operation
+// crosses the resolve -> home-node -> consistency-manager chain. Flat
+// counters (NodeStats) cannot attribute latency to a hop, so every node
+// carries a MetricsRegistry of counters and histograms that the client-op,
+// resolve, CREW and transport layers record into. Registries are cheap to
+// read concurrently (atomics; the registry mutex only guards the name map),
+// support snapshot/diff for "cost of this phase" measurements, and dump as
+// aligned text or JSON for the bench harness.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <string_view>
+
+namespace khz::obs {
+
+/// Monotonic counter. add/set are wait-free; readers may observe slightly
+/// stale values, which is fine for statistics.
+class Counter {
+ public:
+  void inc(std::uint64_t n = 1) { v_.fetch_add(n, std::memory_order_relaxed); }
+  /// Overwrites the value: used to mirror externally-maintained counters
+  /// (e.g. TransportStats) into a registry at snapshot time.
+  void set(std::uint64_t n) { v_.store(n, std::memory_order_relaxed); }
+  [[nodiscard]] std::uint64_t value() const {
+    return v_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<std::uint64_t> v_{0};
+};
+
+/// Number of histogram buckets: bucket i counts values whose floor(log2)
+/// is i (bucket 0 additionally takes 0), so 64 buckets cover all of u64.
+inline constexpr std::size_t kHistogramBuckets = 64;
+
+/// Point-in-time copy of a histogram, with percentile estimation.
+struct HistogramSnapshot {
+  std::uint64_t count = 0;
+  std::uint64_t sum = 0;
+  std::uint64_t max = 0;
+  std::array<std::uint64_t, kHistogramBuckets> buckets{};
+
+  [[nodiscard]] double mean() const {
+    return count == 0 ? 0.0
+                      : static_cast<double>(sum) / static_cast<double>(count);
+  }
+  /// Estimated value at percentile `p` in [0,100], by linear interpolation
+  /// inside the containing log2 bucket; clamped to the observed max.
+  [[nodiscard]] double percentile(double p) const;
+  /// This snapshot minus an `earlier` one of the same histogram. `max` is
+  /// carried over from this snapshot (a maximum cannot be un-observed).
+  [[nodiscard]] HistogramSnapshot diff(const HistogramSnapshot& earlier) const;
+};
+
+/// Log2-bucketed histogram of non-negative values (latencies in micros by
+/// convention). Recording is wait-free.
+class Histogram {
+ public:
+  void record(std::uint64_t v);
+  [[nodiscard]] HistogramSnapshot snapshot() const;
+
+ private:
+  std::array<std::atomic<std::uint64_t>, kHistogramBuckets> buckets_{};
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<std::uint64_t> sum_{0};
+  std::atomic<std::uint64_t> max_{0};
+};
+
+/// Bucket index for a value: floor(log2(v)), with 0 and 1 in bucket 0.
+[[nodiscard]] std::size_t histogram_bucket(std::uint64_t v);
+
+/// Point-in-time copy of a whole registry.
+struct MetricsSnapshot {
+  std::map<std::string, std::uint64_t> counters;
+  std::map<std::string, HistogramSnapshot> histograms;
+
+  /// Per-name difference against an `earlier` snapshot. Names absent from
+  /// `earlier` are treated as zero there.
+  [[nodiscard]] MetricsSnapshot diff(const MetricsSnapshot& earlier) const;
+  /// Aligned human-readable dump, one metric per line.
+  [[nodiscard]] std::string to_text() const;
+  /// {"counters":{...},"histograms":{name:{count,sum,max,mean,p50,p95,p99}}}
+  [[nodiscard]] std::string to_json() const;
+};
+
+/// Named metric registry. counter()/histogram() return stable references
+/// (std::map nodes never move), so hot paths resolve names once and keep
+/// the pointer.
+class MetricsRegistry {
+ public:
+  Counter& counter(std::string_view name);
+  Histogram& histogram(std::string_view name);
+
+  [[nodiscard]] MetricsSnapshot snapshot() const;
+  [[nodiscard]] std::string dump_text() const { return snapshot().to_text(); }
+  [[nodiscard]] std::string dump_json() const { return snapshot().to_json(); }
+
+ private:
+  mutable std::mutex mu_;  // guards map structure only, not the values
+  std::map<std::string, Counter, std::less<>> counters_;
+  std::map<std::string, Histogram, std::less<>> histograms_;
+};
+
+}  // namespace khz::obs
