@@ -11,6 +11,16 @@ obs::MetricsRegistry& CmHost::metrics() {
   return fallback;
 }
 
+void CmHost::send_page_batch(NodeId peer, ProtocolId protocol, bool request,
+                             Bytes payload) {
+  // Default host has no batch channel: drop. Protocols treat batch sends
+  // as best-effort and fall back to per-page requests on timeout.
+  (void)peer;
+  (void)protocol;
+  (void)request;
+  (void)payload;
+}
+
 std::string_view to_string(ProtocolId p) {
   switch (p) {
     case ProtocolId::kCrew: return "crew";

@@ -100,6 +100,15 @@ class CmHost {
   /// latencies and counters here. Defaulted (to a process-wide registry)
   /// so minimal hosts — test fakes — need not provide one.
   [[nodiscard]] virtual obs::MetricsRegistry& metrics();
+
+  /// Sends a batched data-plane message (kPageBatchFetchReq when `request`,
+  /// else kPageBatchFetchResp) whose payload covers many pages at once; the
+  /// receiver routes it to the protocol's on_batch_fetch/on_batch_grant.
+  /// Defaulted to a drop so minimal hosts need not implement batching:
+  /// protocols must treat batch sends as best-effort and recover through
+  /// their per-page retry timers.
+  virtual void send_page_batch(NodeId peer, ProtocolId protocol, bool request,
+                               Bytes payload);
 };
 
 using GrantCallback = std::function<void(Status)>;
@@ -118,6 +127,34 @@ class ConsistencyManager {
   /// decision. A granted lock increments the page's hold counters.
   virtual void acquire(const GlobalAddress& page, LockMode mode,
                        GrantCallback done) = 0;
+
+  /// Best-effort warm-up: bring `page` into a state where a subsequent
+  /// acquire(mode) can be granted without a remote round trip (data for
+  /// reads, ownership for writes) WITHOUT taking a lock hold. Many
+  /// prefetches may run concurrently — since no holds are taken, concurrent
+  /// overlapping prefetchers cannot deadlock — which is what lets a
+  /// multi-page lock pipeline its N remote rounds into ~1. `done` fires
+  /// when the warm-up resolves; its status is advisory (the authoritative
+  /// grant decision is the later acquire). Default: nothing to warm up.
+  virtual void prefetch(const GlobalAddress& page, LockMode mode,
+                        GrantCallback done) {
+    (void)page;
+    (void)mode;
+    done(Status{});
+  }
+
+  /// Batched data-plane messages (see CmHost::send_page_batch): a request
+  /// carrying a page list, and the multi-grant response. Decoders are
+  /// positioned after the protocol id byte. Default: protocol does not
+  /// batch; ignore (per-page retries recover).
+  virtual void on_batch_fetch(NodeId from, Decoder& d) {
+    (void)from;
+    (void)d;
+  }
+  virtual void on_batch_grant(NodeId from, Decoder& d) {
+    (void)from;
+    (void)d;
+  }
 
   /// Lock released. `dirty` reports whether the holder wrote the page.
   virtual void release(const GlobalAddress& page, LockMode mode,

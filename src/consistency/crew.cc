@@ -46,7 +46,15 @@ void CrewManager::acquire(const GlobalAddress& page, LockMode mode,
   // CREW has no concurrent-writer mode; write-shared degrades to write.
   if (mode == LockMode::kWriteShared) mode = LockMode::kWrite;
   auto& st = state(page);
-  st.waiters.push_back({mode, std::move(done)});
+  st.waiters.push_back({mode, std::move(done), /*prefetch=*/false});
+  try_grant_local(page);
+}
+
+void CrewManager::prefetch(const GlobalAddress& page, LockMode mode,
+                           GrantCallback done) {
+  if (mode == LockMode::kWriteShared) mode = LockMode::kWrite;
+  auto& st = state(page);
+  st.waiters.push_back({mode, std::move(done), /*prefetch=*/true});
   try_grant_local(page);
 }
 
@@ -57,14 +65,25 @@ void CrewManager::try_grant_local(const GlobalAddress& page) {
 
   while (!st.waiters.empty()) {
     Waiter& w = st.waiters.front();
-    const bool can_grant = (w.mode == LockMode::kRead)
-                               ? readable(info)
-                               : writable_locally(info, self);
-    if (!can_grant) break;
-    if (w.mode == LockMode::kRead) {
-      ++info.read_holds;
+    bool can_grant;
+    if (w.prefetch) {
+      // Prefetches only need the page in a grantable *state* (data present
+      // for reads, ownership for writes); local holds are irrelevant
+      // because a prefetch takes none itself.
+      can_grant = (w.mode == LockMode::kRead)
+                      ? info.state != PS::kInvalid
+                      : info.state == PS::kExclusive && info.owner == self;
     } else {
-      ++info.write_holds;
+      can_grant = (w.mode == LockMode::kRead) ? readable(info)
+                                              : writable_locally(info, self);
+    }
+    if (!can_grant) break;
+    if (!w.prefetch) {
+      if (w.mode == LockMode::kRead) {
+        ++info.read_holds;
+      } else {
+        ++info.write_holds;
+      }
     }
     GrantCallback done = std::move(w.done);
     st.waiters.pop_front();
@@ -80,7 +99,9 @@ void CrewManager::try_grant_local(const GlobalAddress& page) {
       (head.mode == LockMode::kRead)
           ? info.state == PS::kInvalid
           : !(info.state == PS::kExclusive && info.owner == self);
-  if (needs_remote) send_request(page, head.mode);
+  // First-attempt prefetch fetches coalesce into one batched request per
+  // home; everything else (acquires, retries) goes out per-page.
+  if (needs_remote) send_request(page, head.mode, head.prefetch);
 }
 
 void CrewManager::finish_round(PageState& st) {
@@ -95,7 +116,8 @@ void CrewManager::finish_round(PageState& st) {
   st.request_outstanding = false;
 }
 
-void CrewManager::send_request(const GlobalAddress& page, LockMode mode) {
+void CrewManager::send_request(const GlobalAddress& page, LockMode mode,
+                               bool batchable) {
   auto& st = state(page);
   st.request_outstanding = true;
   st.requested_mode = mode;
@@ -110,12 +132,62 @@ void CrewManager::send_request(const GlobalAddress& page, LockMode mode) {
       target = alts[static_cast<std::size_t>(st.retries - 1) % alts.size()];
     }
   }
-  send(target, page,
-       mode == LockMode::kRead ? Sub::kReadReq : Sub::kWriteReq);
   // The home may itself be waiting out a dead sharer/owner (its internal
-  // timeout is one rpc_timeout); give it room before retrying.
+  // timeout is one rpc_timeout); give it room before retrying. The timer
+  // is armed before the (possibly deferred-by-a-turn) send, so it also
+  // covers the batch path end to end.
   st.request_timer = host_.schedule(
       2 * host_.rpc_timeout(), [this, page] { on_request_timeout(page); });
+
+  if (batchable && st.retries == 0) {
+    // Coalesce with every other first-attempt fetch aimed at this target
+    // during the current execution turn (a multi-page lock issues its
+    // whole prefetch window in one turn); the zero-delay timer flushes
+    // them as one kPageBatchFetchReq. Retries never batch, so a lost
+    // batch degrades to the plain per-page path.
+    fetch_batch_[target].push_back({page, mode});
+    if (!fetch_flush_scheduled_) {
+      fetch_flush_scheduled_ = true;
+      host_.schedule(0, [this] { flush_fetch_batches(); });
+    }
+    return;
+  }
+  send(target, page,
+       mode == LockMode::kRead ? Sub::kReadReq : Sub::kWriteReq);
+}
+
+void CrewManager::flush_fetch_batches() {
+  fetch_flush_scheduled_ = false;
+  auto batches = std::move(fetch_batch_);
+  fetch_batch_.clear();
+  for (auto& [target, list] : batches) {
+    if (list.size() == 1) {
+      // A batch of one gains nothing over the legacy message.
+      send(target, list[0].page,
+           list[0].mode == LockMode::kRead ? Sub::kReadReq : Sub::kWriteReq);
+      continue;
+    }
+    for (std::size_t i = 0; i < list.size(); i += kMaxBatchPages) {
+      const std::size_t n = std::min(kMaxBatchPages, list.size() - i);
+      const std::uint64_t seq = next_batch_seq_++;
+      Encoder e;
+      e.u64(seq);
+      e.u32(static_cast<std::uint32_t>(n));
+      for (std::size_t j = 0; j < n; ++j) {
+        e.addr(list[i + j].page);
+        e.u8(static_cast<std::uint8_t>(list[i + j].mode));
+      }
+      host_.send_page_batch(target, ProtocolId::kCrew, /*request=*/true,
+                            std::move(e).take());
+      batch_pages_->record(n);
+      batch_sent_at_[seq] = host_.now();
+      // Responses to dropped batches never arrive; keep the latency map
+      // bounded by shedding the oldest entries.
+      while (batch_sent_at_.size() > 128) {
+        batch_sent_at_.erase(batch_sent_at_.begin());
+      }
+    }
+  }
 }
 
 void CrewManager::on_request_timeout(GlobalAddress page) {
@@ -245,15 +317,23 @@ void CrewManager::home_continue_after_invs(const GlobalAddress& page) {
                                  [this, page] { on_home_timeout(page); });
 }
 
-void CrewManager::home_serve_data(const GlobalAddress& page, NodeId to) {
+void CrewManager::home_serve_data(const GlobalAddress& page, NodeId to,
+                                  Encoder* batch) {
   auto& info = host_.page_info(page);
   const Bytes* data = host_.page_data(page);
   Bytes copy = data != nullptr ? *data
                                : Bytes(host_.page_size_of(page), 0);
-  send(to, page, Sub::kData, [&](Encoder& e) {
-    e.u64(info.version);
-    e.bytes(copy);
-  });
+  if (batch != nullptr) {
+    batch->addr(page);
+    batch->u8(static_cast<std::uint8_t>(Sub::kData));
+    batch->u64(info.version);
+    batch->bytes(copy);
+  } else {
+    send(to, page, Sub::kData, [&](Encoder& e) {
+      e.u64(info.version);
+      e.bytes(copy);
+    });
+  }
   info.sharers.insert(to);
   if (info.owner == kNoNode) info.owner = host_.self();
   if (to != host_.self() && info.state == PS::kExclusive) {
@@ -263,16 +343,24 @@ void CrewManager::home_serve_data(const GlobalAddress& page, NodeId to) {
   }
 }
 
-void CrewManager::home_grant_ownership(const GlobalAddress& page, NodeId to) {
+void CrewManager::home_grant_ownership(const GlobalAddress& page, NodeId to,
+                                       Encoder* batch) {
   auto& info = host_.page_info(page);
   const NodeId self = host_.self();
   const Bytes* data = host_.page_data(page);
   Bytes copy = data != nullptr ? *data
                                : Bytes(host_.page_size_of(page), 0);
-  send(to, page, Sub::kOwner, [&](Encoder& e) {
-    e.u64(info.version);
-    e.bytes(copy);
-  });
+  if (batch != nullptr) {
+    batch->addr(page);
+    batch->u8(static_cast<std::uint8_t>(Sub::kOwner));
+    batch->u64(info.version);
+    batch->bytes(copy);
+  } else {
+    send(to, page, Sub::kOwner, [&](Encoder& e) {
+      e.u64(info.version);
+      e.bytes(copy);
+    });
+  }
   info.owner = to;
   info.sharers = {to};
   if (to != self) {
@@ -345,6 +433,127 @@ void CrewManager::on_home_timeout(GlobalAddress page) {
 }
 
 // --------------------------------------------------------------------------
+// Batched data plane
+// --------------------------------------------------------------------------
+
+// Request: u64 batch_seq, u32 count, count * { addr page, u8 mode }.
+// Response chunk: u64 batch_seq, u32 count, count * { addr page, u8 sub,
+// sub-specific body } — each entry body is byte-identical to the matching
+// per-page kData/kOwner/kNack payload, so the requester replays entries
+// through the ordinary on_message switch.
+void CrewManager::on_batch_fetch(NodeId from, Decoder& d) {
+  const std::uint64_t seq = d.u64();
+  const std::uint32_t n = d.u32();
+  const NodeId self = host_.self();
+
+  Encoder out;
+  std::uint32_t out_n = 0;
+  auto flush = [&] {
+    if (out_n == 0) return;
+    Encoder resp;
+    resp.u64(seq);
+    resp.u32(out_n);
+    resp.raw(std::move(out).take());
+    host_.send_page_batch(from, ProtocolId::kCrew, /*request=*/false,
+                          std::move(resp).take());
+    out = Encoder{};
+    out_n = 0;
+  };
+
+  for (std::uint32_t i = 0; i < n && d.ok(); ++i) {
+    const GlobalAddress page = d.addr();
+    auto mode = static_cast<LockMode>(d.u8());
+    if (!d.ok()) break;
+    if (mode == LockMode::kWriteShared) mode = LockMode::kWrite;
+    auto& st = state(page);
+    auto& info = host_.page_info(page);
+
+    if (!host_.is_home(page)) {
+      // Same policy as the per-page path: an alternate home may serve
+      // reads from a valid replica; everything else bounces so the
+      // requester re-resolves.
+      const Bytes* copy = host_.page_data(page);
+      if (mode == LockMode::kRead && info.state != PS::kInvalid &&
+          copy != nullptr) {
+        out.addr(page);
+        out.u8(static_cast<std::uint8_t>(Sub::kData));
+        out.u64(info.version);
+        out.bytes(*copy);
+        ++out_n;
+      } else {
+        out.addr(page);
+        out.u8(static_cast<std::uint8_t>(Sub::kNack));
+        out.u8(static_cast<std::uint8_t>(ErrorCode::kNotFound));
+        ++out_n;
+      }
+    } else if (st.busy || !st.pending.empty()) {
+      // A directory transaction is in flight; queue behind it and let the
+      // reply travel per-page.
+      home_handle(page, from, mode);
+    } else {
+      info.homed_locally = true;
+      if (mode == LockMode::kRead) {
+        if (info.owner == from) {
+          // The recorded owner lost its copy (restart); reclaim.
+          info.owner = self;
+        }
+        if (info.owner == self || info.owner == kNoNode) {
+          home_serve_data(page, from, &out);
+          ++out_n;
+        } else {
+          home_handle(page, from, mode);  // third-party downgrade round
+        }
+      } else {
+        bool needs_inv = false;
+        for (NodeId s : info.sharers) {
+          if (s != from && s != self && s != info.owner && s != kNoNode) {
+            needs_inv = true;
+            break;
+          }
+        }
+        if (!needs_inv && (info.owner == self || info.owner == kNoNode)) {
+          home_grant_ownership(page, from, &out);
+          ++out_n;
+        } else if (!needs_inv && info.owner == from) {
+          // Upgrade: the requester already holds the bytes.
+          out.addr(page);
+          out.u8(static_cast<std::uint8_t>(Sub::kOwner));
+          out.u64(info.version);
+          out.bytes(Bytes{});
+          ++out_n;
+          info.sharers = {from};
+          if (from != self && info.state != PS::kInvalid) {
+            info.state = PS::kInvalid;
+          }
+        } else {
+          home_handle(page, from, mode);  // invalidation / transfer round
+        }
+      }
+    }
+    if (out.size() >= kBatchRespBytesCap) flush();
+  }
+  flush();
+}
+
+void CrewManager::on_batch_grant(NodeId from, Decoder& d) {
+  const std::uint64_t seq = d.u64();
+  auto sent = batch_sent_at_.find(seq);
+  if (sent != batch_sent_at_.end()) {
+    batch_rpc_us_->record(
+        static_cast<std::uint64_t>(host_.now() - sent->second));
+    batch_sent_at_.erase(sent);
+  }
+  const std::uint32_t n = d.u32();
+  for (std::uint32_t i = 0; i < n && d.ok(); ++i) {
+    const GlobalAddress page = d.addr();
+    if (!d.ok()) break;
+    // Entry bodies reuse the per-page encodings, so the regular message
+    // switch installs data, grants waiters and runs deferrals per page.
+    on_message(from, page, d);
+  }
+}
+
+// --------------------------------------------------------------------------
 // Holder side
 // --------------------------------------------------------------------------
 
@@ -402,12 +611,21 @@ void CrewManager::maybe_run_deferred(const GlobalAddress& page) {
     st.deferred_inv_home = kNoNode;
     holder_apply_invalidate(page, home);
   }
-  if (st.deferred_downgrade_to != kNoNode && info.write_holds == 0) {
+  // Downgrades and transfers serve page data, so beyond waiting for local
+  // holds they must wait for a valid copy to exist: a kXferReq/kDowngradeReq
+  // can overtake the kOwner grant that makes this node the owner (the home
+  // learns of the transfer from the old owner's kXferDone, which races the
+  // old owner's direct kOwner to us on a different connection). Deferring
+  // until the data lands — see the kData/kOwner handlers — instead of
+  // serving zeros/stale bytes is what keeps two TCP writers from losing
+  // updates.
+  if (st.deferred_downgrade_to != kNoNode && info.write_holds == 0 &&
+      info.state != PS::kInvalid) {
     const NodeId to = st.deferred_downgrade_to;
     st.deferred_downgrade_to = kNoNode;
     holder_apply_downgrade(page, to);
   }
-  if (st.deferred_xfer_to != kNoNode) {
+  if (st.deferred_xfer_to != kNoNode && info.state != PS::kInvalid) {
     const NodeId to = st.deferred_xfer_to;
     st.deferred_xfer_to = kNoNode;
     holder_apply_xfer(page, to);
@@ -478,20 +696,32 @@ void CrewManager::on_message(NodeId from, const GlobalAddress& page,
     case Sub::kData: {
       const Version v = d.u64();
       Bytes data = d.bytes();
+      // Unsolicited grant (duplicate delivery, or a late response after the
+      // round was abandoned): installing it could resurrect a copy the
+      // directory no longer tracks, so drop it.
+      if (!st.request_outstanding && st.waiters.empty()) break;
       finish_round(st);
       st.retries = 0;
       install_data(page, v, std::move(data), PS::kShared);
       try_grant_local(page);
+      // A downgrade that overtook this grant can run now that data exists
+      // (or once the waiters it just granted release).
+      maybe_run_deferred(page);
       break;
     }
     case Sub::kOwner: {
       const Version v = d.u64();
       Bytes data = d.bytes();
+      if (!st.request_outstanding && st.waiters.empty()) break;
       finish_round(st);
       st.retries = 0;
       install_data(page, v, std::move(data), PS::kExclusive);
       info.owner = host_.self();
       try_grant_local(page);
+      // A transfer request that overtook this ownership grant was deferred;
+      // run it now that the data is here (unless a waiter just took a hold,
+      // in which case release re-runs it).
+      maybe_run_deferred(page);
       break;
     }
 
@@ -517,7 +747,10 @@ void CrewManager::on_message(NodeId from, const GlobalAddress& page,
 
     case Sub::kDowngradeReq: {
       const NodeId requester = d.u32();
-      if (info.write_holds > 0) {
+      // Also defer when we have no valid copy yet: the home addressed us
+      // as owner, so our kOwner grant is still in flight (cross-connection
+      // reordering) — serving now would fabricate stale data.
+      if (info.write_holds > 0 || info.state == PS::kInvalid) {
         st.deferred_downgrade_to = requester;
       } else {
         holder_apply_downgrade(page, requester);
@@ -539,7 +772,12 @@ void CrewManager::on_message(NodeId from, const GlobalAddress& page,
 
     case Sub::kXferReq: {
       const NodeId requester = d.u32();
-      if (info.locked()) {
+      // Defer while locked, and also while we hold no valid copy: the home
+      // believes we own the page, so ownership (with data) is still on its
+      // way to us on another connection. Transferring before it lands
+      // would hand the requester zeros or stale bytes — the lost-update
+      // race two concurrent TCP writers used to hit.
+      if (info.locked() || info.state == PS::kInvalid) {
         st.deferred_xfer_to = requester;
       } else {
         holder_apply_xfer(page, requester);

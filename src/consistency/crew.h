@@ -35,18 +35,31 @@ class CrewManager final : public ConsistencyManager {
  public:
   explicit CrewManager(CmHost& host)
       : host_(host),
-        round_us_(&host.metrics().histogram("crew.round_us")) {}
+        round_us_(&host.metrics().histogram("crew.round_us")),
+        batch_pages_(&host.metrics().histogram("crew.batch_pages")),
+        batch_rpc_us_(&host.metrics().histogram("crew.batch_rpc_us")) {}
 
   [[nodiscard]] ProtocolId id() const override { return ProtocolId::kCrew; }
   [[nodiscard]] std::string_view name() const override { return "crew"; }
 
   void acquire(const GlobalAddress& page, LockMode mode,
                GrantCallback done) override;
+  void prefetch(const GlobalAddress& page, LockMode mode,
+                GrantCallback done) override;
   void release(const GlobalAddress& page, LockMode mode, bool dirty) override;
   void on_message(NodeId from, const GlobalAddress& page,
                   Decoder& d) override;
+  void on_batch_fetch(NodeId from, Decoder& d) override;
+  void on_batch_grant(NodeId from, Decoder& d) override;
   bool on_evict(const GlobalAddress& page) override;
   void on_node_down(NodeId node) override;
+
+  /// Most page entries carried by one kPageBatchFetchReq; bigger fetch
+  /// lists split into several batches.
+  static constexpr std::size_t kMaxBatchPages = 64;
+  /// Soft byte cap per kPageBatchFetchResp chunk: the home flushes the
+  /// accumulated grants once the payload crosses this line.
+  static constexpr std::size_t kBatchRespBytesCap = 1u << 20;
 
   /// Protocol message subtypes (first byte of the CM payload).
   enum class Sub : std::uint8_t {
@@ -68,6 +81,10 @@ class CrewManager final : public ConsistencyManager {
   struct Waiter {
     LockMode mode;
     GrantCallback done;
+    /// Prefetch waiters only need the page in a grantable state (data /
+    /// ownership present); they complete without taking a hold, so they
+    /// are grantable even while conflicting local holds exist.
+    bool prefetch = false;
   };
   struct RemoteReq {
     NodeId from;
@@ -99,18 +116,24 @@ class CrewManager final : public ConsistencyManager {
 
   // Requester side.
   void try_grant_local(const GlobalAddress& page);
-  void send_request(const GlobalAddress& page, LockMode mode);
+  void send_request(const GlobalAddress& page, LockMode mode,
+                    bool batchable = false);
+  void flush_fetch_batches();
   void on_request_timeout(GlobalAddress page);
   void fail_waiters(const GlobalAddress& page, ErrorCode e);
 
-  // Home side.
+  // Home side. When `batch` is non-null, home_serve_data /
+  // home_grant_ownership append the grant to the batch-response encoder
+  // instead of sending a standalone kData/kOwner message.
   void home_handle(const GlobalAddress& page, NodeId from, LockMode mode);
   void home_start(const GlobalAddress& page, NodeId from, LockMode mode);
   void home_continue_after_invs(const GlobalAddress& page);
   void home_finish(const GlobalAddress& page);
   void home_drain_queue(const GlobalAddress& page);
-  void home_serve_data(const GlobalAddress& page, NodeId to);
-  void home_grant_ownership(const GlobalAddress& page, NodeId to);
+  void home_serve_data(const GlobalAddress& page, NodeId to,
+                       Encoder* batch = nullptr);
+  void home_grant_ownership(const GlobalAddress& page, NodeId to,
+                            Encoder* batch = nullptr);
   void on_home_timeout(GlobalAddress page);
 
   // Holder side.
@@ -130,7 +153,24 @@ class CrewManager final : public ConsistencyManager {
 
   CmHost& host_;
   obs::Histogram* round_us_;
+  obs::Histogram* batch_pages_;
+  obs::Histogram* batch_rpc_us_;
   std::map<GlobalAddress, PageState> pages_;
+
+  /// Same-turn request coalescing: first-attempt fetches issued within one
+  /// execution turn (e.g. a multi-page lock's prefetch fan-out) accumulate
+  /// here per target and flush as one kPageBatchFetchReq on a zero-delay
+  /// timer. Retransmissions bypass the buffer (per-page legacy path).
+  struct PendingFetch {
+    GlobalAddress page;
+    LockMode mode;
+  };
+  std::map<NodeId, std::vector<PendingFetch>> fetch_batch_;
+  bool fetch_flush_scheduled_ = false;
+  std::uint64_t next_batch_seq_ = 1;
+  /// Send time per in-flight batch seq (for crew.batch_rpc_us); entries
+  /// die on the first response chunk or get pruned once the map is large.
+  std::map<std::uint64_t, Micros> batch_sent_at_;
 };
 
 }  // namespace khz::consistency

@@ -94,6 +94,8 @@ Node::Node(NodeConfig config, net::Transport& transport)
   ins_.resolve_map_walk_us = &metrics_.histogram("resolve.map_walk_us");
   ins_.resolve_cluster_walk_us =
       &metrics_.histogram("resolve.cluster_walk_us");
+  ins_.lock_pages = &metrics_.histogram("op.lock.pages");
+  ins_.lock_window = &metrics_.histogram("op.lock.window_occupancy");
   members_.insert(config_.id);
   for (NodeId p : config_.peers) members_.insert(p);
   storage_.set_evict_hook([this](const GlobalAddress& page,
@@ -175,6 +177,19 @@ void Node::send_cm(NodeId peer, ProtocolId protocol, const GlobalAddress& page,
   e.raw(payload);
   Message m;
   m.type = MsgType::kCm;
+  m.dst = peer;
+  m.payload = std::move(e).take();
+  send_msg(std::move(m));
+}
+
+void Node::send_page_batch(NodeId peer, ProtocolId protocol, bool request,
+                           Bytes payload) {
+  Encoder e;
+  e.u8(static_cast<std::uint8_t>(protocol));
+  e.raw(payload);
+  Message m;
+  m.type =
+      request ? MsgType::kPageBatchFetchReq : MsgType::kPageBatchFetchResp;
   m.dst = peer;
   m.payload = std::move(e).take();
   send_msg(std::move(m));
@@ -453,6 +468,19 @@ void Node::handle_request(const Message& msg) {
       const auto protocol = static_cast<ProtocolId>(d.u8());
       const GlobalAddress page = d.addr();
       if (auto* cm = cm_for(protocol)) cm->on_message(msg.src, page, d);
+      return;
+    }
+    case MsgType::kPageBatchFetchReq:
+    case MsgType::kPageBatchFetchResp: {
+      Decoder d(msg.payload);
+      const auto protocol = static_cast<ProtocolId>(d.u8());
+      if (auto* cm = cm_for(protocol)) {
+        if (msg.type == MsgType::kPageBatchFetchReq) {
+          cm->on_batch_fetch(msg.src, d);
+        } else {
+          cm->on_batch_grant(msg.src, d);
+        }
+      }
       return;
     }
     case MsgType::kPing: {

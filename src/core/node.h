@@ -224,6 +224,8 @@ class Node final : public consistency::CmHost {
   [[nodiscard]] NodeId self() const override { return config_.id; }
   void send_cm(NodeId peer, consistency::ProtocolId protocol,
                const GlobalAddress& page, Bytes payload) override;
+  void send_page_batch(NodeId peer, consistency::ProtocolId protocol,
+                       bool request, Bytes payload) override;
   storage::PageInfo& page_info(const GlobalAddress& page) override;
   const Bytes* page_data(const GlobalAddress& page) override;
   void store_page(const GlobalAddress& page, Bytes data) override;
@@ -336,9 +338,12 @@ class Node final : public consistency::CmHost {
                       ReserveCb cb);
   [[nodiscard]] std::uint64_t pool_bytes() const;
 
-  // Lock machinery.
+  // Lock machinery. Acquisition is two-phase: a windowed prefetch fan-out
+  // warms every page (parallel remote rounds, no holds taken), then holds
+  // are taken in strict ascending address order (deadlock avoidance).
   void start_lock_op(const RegionDescriptor& desc, const AddressRange& range,
                      consistency::LockMode mode, LockCb cb);
+  void lock_prefetch_pump(const std::shared_ptr<struct LockOp>& op);
   void lock_next_page(std::shared_ptr<struct LockOp> op);
   [[nodiscard]] consistency::ConsistencyManager* cm_for(
       consistency::ProtocolId protocol);
@@ -451,6 +456,10 @@ class Node final : public consistency::CmHost {
     obs::Histogram* resolve_manager_hint_us = nullptr;
     obs::Histogram* resolve_map_walk_us = nullptr;
     obs::Histogram* resolve_cluster_walk_us = nullptr;
+    /// Pages per multi-page lock op, and the prefetch window's occupancy
+    /// sampled at each issue (how much of the pipeline is actually used).
+    obs::Histogram* lock_pages = nullptr;
+    obs::Histogram* lock_window = nullptr;
   } ins_;
   [[nodiscard]] obs::Histogram* lock_hist(consistency::LockMode mode);
 

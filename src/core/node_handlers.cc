@@ -328,40 +328,49 @@ void Node::on_attr_req(const Message& m, bool set) {
 // Replica maintenance (Section 3.5: minimum primary replicas)
 // ---------------------------------------------------------------------------
 
+// Payload: region descriptor, u32 count, then count * { addr page,
+// u64 version, bool from_owner, bytes data }. Multi-page pushes (bulk
+// replication such as replicate_to) ride in one message instead of one
+// per page; routine min-replica maintenance sends count == 1.
 void Node::on_replica_push(const Message& m) {
   Decoder d(m.payload);
   RegionDescriptor desc = RegionDescriptor::decode(d);
-  const GlobalAddress page = d.addr();
-  const Version version = d.u64();
-  const bool from_owner = d.boolean();
-  Bytes data = d.bytes();
+  const std::uint32_t count = d.u32();
   if (!d.ok()) return;
-
   regions_.insert(desc);
-  auto& info = pages_.ensure(page);
 
-  if (from_owner && desc.primary_home() == config_.id) {
-    // The exclusive owner pushed its dirty data back and demoted itself to
-    // a shared copy; the home becomes the owner again and fans out
-    // further replicas as needed.
-    info.homed_locally = true;
-    info.home = config_.id;
-    info.owner = config_.id;
+  for (std::uint32_t i = 0; i < count; ++i) {
+    const GlobalAddress page = d.addr();
+    const Version version = d.u64();
+    const bool from_owner = d.boolean();
+    Bytes data = d.bytes();
+    if (!d.ok()) return;
+
+    auto& info = pages_.ensure(page);
+
+    if (from_owner && desc.primary_home() == config_.id) {
+      // The exclusive owner pushed its dirty data back and demoted itself
+      // to a shared copy; the home becomes the owner again and fans out
+      // further replicas as needed.
+      info.homed_locally = true;
+      info.home = config_.id;
+      info.owner = config_.id;
+      info.state = PageState::kShared;
+      info.version = std::max(info.version, version);
+      info.sharers.insert(config_.id);
+      info.sharers.insert(m.src);
+      store_page(page, std::move(data));
+      maintain_replicas(page);
+      continue;
+    }
+
+    // Plain replica install.
+    if (info.locked()) continue;  // never clobber data under an active lock
+    info.home = desc.primary_home();
     info.state = PageState::kShared;
     info.version = std::max(info.version, version);
-    info.sharers.insert(config_.id);
-    info.sharers.insert(m.src);
     store_page(page, std::move(data));
-    maintain_replicas(page);
-    return;
   }
-
-  // Plain replica install.
-  if (info.locked()) return;  // never clobber data under an active lock
-  info.home = desc.primary_home();
-  info.state = PageState::kShared;
-  info.version = std::max(info.version, version);
-  store_page(page, std::move(data));
 }
 
 void Node::on_replica_drop(const Message& m) {
@@ -418,6 +427,7 @@ void Node::maintain_replicas(const GlobalAddress& page) {
     for (NodeId n : new_replicas) {
       Encoder e;
       desc.encode(e);
+      e.u32(1);
       e.addr(page);
       e.u64(info->version);
       e.boolean(false);
@@ -462,6 +472,7 @@ void Node::maintain_replicas(const GlobalAddress& page) {
     if (data == nullptr) return;
     Encoder e;
     desc->encode(e);
+    e.u32(1);
     e.addr(page);
     e.u64(info->version);
     e.boolean(true);  // from_owner
@@ -651,7 +662,27 @@ void Node::on_replicate_to_req(const Message& m) {
     respond(m, MsgType::kReplicateToResp, status_payload(ErrorCode::kOk));
     return;
   }
+  // Batch every resident page of the region into as few kReplicaPush
+  // messages as the byte cap allows: bulk replication is where the
+  // multi-page encoding pays off.
+  constexpr std::size_t kPushBytesCap = 1u << 20;
   const std::uint32_t psz = desc.attrs.page_size;
+  Encoder batch;
+  std::uint32_t batch_n = 0;
+  auto flush = [&] {
+    if (batch_n == 0) return;
+    Encoder e;
+    desc.encode(e);
+    e.u32(batch_n);
+    e.raw(batch.data());
+    Message push;
+    push.type = MsgType::kReplicaPush;
+    push.dst = target;
+    push.payload = std::move(e).take();
+    send_msg(std::move(push));
+    batch = Encoder{};
+    batch_n = 0;
+  };
   for (GlobalAddress p = desc.range.base; p < desc.range.end();
        p = p.plus(psz)) {
     auto* info = pages_.find(p);
@@ -660,24 +691,20 @@ void Node::on_replicate_to_req(const Message& m) {
     }
     const Bytes* data = storage_.get(p);
     if (data == nullptr) continue;
-    Encoder e;
-    desc.encode(e);
-    e.addr(p);
-    e.u64(info->version);
-    e.boolean(false);
-    e.bytes(*data);
-    Message push;
-    push.type = MsgType::kReplicaPush;
-    push.dst = target;
-    push.payload = std::move(e).take();
-    send_msg(std::move(push));
+    batch.addr(p);
+    batch.u64(info->version);
+    batch.boolean(false);
+    batch.bytes(*data);
+    ++batch_n;
     info->sharers.insert(target);
     // A pushed copy means the page is no longer exclusive here.
     if (info->state == PageState::kExclusive) {
       info->state = PageState::kShared;
     }
     ins_.replica_pushes->inc();
+    if (batch.size() >= kPushBytesCap) flush();
   }
+  flush();
   respond(m, MsgType::kReplicateToResp, status_payload(ErrorCode::kOk));
 }
 

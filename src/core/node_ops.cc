@@ -62,15 +62,39 @@ Result<RegionAttrs> reconcile_consistency(RegionAttrs attrs) {
 }
 }  // namespace
 
-/// In-flight multi-page lock acquisition. Pages are acquired in address
-/// order (deadlock avoidance); a failure releases everything granted so
-/// far and reflects the error to the client.
+/// Pages a lock op keeps in flight during its prefetch phase. 16 parallel
+/// warm-up rounds cover the common range sizes while bounding the burst a
+/// single op can put on the wire.
+constexpr std::size_t kLockPrefetchWindow = 16;
+
+/// In-flight multi-page lock acquisition, in two phases:
+///
+///  1. Prefetch: up to kLockPrefetchWindow concurrent CM prefetches bring
+///     every page of the range into a grantable state (data for reads,
+///     ownership for writes) WITHOUT taking holds — N remote rounds
+///     overlap into ~1 RTT, and since nothing is held yet, concurrent
+///     overlapping lockers cannot deadlock while they wait here.
+///  2. Acquire: holds are then taken page by page in strict ascending
+///     address order (pages[] is built sorted). Ordered hold-taking is the
+///     classical deadlock-avoidance rule: every node only ever waits for a
+///     page higher than all pages it holds, so no wait cycle can form.
+///     After a successful prefetch each acquire is a local grant; a page
+///     stolen between the phases just costs one ordinary remote round.
+///
+/// A phase-2 failure releases everything granted so far and reflects the
+/// error to the client (all-or-nothing).
 struct LockOp {
   AddressRange range;
   LockMode mode;
   RegionDescriptor desc;
-  std::vector<GlobalAddress> pages;
-  std::size_t next = 0;
+  std::vector<GlobalAddress> pages;  // ascending address order
+  std::size_t prefetch_issued = 0;
+  std::size_t prefetch_done = 0;
+  std::size_t inflight = 0;  // prefetches currently outstanding
+  std::size_t next = 0;      // phase-2 cursor
+  /// Bumped when the op restarts (relocate-and-retry); completions from
+  /// the abandoned attempt compare against it and drop out.
+  std::uint64_t epoch = 0;
   bool relocated = false;  // one re-resolve after a stale-home bounce
   Node::LockCb cb;
 };
@@ -423,7 +447,48 @@ void Node::start_lock_op(const RegionDescriptor& desc,
   for (GlobalAddress p = first; p < range.end(); p = p.plus(psz)) {
     op->pages.push_back(p);
   }
-  lock_next_page(std::move(op));
+  // The loop above yields ascending addresses already; keep the sort as a
+  // belt-and-braces guard — phase 2's deadlock freedom depends on it.
+  std::sort(op->pages.begin(), op->pages.end());
+  ins_.lock_pages->record(op->pages.size());
+  lock_prefetch_pump(op);
+}
+
+void Node::lock_prefetch_pump(const std::shared_ptr<LockOp>& op) {
+  auto* cm = cm_for(op->desc.attrs.protocol);
+  if (cm == nullptr) {
+    op->cb(ErrorCode::kBadArgument);
+    return;
+  }
+  if (op->pages.empty()) {
+    lock_next_page(op);
+    return;
+  }
+  regions_.insert(op->desc);
+  // Prefetches may complete synchronously, re-entering this pump from the
+  // callback below (and phase 2, even a relocate-restart, can run while
+  // this loop frame is still live). The epoch check stops a superseded
+  // frame from issuing into the restarted op.
+  const std::uint64_t epoch = op->epoch;
+  while (op->epoch == epoch && op->prefetch_issued < op->pages.size() &&
+         op->inflight < kLockPrefetchWindow) {
+    const GlobalAddress page = op->pages[op->prefetch_issued++];
+    ++op->inflight;
+    ins_.lock_window->record(op->inflight);
+    // The prefetch outcome is advisory: a page that could not be warmed
+    // (unreachable home, stale descriptor) is retried authoritatively by
+    // the phase-2 acquire, which owns the error handling.
+    cm->prefetch(page, op->mode, [this, op, epoch](Status) {
+      if (op->epoch != epoch) return;  // superseded by a relocate-restart
+      --op->inflight;
+      ++op->prefetch_done;
+      if (op->prefetch_done == op->pages.size()) {
+        lock_next_page(op);
+      } else {
+        lock_prefetch_pump(op);
+      }
+    });
+  }
 }
 
 void Node::lock_next_page(std::shared_ptr<LockOp> op) {
@@ -449,22 +514,29 @@ void Node::lock_next_page(std::shared_ptr<LockOp> op) {
   // Make sure the page's home is resolvable by the protocol even if the
   // descriptor got evicted from the directory mid-operation.
   regions_.insert(op->desc);
-  cm->acquire(page, op->mode, [this, op](Status s) mutable {
+  // Roll back with the same manager that granted: re-looking the protocol
+  // up inside the failure path could (in principle) come back null and
+  // would then leak every hold taken so far.
+  cm->acquire(page, op->mode, [this, op, cm](Status s) mutable {
     if (s.ok()) {
       ++op->next;
       lock_next_page(std::move(op));
       return;
     }
-    auto* cm2 = cm_for(op->desc.attrs.protocol);
     for (std::size_t i = 0; i < op->next; ++i) {
-      cm2->release(op->pages[i], op->mode, /*dirty=*/false);
+      cm->release(op->pages[i], op->mode, /*dirty=*/false);
     }
+    op->next = 0;
     if (s.error() == ErrorCode::kNotFound && !op->relocated) {
       // A presumed home bounced the request (stale directory entry,
       // Section 3.2). Drop the cached descriptor, re-resolve through the
-      // manager / map / cluster walk, and retry once.
+      // manager / map / cluster walk, and retry once — from the prefetch
+      // phase, since the new home needs warming too.
       op->relocated = true;
-      op->next = 0;
+      ++op->epoch;  // orphan any prefetch completions still in flight
+      op->prefetch_issued = 0;
+      op->prefetch_done = 0;
+      op->inflight = 0;
       regions_.invalidate(op->range.base);
       resolve(op->range.base, [this, op](Result<RegionDescriptor> r) mutable {
         if (!r) {
@@ -473,7 +545,7 @@ void Node::lock_next_page(std::shared_ptr<LockOp> op) {
           return;
         }
         op->desc = r.value();
-        lock_next_page(std::move(op));
+        lock_prefetch_pump(op);
       });
       return;
     }

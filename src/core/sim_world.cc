@@ -223,6 +223,7 @@ void SimWorld::sync_net_metrics(NodeId n) {
   reg.counter("net.messages_sent").set(s.messages_sent);
   reg.counter("net.messages_delivered").set(s.messages_delivered);
   reg.counter("net.messages_dropped").set(s.messages_dropped);
+  reg.counter("net.messages_duplicated").set(s.messages_duplicated);
   reg.counter("net.bytes_sent").set(s.bytes_sent);
 }
 

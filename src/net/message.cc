@@ -33,6 +33,8 @@ std::string_view to_string(MsgType t) {
     case MsgType::kPageFetchResp: return "PageFetchResp";
     case MsgType::kReplicaPush: return "ReplicaPush";
     case MsgType::kReplicaDrop: return "ReplicaDrop";
+    case MsgType::kPageBatchFetchReq: return "PageBatchFetchReq";
+    case MsgType::kPageBatchFetchResp: return "PageBatchFetchResp";
     case MsgType::kCm: return "Cm";
     case MsgType::kMapMutateReq: return "MapMutateReq";
     case MsgType::kMapMutateResp: return "MapMutateResp";

@@ -57,6 +57,12 @@ enum class MsgType : std::uint16_t {
   kPageFetchResp,
   kReplicaPush,     // one-way: maintain min-replica count / eviction push
   kReplicaDrop,     // one-way: "I dropped my copy of this page"
+  // Batched data plane: one message carries fetches/grants for a list of
+  // pages (multi-page lock pipeline). Payload: u8 protocol id, then the
+  // protocol's batch encoding. One-way in both directions — the per-page
+  // protocol timers provide the retry path, not the RPC layer.
+  kPageBatchFetchReq,
+  kPageBatchFetchResp,
 
   // Consistency-manager channel (payload owned by the protocol module)
   kCm,

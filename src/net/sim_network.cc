@@ -1,5 +1,6 @@
 #include "net/sim_network.h"
 
+#include <algorithm>
 #include <cassert>
 
 #include "common/log.h"
@@ -94,14 +95,23 @@ void SimNetwork::submit(Message msg) {
     stats_.messages_dropped++;
     return;
   }
+  // Transmission cost occupies the sender's side of the link: a fixed
+  // per-message overhead plus the serialization time of the bytes. While
+  // one message transmits, the next queues behind it (busy-until), which
+  // is what rewards batching N pages into one message.
+  Micros xmit = lp.per_message;
+  if (lp.bytes_per_micro > 0) {
+    xmit += static_cast<Micros>(static_cast<double>(msg.wire_size()) /
+                                lp.bytes_per_micro);
+  }
+  Micros& busy = link_busy_until_[{msg.src, msg.dst}];
+  const Micros start = std::max(clock_.now(), busy);
+  busy = start + xmit;
+
   Micros delay = lp.latency;
   if (lp.jitter > 0) delay += rng_.between(0, lp.jitter);
-  if (lp.bytes_per_micro > 0) {
-    delay += static_cast<Micros>(static_cast<double>(msg.wire_size()) /
-                                 lp.bytes_per_micro);
-  }
   Event ev;
-  ev.at = clock_.now() + delay;
+  ev.at = busy + delay;
   // FIFO per directed pair: a message never overtakes an earlier one on
   // the same connection.
   Micros& last = last_delivery_at_[{msg.src, msg.dst}];
@@ -109,6 +119,19 @@ void SimNetwork::submit(Message msg) {
   last = ev.at;
   ev.seq = next_seq_++;
   ev.node = msg.dst;
+
+  if (lp.dup_probability > 0 && rng_.chance(lp.dup_probability)) {
+    stats_.messages_duplicated++;
+    Event dup;
+    dup.at = ev.at + lp.latency + (lp.jitter > 0 ? rng_.between(0, lp.jitter)
+                                                 : Micros{0});
+    last = std::max(last, dup.at);
+    dup.seq = next_seq_++;
+    dup.node = msg.dst;
+    dup.msg = msg;  // copy before the original is moved below
+    queue_.push(std::move(dup));
+  }
+
   ev.msg = std::move(msg);
   queue_.push(std::move(ev));
 }

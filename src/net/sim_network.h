@@ -28,11 +28,22 @@ struct LinkProfile {
   Micros jitter = 0;           // uniform extra delay in [0, jitter]
   double bytes_per_micro = 0;  // 0 = infinite bandwidth
   double drop_probability = 0;
+  /// Fixed per-message cost (syscall + framing + scheduling), charged on
+  /// the sender's side of the link before transmission starts. This is
+  /// what makes one N-page batch cheaper than N single-page messages.
+  Micros per_message = 0;
+  /// Probability a delivered message arrives twice (models retransmit
+  /// races); duplicates arrive after an extra jittered delay.
+  double dup_probability = 0;
 
   static LinkProfile lan() { return {.latency = 100, .jitter = 10}; }
   static LinkProfile wan() {
-    // ~40 ms one-way, ~1.5 MB/s: a late-90s wide-area path.
-    return {.latency = 40'000, .jitter = 4'000, .bytes_per_micro = 1.5};
+    // ~40 ms one-way, ~1.5 MB/s, ~1 ms fixed per-message overhead: a
+    // late-90s wide-area path.
+    return {.latency = 40'000,
+            .jitter = 4'000,
+            .bytes_per_micro = 1.5,
+            .per_message = 1'000};
   }
   static LinkProfile local_loop() { return {.latency = 5, .jitter = 0}; }
 };
@@ -42,6 +53,7 @@ struct NetStats {
   std::uint64_t messages_sent = 0;
   std::uint64_t messages_delivered = 0;
   std::uint64_t messages_dropped = 0;
+  std::uint64_t messages_duplicated = 0;
   std::uint64_t bytes_sent = 0;
   std::map<MsgType, std::uint64_t> per_type;
 
@@ -173,6 +185,10 @@ class SimNetwork {
   /// TCP transport gives this for free), so later sends never overtake
   /// earlier ones on the same directed pair even under jitter.
   std::map<std::pair<NodeId, NodeId>, Micros> last_delivery_at_;
+  /// Per-(src,dst) transmit serialization: a finite-bandwidth link is
+  /// busy for per_message + size/bandwidth per send, so back-to-back
+  /// messages queue behind each other instead of overlapping for free.
+  std::map<std::pair<NodeId, NodeId>, Micros> link_busy_until_;
 
   NetStats stats_;
   Tap tap_;

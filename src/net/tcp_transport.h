@@ -159,6 +159,7 @@ class TcpTransport final : public Transport {
   // Latency instruments (histogram recording is internally wait-free).
   obs::MetricsRegistry metrics_;
   obs::Histogram* send_queue_us_;
+  obs::Histogram* writev_frames_;  // frames per sendmsg() gather call
 
   std::thread executor_;
   std::thread io_;
