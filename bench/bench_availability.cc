@@ -9,6 +9,11 @@
 // home fails back to the client after retries, while a release-type op
 // (unreserve) is accepted immediately and retried in the background until
 // the home returns.
+//
+// Part 3: write availability across a home crash (docs/recovery.md). With
+// min_replicas >= 2 a surviving replica promotes itself to home once the
+// failure detector fires; we measure the window between the crash and the
+// first client write that completes again.
 #include "bench/bench_util.h"
 
 namespace {
@@ -63,12 +68,44 @@ AvailPoint run(std::uint32_t min_replicas, int kill_count) {
           readable > 0 ? latency / readable : 0};
 }
 
+// Crashes the home of a freshly written region and measures how long
+// writes stay unavailable before fail-over restores them. Returns the
+// window in virtual microseconds, or -1 if writes never came back (the
+// expected outcome for min_replicas = 1: no surviving copy, no heir).
+std::int64_t write_unavailability_window(std::uint32_t min_replicas) {
+  SimWorld world({.nodes = 4, .rpc_timeout = 50'000,
+                  .ping_interval = 50'000});
+  RegionAttrs attrs;
+  attrs.min_replicas = min_replicas;
+  auto base = world.create_region(1, 4096, attrs);
+  if (!base.ok()) std::abort();
+  const AddressRange range{base.value(), 4096};
+  if (!world.put(1, range, fill(4096, 0x5A)).ok()) std::abort();
+  world.pump_for(2'000'000);  // replica maintenance settles
+
+  world.crash_node(1);
+  const Micros crashed_at = world.net().now();
+
+  // A writer on an uninvolved node hammers the region; each failed
+  // attempt burns its retries in virtual time, and the pings that drive
+  // failure detection (and then promotion) flow underneath. First success
+  // closes the window.
+  for (int attempt = 0; attempt < 40; ++attempt) {
+    if (world.put(3, range, fill(4096, 0xA5)).ok()) {
+      return static_cast<std::int64_t>(world.net().now() - crashed_at);
+    }
+  }
+  return -1;
+}
+
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  JsonReport json("availability", argc, argv);
   title("GOAL-AVAIL | bench_availability",
         "Availability vs replication factor under node crashes\n"
-        "(Section 3.5), plus acquire/release error semantics.");
+        "(Section 3.5), plus acquire/release error semantics and the\n"
+        "write-unavailability window across home fail-over.");
 
   std::printf("\n20 regions spread over 5 homes; k nodes crashed:\n\n");
   table_header({"min_replicas", "crashed", "available", "mean latency"});
@@ -82,6 +119,9 @@ int main() {
       cell(std::string(pct));
       cell(us(p.mean_latency));
       endrow();
+      json.metric("read_avail_r" + std::to_string(r) + "_k" +
+                      std::to_string(k),
+                  p.available_fraction);
     }
   }
 
@@ -123,11 +163,29 @@ int main() {
   }
 
   std::printf(
+      "\nWrite-unavailability window after the home crashes\n"
+      "(4 nodes, rpc_timeout 50 ms, ping interval 50 ms; a third node\n"
+      "retries a write until it completes):\n\n");
+  table_header({"min_replicas", "write outage"});
+  for (std::uint32_t r : {1u, 2u, 3u}) {
+    const std::int64_t window = write_unavailability_window(r);
+    cell(static_cast<std::uint64_t>(r));
+    cell(window < 0 ? std::string("permanent (no surviving copy)")
+                    : us(static_cast<Micros>(window)));
+    endrow();
+    json.metric("write_unavail_us_r" + std::to_string(r),
+                static_cast<double>(window));
+  }
+
+  std::printf(
       "\nShape check vs paper: min_replicas=1 loses exactly the regions\n"
       "whose home died; with replication everything stays readable — and\n"
       "reads get FASTER, because the maintenance machinery pushed a copy\n"
       "onto the reading node (caching near use, Section 2). Acquire errors\n"
       "reach the client; release errors never do — Khazana retries them in\n"
-      "the background until they succeed.\n");
+      "the background until they succeed. With min_replicas >= 2 a home\n"
+      "crash costs writers only the failure-detection window plus one\n"
+      "promotion: the highest-id surviving copy-set member re-homes the\n"
+      "region and writes resume without operator intervention.\n");
   return 0;
 }

@@ -1,0 +1,75 @@
+#!/usr/bin/env python3
+"""Check that relative markdown links resolve to real files.
+
+Scans the given markdown files (or, with no arguments, every *.md in the
+repository root plus docs/) for inline links `[text](target)` and image
+links, and fails if a relative target does not exist on disk. External
+links (http/https/mailto) and pure in-page anchors (#...) are skipped —
+this is a structural check, not a liveness check, so it needs no network
+and no third-party packages.
+
+Exit status: 0 when every link resolves, 1 otherwise.
+"""
+
+import re
+import sys
+from pathlib import Path
+
+# Inline links/images: [text](target) / ![alt](target). Reference-style
+# definitions `[id]: target` are rare in this repo and intentionally not
+# checked. Targets containing spaces are not used here either.
+LINK_RE = re.compile(r"!?\[[^\]]*\]\(([^)\s]+)\)")
+
+SKIP_PREFIXES = ("http://", "https://", "mailto:", "#")
+
+
+def candidate_files(root: Path) -> list[Path]:
+    files = sorted(root.glob("*.md"))
+    docs = root / "docs"
+    if docs.is_dir():
+        files += sorted(docs.glob("*.md"))
+    return files
+
+
+def check_file(md: Path, root: Path) -> list[str]:
+    errors = []
+    text = md.read_text(encoding="utf-8")
+    in_fence = False
+    for lineno, line in enumerate(text.splitlines(), start=1):
+        if line.lstrip().startswith("```"):
+            in_fence = not in_fence
+            continue
+        if in_fence:
+            continue
+        for match in LINK_RE.finditer(line):
+            target = match.group(1)
+            if target.startswith(SKIP_PREFIXES):
+                continue
+            # Drop a trailing #anchor; the file part must still exist.
+            path_part = target.split("#", 1)[0]
+            if not path_part:
+                continue
+            resolved = (md.parent / path_part).resolve()
+            if not resolved.exists():
+                errors.append(
+                    f"{md.relative_to(root)}:{lineno}: broken link "
+                    f"'{target}' -> {resolved}"
+                )
+    return errors
+
+
+def main(argv: list[str]) -> int:
+    root = Path(__file__).resolve().parent.parent
+    files = [Path(a).resolve() for a in argv[1:]] or candidate_files(root)
+    all_errors = []
+    for md in files:
+        all_errors += check_file(md, root)
+    for err in all_errors:
+        print(err, file=sys.stderr)
+    print(f"checked {len(files)} files: "
+          f"{'OK' if not all_errors else f'{len(all_errors)} broken link(s)'}")
+    return 1 if all_errors else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

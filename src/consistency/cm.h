@@ -81,6 +81,17 @@ class CmHost {
   /// All nodes currently believed to be members.
   [[nodiscard]] virtual std::vector<NodeId> membership() = 0;
 
+  /// True while `page`'s region is rebuilding its min-replica guarantee
+  /// after a home fail-over promotion (docs/recovery.md): the home-side
+  /// protocol must hold write grants — handing out exclusive ownership
+  /// before the copyset recovers would reopen the single-copy window the
+  /// replication factor exists to close. Reads are never gated. Defaulted
+  /// to false so hosts without fail-over need not implement it.
+  [[nodiscard]] virtual bool write_gated(const GlobalAddress& page) {
+    (void)page;
+    return false;
+  }
+
   /// The protocol changed the page's copyset (ownership transfer, dropped
   /// replica, dirty release). The node uses this to re-check the region's
   /// minimum-replica guarantee (paper, Section 3.5).
@@ -119,7 +130,9 @@ class ConsistencyManager {
  public:
   virtual ~ConsistencyManager() = default;
 
+  /// The ProtocolId this instance implements (matches its registry key).
   [[nodiscard]] virtual ProtocolId id() const = 0;
+  /// Human-readable protocol name for logs and metrics labels.
   [[nodiscard]] virtual std::string_view name() const = 0;
 
   /// Client declared intent to access `page` in `mode`. The CM must
@@ -179,11 +192,15 @@ class ProtocolRegistry {
   using Factory =
       std::function<std::unique_ptr<ConsistencyManager>(CmHost&)>;
 
+  /// The process-wide registry (protocols register once per process).
   static ProtocolRegistry& instance();
 
+  /// Registers (or replaces) the factory for `id`.
   void register_protocol(ProtocolId id, Factory factory);
+  /// Instantiates the protocol for one host node; nullptr if unknown.
   [[nodiscard]] std::unique_ptr<ConsistencyManager> create(
       ProtocolId id, CmHost& host) const;
+  /// True if a factory for `id` has been registered.
   [[nodiscard]] bool known(ProtocolId id) const;
 
  private:

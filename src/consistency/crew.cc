@@ -114,6 +114,10 @@ void CrewManager::finish_round(PageState& st) {
         static_cast<std::uint64_t>(host_.now() - st.request_sent_at));
   }
   st.request_outstanding = false;
+  // The counter is per-round: a response (grant or Nack) ends the round.
+  // Leaving it non-zero would steer every later round for this page to the
+  // alternate homes even after the primary answered again.
+  st.retries = 0;
 }
 
 void CrewManager::send_request(const GlobalAddress& page, LockMode mode,
@@ -124,10 +128,15 @@ void CrewManager::send_request(const GlobalAddress& page, LockMode mode,
   st.request_sent_at = host_.now();
 
   // Retry the primary home first; on later retries, walk the alternates
-  // (paper, Section 3.5: operations are retried on all known nodes).
+  // (paper, Section 3.5: operations are retried on all known nodes). Never
+  // pick self: a descriptor can list this node as an alternate (it may
+  // hold a replica), but a request to self would just bounce off our own
+  // not-home handler.
   NodeId target = host_.home_of(page);
   if (st.retries > 0) {
-    const auto alts = host_.alternate_homes(page);
+    auto alts = host_.alternate_homes(page);
+    alts.erase(std::remove(alts.begin(), alts.end(), host_.self()),
+               alts.end());
     if (!alts.empty()) {
       target = alts[static_cast<std::size_t>(st.retries - 1) % alts.size()];
     }
@@ -217,6 +226,16 @@ void CrewManager::fail_waiters(const GlobalAddress& page, ErrorCode e) {
 
 void CrewManager::home_handle(const GlobalAddress& page, NodeId from,
                               LockMode mode) {
+  if (mode != LockMode::kRead && host_.write_gated(page)) {
+    // Home fail-over is still rebuilding this region's replica floor
+    // (docs/recovery.md): hold the write grant and re-check shortly.
+    // Reads keep flowing. The requester's own retry timer covers a lost
+    // wakeup, so the deferral needs no bookkeeping.
+    host_.schedule(host_.rpc_timeout() / 4, [this, page, from, mode] {
+      home_handle(page, from, mode);
+    });
+    return;
+  }
   auto& st = state(page);
   // Dedupe retransmissions.
   if (st.busy && st.in_flight_requester == from && st.in_flight_mode == mode) {
@@ -503,6 +522,10 @@ void CrewManager::on_batch_fetch(NodeId from, Decoder& d) {
         } else {
           home_handle(page, from, mode);  // third-party downgrade round
         }
+      } else if (host_.write_gated(page)) {
+        // Replica floor still rebuilding after a fail-over promotion: the
+        // deferred path lives in home_handle.
+        home_handle(page, from, mode);
       } else {
         bool needs_inv = false;
         for (NodeId s : info.sharers) {

@@ -208,8 +208,9 @@ void Node::store_page(const GlobalAddress& page, Bytes data) {
   if (pages_.ensure(page).homed_locally) {
     // Write-through for pages this node homes: their latest contents must
     // survive a restart (the page directory's persistent subset,
-    // Section 3.4).
+    // Section 3.4). Journal the version so recovery re-serves the page.
     (void)storage_.flush(page);
+    journal_page(page);
   }
 }
 
@@ -278,6 +279,34 @@ std::vector<NodeId> Node::membership() {
     if (!down_nodes_.contains(n)) out.push_back(n);
   }
   return out;
+}
+
+bool Node::write_gated(const GlobalAddress& page) {
+  if (recovering_regions_.empty()) return false;
+  auto it = homed_regions_.upper_bound(page);
+  if (it == homed_regions_.begin()) return false;
+  const RegionDescriptor& desc = std::prev(it)->second;
+  if (!desc.range.contains(page)) return false;
+  if (!recovering_regions_.contains(desc.range.base)) return false;
+  // The guarantee is satisfiable only up to the live membership size; a
+  // two-node system with min_replicas=3 must not gate forever.
+  const auto target = std::min<std::size_t>(desc.attrs.min_replicas,
+                                            membership().size());
+  const std::uint32_t psz = desc.attrs.page_size;
+  for (GlobalAddress p = desc.range.base; p < desc.range.end();
+       p = p.plus(psz)) {
+    const auto* info = pages_.find(p);
+    std::size_t live = 0;
+    if (info != nullptr) {
+      for (NodeId s : info->sharers) {
+        if (!down_nodes_.contains(s)) ++live;
+      }
+    }
+    if (live < target) return true;  // still rebuilding: hold the write
+  }
+  // Every page of the region meets the replica floor again; lift the gate.
+  recovering_regions_.erase(desc.range.base);
+  return false;
 }
 
 void Node::note_copyset_change(const GlobalAddress& page) {

@@ -180,27 +180,36 @@ class Node final : public consistency::CmHost {
   void leave(StatusCb cb);
 
   // --- introspection ----------------------------------------------------
+  /// This node's id (stable for the node's lifetime; reused on restart).
   [[nodiscard]] NodeId id() const { return config_.id; }
+  /// The configuration the node was constructed with, verbatim.
   [[nodiscard]] const NodeConfig& config() const { return config_; }
+  /// Snapshot of the legacy counter block, synthesized from metrics().
   [[nodiscard]] NodeStats stats() const;
   /// Causal span recorder for this node (spans export via the worlds'
   /// trace_json helpers).
   [[nodiscard]] obs::Tracer& tracer() { return tracer_; }
+  /// Two-level (RAM over disk) local page store.
   [[nodiscard]] storage::StorageHierarchy& storage() { return storage_; }
+  /// Per-node page metadata: sharers, owner, dirty bits, lock holds.
   [[nodiscard]] storage::PageDirectory& page_directory() { return pages_; }
+  /// LRU cache of recently used region descriptors (location level 1).
   [[nodiscard]] RegionDirectory& region_directory() { return regions_; }
+  /// Current cluster membership as this node believes it (includes self).
   [[nodiscard]] const std::set<NodeId>& members() const { return members_; }
   /// All cluster managers, primary first.
   [[nodiscard]] std::vector<NodeId> managers() const {
     if (!config_.cluster_managers.empty()) return config_.cluster_managers;
     return {config_.cluster_manager};
   }
+  /// True when this node serves the cluster-manager role.
   [[nodiscard]] bool is_manager() const {
     const auto ms = managers();
     return std::find(ms.begin(), ms.end(), config_.id) != ms.end();
   }
   /// Manager-side address map (null elsewhere). Tests/benches inspect it.
   [[nodiscard]] AddressMap* address_map() { return map_.get(); }
+  /// Liveness view (up/down verdicts) maintained by the failure detector.
   [[nodiscard]] ClusterState& cluster_state() { return cluster_; }
 
   /// Pending background (release-side) retry operations.
@@ -238,6 +247,7 @@ class Node final : public consistency::CmHost {
   [[nodiscard]] std::uint32_t min_replicas_of(
       const GlobalAddress& page) override;
   std::vector<NodeId> membership() override;
+  [[nodiscard]] bool write_gated(const GlobalAddress& page) override;
   void note_copyset_change(const GlobalAddress& page) override;
   [[nodiscard]] Micros now() const override;
   std::uint64_t schedule(Micros delay, std::function<void()> fn) override;
@@ -363,9 +373,26 @@ class Node final : public consistency::CmHost {
   void mark_node_down(NodeId node);
   void mark_node_up(NodeId node);
 
-  // Persistence of node metadata across restarts.
-  void persist_meta();
+  // Home fail-over (docs/recovery.md): when the failure detector declares
+  // a region's home dead, the surviving copy-set member with the highest
+  // node id promotes itself to home, re-registers hints/map entries, and
+  // re-replicates to min_replicas before accepting new writes.
+  void maybe_promote_regions(NodeId dead);
+  void promote_region(RegionDescriptor desc, NodeId dead);
+
+  // Persistence of node metadata across restarts. Mutations append O(1)
+  // records to the disk store's write-ahead journal; checkpoint_meta()
+  // rewrites the full snapshot and truncates the journal once it grows
+  // past the compaction threshold. recover_meta() = snapshot + replay.
+  static constexpr std::size_t kJournalCompactThreshold = 1024;
+  void checkpoint_meta();
   void recover_meta();
+  void journal_append(const Bytes& record);
+  void journal_region(const RegionDescriptor& desc);
+  void journal_region_erase(const GlobalAddress& base);
+  void journal_pool();
+  void journal_page(const GlobalAddress& page);
+  void journal_page_erase(const GlobalAddress& page);
 
   NodeConfig config_;
   net::Transport& transport_;
@@ -428,6 +455,10 @@ class Node final : public consistency::CmHost {
   std::set<NodeId> members_;
   std::set<NodeId> down_nodes_;
   std::map<NodeId, int> missed_pongs_;
+  /// Region bases this node promoted itself to home of and whose
+  /// min-replica guarantee is still being rebuilt; write grants are gated
+  /// (write_gated) until the copyset recovers.
+  std::set<GlobalAddress> recovering_regions_;
   std::function<void(const net::Message&)> obj_handler_;
 
   // Observability. `ins_` pre-binds the hot-path instruments so counting

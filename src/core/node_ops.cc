@@ -204,7 +204,7 @@ void Node::reserve(std::uint64_t size, const RegionAttrs& raw_attrs,
               const GlobalAddress base = d.addr();
               const std::uint64_t granted = d.u64();
               pool_.push_back({base, granted});
-              persist_meta();
+              journal_pool();
               if (auto carved = carve_from_pool(aligned)) {
                 finish_reserve({*carved, aligned}, attrs, std::move(cb));
               } else {
@@ -221,7 +221,8 @@ void Node::finish_reserve(const AddressRange& range, const RegionAttrs& attrs,
   desc.home_nodes = {config_.id};
   homed_regions_[range.base] = desc;
   regions_.insert(desc);
-  persist_meta();
+  journal_region(desc);
+  journal_pool();  // the reservation was carved out of the pool
   ins_.reserves->inc();
 
   // Register the reservation with the address map (background-reliable;
@@ -257,7 +258,8 @@ void Node::unreserve(const GlobalAddress& base, StatusCb cb) {
       homed_regions_.erase(base);
       regions_.invalidate(base);
       pool_.push_back(desc.range);  // reclaim into the local pool
-      persist_meta();
+      journal_region_erase(base);
+      journal_pool();
       Encoder map_req;
       map_req.u8(2);  // erase
       map_req.range(desc.range);
@@ -306,8 +308,10 @@ void Node::allocate(const AddressRange& range, StatusCb cb) {
     if (desc.primary_home() == config_.id) {
       materialize_region_pages(desc, range);
       auto it = homed_regions_.find(desc.range.base);
-      if (it != homed_regions_.end()) it->second.allocated = true;
-      persist_meta();
+      if (it != homed_regions_.end()) {
+        it->second.allocated = true;
+        journal_region(it->second);
+      }
       cb(Status{});
       return;
     }
@@ -564,6 +568,7 @@ void Node::unlock(const LockContext& ctx) {
     storage_.unpin(p);
     if (pages_.ensure(p).homed_locally && al.dirty.contains(p)) {
       (void)storage_.flush(p);
+      journal_page(p);
     }
     if (cm != nullptr) cm->release(p, al.ctx.mode, al.dirty.contains(p));
   }

@@ -50,6 +50,13 @@ void RegionDirectory::insert(const RegionDescriptor& desc) {
   }
 }
 
+std::vector<RegionDescriptor> RegionDirectory::snapshot() const {
+  std::vector<RegionDescriptor> out;
+  out.reserve(cache_.size());
+  for (const auto& [base, entry] : cache_) out.push_back(entry.desc);
+  return out;
+}
+
 void RegionDirectory::invalidate(const GlobalAddress& addr) {
   auto it = cache_.upper_bound(addr);
   if (it == cache_.begin()) return;

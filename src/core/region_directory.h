@@ -11,6 +11,7 @@
 #include <list>
 #include <map>
 #include <optional>
+#include <vector>
 
 #include "core/region.h"
 #include "obs/metrics.h"
@@ -31,6 +32,11 @@ class RegionDirectory {
 
   /// Drops the cached descriptor covering `addr` (stale-hint recovery).
   void invalidate(const GlobalAddress& addr);
+
+  /// Every cached descriptor, for whole-cache scans (home fail-over walks
+  /// the cache looking for regions homed on a dead node). Does not touch
+  /// LRU order.
+  [[nodiscard]] std::vector<RegionDescriptor> snapshot() const;
 
   [[nodiscard]] std::size_t size() const { return cache_.size(); }
 

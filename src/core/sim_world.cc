@@ -46,10 +46,17 @@ SimWorld::SimWorld(SimWorldOptions opts)
 
 SimWorld::~SimWorld() = default;
 
-void SimWorld::restart_node(NodeId id) {
+void SimWorld::crash_node(NodeId id) {
+  net_.set_node_up(id, false);
+  nodes_[id] = nullptr;  // volatile state dies with the process
+}
+
+void SimWorld::restart_node(NodeId id, bool settle) {
   // Model a crash+reboot: the Node object (all volatile state) is rebuilt
   // from the persistent store; the SimTransport endpoint keeps the node's
-  // network identity across the restart.
+  // network identity across the restart. set_node_up(false) is a no-op if
+  // the node was already crashed via crash_node (the epoch bumps only on
+  // an up->down transition).
   net_.set_node_up(id, false);
   nodes_[id] = nullptr;  // crash: volatile state gone
   net_.set_node_up(id, true);
@@ -57,7 +64,29 @@ void SimWorld::restart_node(NodeId id) {
   nodes_[id] =
       std::make_unique<Node>(make_config(opts_, id, nodes_.size()), *ep);
   nodes_[id]->start();
-  net_.run_for(opts_.rpc_timeout);
+  if (settle) net_.run_for(opts_.rpc_timeout);
+}
+
+void SimWorld::schedule_crash(Micros delay, NodeId id) {
+  net_.schedule_global(delay, [this, id] { crash_node(id); });
+}
+
+void SimWorld::schedule_restart(Micros delay, NodeId id) {
+  // settle=false: the script fires inside a pump; nesting another run_for
+  // there would re-enter the event loop.
+  net_.schedule_global(delay,
+                       [this, id] { restart_node(id, /*settle=*/false); });
+}
+
+void SimWorld::schedule_partition(Micros delay, std::set<NodeId> a,
+                                  std::set<NodeId> b) {
+  net_.schedule_global(delay, [this, a = std::move(a), b = std::move(b)] {
+    net_.partition(a, b);
+  });
+}
+
+void SimWorld::schedule_heal(Micros delay) {
+  net_.schedule_global(delay, [this] { net_.clear_partitions(); });
 }
 
 bool SimWorld::pump_until(const std::function<bool()>& done,

@@ -10,6 +10,7 @@
 
 #include <filesystem>
 #include <memory>
+#include <set>
 #include <vector>
 
 #include "core/node.h"
@@ -44,10 +45,36 @@ class SimWorld {
   [[nodiscard]] Node& node(NodeId id) { return *nodes_.at(id); }
   [[nodiscard]] std::size_t size() const { return nodes_.size(); }
 
-  /// Restarts a crashed node with fresh volatile state (same disk).
-  /// Requires a disk_root (otherwise all state is volatile and the node
-  /// comes back empty).
-  void restart_node(NodeId id);
+  /// Kills a node mid-run (kill -9 semantics): the Node object and all its
+  /// volatile state are destroyed, in-flight messages to or from it vanish,
+  /// and its timers are suppressed. The disk directory survives. Pair with
+  /// restart_node to reboot it.
+  void crash_node(NodeId id);
+
+  /// (Re)starts a node with fresh volatile state (same disk): crashes it
+  /// first if it is still up, then rebuilds the Node from its persistent
+  /// store on the same network endpoint. Requires a disk_root for state to
+  /// survive (otherwise the node comes back empty). `settle` pumps one rpc
+  /// timeout of virtual time so the reboot's join traffic drains; pass
+  /// false from scheduled scripts (the surrounding pump is already
+  /// running).
+  void restart_node(NodeId id, bool settle = true);
+
+  /// True if `id` currently has a live Node object (i.e. not crashed).
+  [[nodiscard]] bool node_alive(NodeId id) const {
+    return nodes_.at(id) != nullptr;
+  }
+
+  // --- fault-injection scripting (docs/recovery.md) ---------------------
+  // Each schedules an action at now+delay of virtual time on the
+  // simulator's global timer rail (exempt from crash suppression), so a
+  // whole kill/reboot/partition scenario can be scripted up front and then
+  // driven by a single pump_for/pump_until while clients keep operating.
+  void schedule_crash(Micros delay, NodeId id);
+  void schedule_restart(Micros delay, NodeId id);
+  void schedule_partition(Micros delay, std::set<NodeId> a,
+                          std::set<NodeId> b);
+  void schedule_heal(Micros delay);
 
   /// Pumps the network until `done` is true; returns false if the event
   /// queue drained or `limit` events ran first.

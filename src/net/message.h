@@ -18,43 +18,43 @@ namespace khz::net {
 
 enum class MsgType : std::uint16_t {
   // Membership
-  kJoinReq = 1,
-  kJoinResp,
-  kNodeListGossip,
+  kJoinReq = 1,     // new node -> genesis node: admit me (addr + manager bit)
+  kJoinResp,        // genesis -> joiner: current member list + manager set
+  kNodeListGossip,  // one-way fanout: membership delta to every known peer
   kLeave,  // one-way: "I am departing; drop me from membership"
 
   // Address space management (client-node <-> home/manager node)
-  kReserveReq,
-  kReserveResp,
-  kUnreserveReq,
-  kUnreserveResp,
+  kReserveReq,     // any node -> cluster manager: carve a region of N bytes
+  kReserveResp,    // manager -> requester: region base or error
+  kUnreserveReq,   // any node -> region home: return the region's space
+  kUnreserveResp,  // home -> requester: acceptance (release-type op)
   kSpaceReq,   // ask cluster manager for a large chunk of unreserved space
-  kSpaceResp,
+  kSpaceResp,  // manager -> requester: granted slab (pool refill)
 
   // Region descriptor / location lookup
-  kDescLookupReq,
-  kDescLookupResp,
+  kDescLookupReq,  // resolver -> candidate home: send me the descriptor
+  kDescLookupResp, // home -> resolver: descriptor, or kNotFound if not home
   kHintQueryReq,   // ask cluster manager: who caches region at addr?
-  kHintQueryResp,
+  kHintQueryResp,  // manager -> requester: hinted home list (may be stale)
   kHintPublish,    // one-way: "I now cache / no longer cache this region"
   kClusterWalkReq, // broadcast probe: "do you home/cache this region?"
-  kClusterWalkResp,
+  kClusterWalkResp,  // peer -> prober: descriptor if homed/cached here
 
   // Storage allocation
-  kAllocReq,
-  kAllocResp,
-  kFreeReq,
-  kFreeResp,
+  kAllocReq,   // any node -> region home: back this range with storage
+  kAllocResp,  // home -> requester: success or kNoSpace
+  kFreeReq,    // any node -> region home: drop backing for this range
+  kFreeResp,   // home -> requester: acceptance (release-type op)
 
   // Attributes
-  kGetAttrReq,
-  kGetAttrResp,
-  kSetAttrReq,
-  kSetAttrResp,
+  kGetAttrReq,   // any node -> region home: send the attribute block
+  kGetAttrResp,  // home -> requester: RegionAttrs
+  kSetAttrReq,   // any node -> region home: replace the attribute block
+  kSetAttrResp,  // home -> requester: acceptance (home journals the change)
 
   // Page data plane
-  kPageFetchReq,
-  kPageFetchResp,
+  kPageFetchReq,   // CM/requester -> page home: send bytes (and/or ownership)
+  kPageFetchResp,  // home -> requester: page bytes + version, or Nack
   kReplicaPush,     // one-way: maintain min-replica count / eviction push
   kReplicaDrop,     // one-way: "I dropped my copy of this page"
   // Batched data plane: one message carries fetches/grants for a list of
@@ -64,35 +64,36 @@ enum class MsgType : std::uint16_t {
   kPageBatchFetchReq,
   kPageBatchFetchResp,
 
-  // Consistency-manager channel (payload owned by the protocol module)
+  // Consistency-manager channel: opaque protocol payload (u8 protocol id +
+  // protocol encoding), delivered to the page's CM on the receiving node.
   kCm,
 
   // Address-map mutation (routed to the subtree's manager node)
-  kMapMutateReq,
-  kMapMutateResp,
+  kMapMutateReq,   // any node -> map manager: insert/erase/update-homes entry
+  kMapMutateResp,  // manager -> requester: applied (release-type: retried)
 
   // "Where is this datum?" (explicit location query, Section 4.2)
-  kLocateReq,
-  kLocateResp,
+  kLocateReq,   // any node -> cluster manager/home: resolve addr to homes
+  kLocateResp,  // responder -> requester: current home-node list
 
   // Failure detection
-  kPing,
-  kPong,
+  kPing,  // detector -> peer: liveness probe (untraced background traffic)
+  kPong,  // peer -> detector: "alive"; 3 missed pongs => marked down
 
   // Distributed-object runtime RPC (Section 4.2)
-  kObjInvokeReq,
-  kObjInvokeResp,
+  kObjInvokeReq,   // caller node -> replica holder: run method remotely
+  kObjInvokeResp,  // holder -> caller: serialized return value or error
 
   // Region home migration (Section 3.2 anticipates migrating homes;
   // Section 8 lists migration policies as ongoing work)
   kMigrateReq,   // client/any node -> current home: please move to X
-  kMigrateResp,
+  kMigrateResp,  // old home -> requester: hand-off completed or error
   kMigrateData,  // old home -> new home: descriptor + page state
-  kMigrateDataResp,
+  kMigrateDataResp,  // new home -> old home: installed; old home demotes
 
   // Client guidance: "push copies of this region onto node X"
-  kReplicateToReq,
-  kReplicateToResp,
+  kReplicateToReq,   // any node -> region home: add X to the copy set
+  kReplicateToResp,  // home -> requester: replica pushed and recorded
 };
 
 [[nodiscard]] std::string_view to_string(MsgType t);

@@ -152,6 +152,20 @@ std::uint64_t SimNetwork::schedule_timer(NodeId node, Micros delay,
   return id;
 }
 
+std::uint64_t SimNetwork::schedule_global(Micros delay,
+                                          std::function<void()> fn) {
+  Event ev;
+  ev.at = clock_.now() + delay;
+  ev.seq = next_seq_++;
+  ev.fn = std::move(fn);
+  ev.is_timer = true;
+  ev.global = true;
+  ev.timer_id = next_timer_id_++;
+  const std::uint64_t id = ev.timer_id;
+  queue_.push(std::move(ev));
+  return id;
+}
+
 void SimNetwork::dispatch(Event& ev) {
   clock_.advance_to(ev.at);
   if (ev.is_timer) {
@@ -159,11 +173,14 @@ void SimNetwork::dispatch(Event& ev) {
     // A crashed node's timers are suppressed, matching the loss of its
     // volatile state; they do not fire later on restart either — the
     // epoch check catches timers from a pre-crash incarnation even when
-    // the node is already back up.
-    if (!node_up(ev.node)) return;
-    auto epoch_it = crash_epoch_.find(ev.node);
-    if (ev.epoch != (epoch_it == crash_epoch_.end() ? 0 : epoch_it->second))
-      return;
+    // the node is already back up. Simulation-owned (global) timers are
+    // exempt: fault scripts must fire regardless of node state.
+    if (!ev.global) {
+      if (!node_up(ev.node)) return;
+      auto epoch_it = crash_epoch_.find(ev.node);
+      if (ev.epoch != (epoch_it == crash_epoch_.end() ? 0 : epoch_it->second))
+        return;
+    }
     ev.fn();
     return;
   }

@@ -137,6 +137,14 @@ class SimNetwork {
   using Tap = std::function<void(Micros, const Message&)>;
   void set_tap(Tap tap) { tap_ = std::move(tap); }
 
+  /// Schedules a callback owned by the simulation itself rather than any
+  /// node: it fires even while nodes are down and survives crash-epoch
+  /// bumps. Fault-injection scripts (scheduled kills, reboots, partitions)
+  /// are built on this — a node-owned timer would be suppressed by the
+  /// very crash it is supposed to orchestrate. Cancellable via the usual
+  /// timer id.
+  std::uint64_t schedule_global(Micros delay, std::function<void()> fn);
+
  private:
   friend class SimTransport;
 
@@ -149,6 +157,9 @@ class SimNetwork {
     bool is_timer = false;
     std::uint64_t timer_id = 0;
     int epoch = 0;  // node incarnation the timer belongs to
+    /// Simulation-owned timer: exempt from node-down / crash-epoch
+    /// suppression (fault-injection scripts).
+    bool global = false;
   };
   struct EventOrder {
     bool operator()(const Event& a, const Event& b) const {

@@ -19,6 +19,7 @@ DiskStore::DiskStore(fs::path root, std::size_t capacity_pages)
               ec.message().c_str());
   }
   count_ = scan().size();
+  journal_ = std::make_unique<MetaJournal>(root_ / "meta.journal");
 }
 
 fs::path DiskStore::page_path(const GlobalAddress& page) const {

@@ -8,6 +8,7 @@
 #pragma once
 
 #include <filesystem>
+#include <memory>
 #include <optional>
 #include <string>
 #include <vector>
@@ -15,6 +16,7 @@
 #include "common/global_address.h"
 #include "common/result.h"
 #include "common/serialize.h"
+#include "storage/meta_journal.h"
 
 namespace khz::storage {
 
@@ -41,6 +43,11 @@ class DiskStore {
   Status put_meta(const std::string& name, const Bytes& data);
   [[nodiscard]] std::optional<Bytes> get_meta(const std::string& name) const;
 
+  /// The store's write-ahead metadata journal ("meta.journal" under the
+  /// root). The owning node appends mutation records here and replays them
+  /// over the last snapshot on restart; see storage/meta_journal.h.
+  [[nodiscard]] MetaJournal& journal() { return *journal_; }
+
   [[nodiscard]] const std::filesystem::path& root() const { return root_; }
 
  private:
@@ -50,6 +57,7 @@ class DiskStore {
   std::filesystem::path root_;
   std::size_t capacity_;
   std::size_t count_ = 0;
+  std::unique_ptr<MetaJournal> journal_;
 };
 
 }  // namespace khz::storage

@@ -1,0 +1,57 @@
+// Per-node write-ahead record of metadata mutations.
+//
+// The node's region descriptors and the persistent slice of its page
+// directory must survive a crash: a rebooted node rejoins with its hosted
+// regions intact instead of empty (DESIGN.md, docs/recovery.md). Rewriting
+// the full metadata snapshot on every mutation is O(state); this journal
+// makes each mutation an O(1) append. Recovery = load the last snapshot
+// ("node_state" meta blob), then replay the journal over it. The journal is
+// periodically compacted back into a fresh snapshot by the owner.
+//
+// Record framing: u32 LE payload length, u32 LE FNV-1a checksum, payload.
+// Replay stops at the first truncated or corrupt record — exactly what a
+// crash mid-append leaves behind — so a torn tail never poisons recovery.
+#pragma once
+
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <functional>
+
+#include "common/result.h"
+#include "common/serialize.h"
+
+namespace khz::storage {
+
+class MetaJournal {
+ public:
+  /// Opens (creating if absent) the journal file at `path` for appending.
+  explicit MetaJournal(std::filesystem::path path);
+
+  MetaJournal(const MetaJournal&) = delete;
+  MetaJournal& operator=(const MetaJournal&) = delete;
+
+  /// Appends one framed record and flushes it to the OS.
+  Status append(const Bytes& record);
+
+  /// Invokes `cb` for every intact record, oldest first; returns how many
+  /// were replayed. Safe to call on a journal that is also open for append
+  /// (replay reads an independent handle).
+  std::size_t replay(const std::function<void(const Bytes&)>& cb) const;
+
+  /// Truncates the journal to zero records. The caller writes a snapshot
+  /// covering everything the journal recorded *before* calling this.
+  Status reset();
+
+  /// Records appended since open/reset — the owner's compaction trigger.
+  [[nodiscard]] std::size_t appended() const { return appended_; }
+
+  [[nodiscard]] const std::filesystem::path& path() const { return path_; }
+
+ private:
+  std::filesystem::path path_;
+  std::ofstream out_;
+  std::size_t appended_ = 0;
+};
+
+}  // namespace khz::storage
