@@ -177,6 +177,28 @@ void sim_latency_section(bench::JsonReport& report) {
     report.metric(key + "_p99_us", h.percentile(99));
     report.metric(key + "_count", static_cast<double>(h.count));
   }
+
+  // RPC-engine efficiency: attempts per completed op. A healthy LAN run
+  // sits near the floor (most ops need no retries); a drift upward means
+  // timeouts/steering are burning extra round trips.
+  std::uint64_t ops = 0;
+  for (const char* name : {"op.lock.read_us", "op.lock.write_us",
+                           "op.read_us", "op.write_us"}) {
+    const auto it = snap.histograms.find(name);
+    if (it != snap.histograms.end()) ops += it->second.count;
+  }
+  const auto attempts_it = snap.counters.find("rpc.attempts");
+  const double attempts =
+      attempts_it == snap.counters.end()
+          ? 0.0
+          : static_cast<double>(attempts_it->second);
+  if (ops > 0) {
+    const double per_op = attempts / static_cast<double>(ops);
+    std::printf("\nrpc.attempts per op: %.3f (%.0f attempts / %llu ops)\n",
+                per_op, attempts,
+                static_cast<unsigned long long>(ops));
+    report.metric("rpc_attempts_per_op", per_op);
+  }
 }
 
 }  // namespace

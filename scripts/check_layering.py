@@ -1,0 +1,72 @@
+#!/usr/bin/env python3
+"""Enforce the src/ include DAG (docs/architecture.md).
+
+Layers, lowest first:
+
+    common  ->  obs  ->  net / storage  ->  consistency  ->  core  ->  kfs / obj
+
+Each layer may include itself and the layers listed for it below; any
+other `#include "layer/..."` is a back-edge (e.g. consistency including
+core — the CmHost bridge exists precisely so protocols never see Node)
+and fails the build. Parses quoted includes only: system/third-party
+headers in angle brackets are not layering edges.
+
+Exit status: 0 when the DAG holds, 1 otherwise.
+"""
+
+import re
+import sys
+from pathlib import Path
+
+# layer -> layers it may include (itself is always allowed).
+ALLOWED = {
+    "common": set(),
+    "obs": {"common"},
+    "net": {"common", "obs"},
+    "storage": {"common", "obs"},
+    "consistency": {"common", "obs", "net", "storage"},
+    "core": {"common", "obs", "net", "storage", "consistency"},
+    # The application layers sit on top of core but must stay independent
+    # of each other.
+    "kfs": {"common", "obs", "net", "storage", "consistency", "core"},
+    "obj": {"common", "obs", "net", "storage", "consistency", "core"},
+}
+
+INCLUDE_RE = re.compile(r'^\s*#include\s+"([^"/]+)/[^"]+"')
+
+
+def main() -> int:
+    src = Path(__file__).resolve().parent.parent / "src"
+    violations = []
+    for path in sorted(src.rglob("*")):
+        if path.suffix not in (".h", ".cc"):
+            continue
+        layer = path.relative_to(src).parts[0]
+        if layer not in ALLOWED:
+            violations.append(f"{path}: unknown layer '{layer}'")
+            continue
+        for lineno, line in enumerate(
+            path.read_text(encoding="utf-8").splitlines(), start=1
+        ):
+            m = INCLUDE_RE.match(line)
+            if not m:
+                continue
+            target = m.group(1)
+            if target == layer or target in ALLOWED[layer]:
+                continue
+            rel = path.relative_to(src.parent)
+            violations.append(
+                f"{rel}:{lineno}: layer '{layer}' may not include "
+                f"'{target}/' ({line.strip()})"
+            )
+    if violations:
+        print("include-DAG violations:")
+        for v in violations:
+            print(f"  {v}")
+        return 1
+    print(f"layering OK ({len(ALLOWED)} layers, no back-edges)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -107,6 +107,24 @@ class CmHost {
   [[nodiscard]] virtual Micros rpc_timeout() const = 0;
   [[nodiscard]] virtual int max_retries() const = 0;
 
+  /// Delay before a protocol's retry `attempt` (1-based count of failures
+  /// so far). Real hosts answer with their RPC engine's capped jittered
+  /// exponential backoff so protocol rounds and plain RPCs share one
+  /// policy; the default (0 = resend immediately) preserves the legacy
+  /// behavior for minimal hosts and keeps unit-test fakes deterministic.
+  [[nodiscard]] virtual Micros retry_backoff(int attempt) {
+    (void)attempt;
+    return 0;
+  }
+
+  /// Failure-detector verdict for `node`; protocols steer requests away
+  /// from peers the detector has declared dead instead of burning a full
+  /// round timeout on them. Defaulted to "nobody is down".
+  [[nodiscard]] virtual bool is_down(NodeId node) {
+    (void)node;
+    return false;
+  }
+
   /// The host node's metric registry; protocols record their round
   /// latencies and counters here. Defaulted (to a process-wide registry)
   /// so minimal hosts — test fakes — need not provide one.

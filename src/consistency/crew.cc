@@ -141,6 +141,22 @@ void CrewManager::send_request(const GlobalAddress& page, LockMode mode,
       target = alts[static_cast<std::size_t>(st.retries - 1) % alts.size()];
     }
   }
+  // Down-node short-circuit: if the failure detector already declared the
+  // chosen target dead, steer to the first live candidate instead of
+  // burning a whole round timeout on the corpse. If everybody is down we
+  // keep the original target — the timeout path reflects the failure.
+  if (host_.is_down(target)) {
+    std::vector<NodeId> cands{host_.home_of(page)};
+    for (NodeId a : host_.alternate_homes(page)) {
+      if (a != host_.self()) cands.push_back(a);
+    }
+    for (NodeId c : cands) {
+      if (!host_.is_down(c)) {
+        target = c;
+        break;
+      }
+    }
+  }
   // The home may itself be waiting out a dead sharer/owner (its internal
   // timeout is one rpc_timeout); give it room before retrying. The timer
   // is armed before the (possibly deferred-by-a-turn) send, so it also
@@ -210,6 +226,25 @@ void CrewManager::on_request_timeout(GlobalAddress page) {
     return;
   }
   st.request_outstanding = false;
+  // Requester rounds pace through the host's RPC-engine backoff policy
+  // (capped jittered exponential) instead of resending immediately; 0 —
+  // the default for minimal hosts — keeps the legacy immediate resend.
+  const Micros delay = host_.retry_backoff(st.retries);
+  if (delay == 0) {
+    resend_request(page);
+    return;
+  }
+  st.request_timer =
+      host_.schedule(delay, [this, page] { resend_request(page); });
+}
+
+void CrewManager::resend_request(const GlobalAddress& page) {
+  auto& st = state(page);
+  st.request_timer = 0;
+  // The round may have ended while we waited out the backoff: a late grant
+  // drained the waiters (finish_round cancelled the timer, but a direct
+  // call skips it) or a failure path emptied the queue.
+  if (st.request_outstanding || st.waiters.empty()) return;
   send_request(page, st.requested_mode);
 }
 

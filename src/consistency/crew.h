@@ -120,6 +120,9 @@ class CrewManager final : public ConsistencyManager {
                     bool batchable = false);
   void flush_fetch_batches();
   void on_request_timeout(GlobalAddress page);
+  /// Fires after the post-timeout backoff; re-issues the round unless a
+  /// late grant already served the waiters.
+  void resend_request(const GlobalAddress& page);
   void fail_waiters(const GlobalAddress& page, ErrorCode e);
 
   // Home side. When `batch` is non-null, home_serve_data /

@@ -51,6 +51,19 @@ std::string span_name(const char* kind, MsgType t) {
   return out;
 }
 
+/// The engine's retry policy is derived from the node's config: the legacy
+/// rpc_timeout/max_retries knobs keep their meaning (per-attempt timeout;
+/// total attempts = 1 + retries), and the backoff ladder scales with the
+/// timeout so sim configs with tight timeouts back off proportionally.
+RpcPolicy make_policy(const NodeConfig& c) {
+  RpcPolicy p;
+  p.attempt_timeout = c.rpc_timeout;
+  p.max_attempts = c.max_retries + 1;
+  p.backoff_base = std::max<Micros>(c.rpc_timeout / 8, 1);
+  p.backoff_cap = 4 * c.rpc_timeout;
+  return p;
+}
+
 }  // namespace
 
 // ---------------------------------------------------------------------------
@@ -67,7 +80,10 @@ Node::Node(NodeConfig config, net::Transport& transport)
                    : std::make_unique<storage::DiskStore>(config_.disk_dir,
                                                           config_.disk_pages)),
       regions_(1024),
-      tracer_(config_.id) {
+      tracer_(config_.id),
+      engine_(*this, make_policy(config_), metrics_),
+      resolver_(*this, engine_, metrics_),
+      meta_(storage_, config_.id, [this] { return snapshot_state(); }) {
   consistency::register_builtin_protocols();
   tracer_.set_clock(&transport_.clock());
   regions_.bind_metrics(metrics_);
@@ -82,6 +98,7 @@ Node::Node(NodeConfig config, net::Transport& transport)
   ins_.resolve_cluster_walks = &metrics_.counter("node.resolve_cluster_walks");
   ins_.replica_pushes = &metrics_.counter("node.replica_pushes");
   ins_.background_retries = &metrics_.counter("node.background_retries");
+  ins_.deadline_expired = &metrics_.counter("rpc.deadline_expired");
   ins_.reserve_us = &metrics_.histogram("op.reserve_us");
   ins_.lock_read_us = &metrics_.histogram("op.lock.read_us");
   ins_.lock_write_us = &metrics_.histogram("op.lock.write_us");
@@ -105,7 +122,17 @@ Node::Node(NodeConfig config, net::Transport& transport)
   transport_.set_handler([this](Message m) { on_message(std::move(m)); });
 }
 
-Node::~Node() = default;
+Node::~Node() { stop(); }
+
+void Node::stop() {
+  // Engine first: it cancels every pending RPC-attempt, backoff and
+  // reliable-send timer, all of which capture `this`.
+  engine_.shutdown();
+  if (ping_timer_ != 0) {
+    transport_.cancel(ping_timer_);
+    ping_timer_ = 0;
+  }
+}
 
 NodeStats Node::stats() const {
   NodeStats s;
@@ -161,7 +188,8 @@ void Node::start() {
   }
 
   if (config_.ping_interval > 0) {
-    transport_.schedule(config_.ping_interval, [this] { ping_tick(); });
+    ping_timer_ =
+        transport_.schedule(config_.ping_interval, [this] { ping_tick(); });
   }
 }
 
@@ -460,18 +488,20 @@ void Node::on_message(Message msg) {
   if (down_nodes_.contains(msg.src)) mark_node_up(msg.src);
 
   if (is_response(msg.type)) {
-    auto it = pending_rpcs_.find(msg.rpc_id);
-    if (it == pending_rpcs_.end()) return;  // late response; already timed out
-    PendingRpc pending = std::move(it->second);
-    pending_rpcs_.erase(it);
-    if (pending.timer != 0) transport_.cancel(pending.timer);
-    tracer_.end_span(pending.span);
-    // The continuation belongs to the trace that issued the rpc.
-    obs::ScopedTraceContext scope(tracer_, pending.issue_ctx);
-    Decoder d(msg.payload);
-    pending.handler(true, d);
+    engine_.on_response(msg);
     return;
   }
+
+  // Drop work whose propagated deadline has already expired: the client's
+  // engine has reflected the failure, nobody is waiting for this answer
+  // (Section 3.5's "retried then reflected" — the reflection happened).
+  if (msg.deadline != 0 && now() > msg.deadline) {
+    ins_.deadline_expired->inc();
+    return;
+  }
+  // Nested RPCs issued while serving this request inherit what remains of
+  // the caller's budget.
+  RpcEngine::DeadlineScope dscope(engine_, msg.deadline);
 
   // Server side of a hop: everything this request triggers is parented to
   // the caller's wire context. Untraced messages stay untraced.
@@ -559,37 +589,14 @@ void Node::handle_request(const Message& msg) {
 }
 
 void Node::rpc(NodeId dst, MsgType type, Bytes payload, RespHandler handler) {
-  const RpcId id = next_rpc_id_++;
-  Message m;
-  m.type = type;
-  m.dst = dst;
-  m.rpc_id = id;
-  m.payload = std::move(payload);
-
-  PendingRpc pending;
-  pending.handler = std::move(handler);
-  pending.issue_ctx = tracer_.current();
-  if (pending.issue_ctx.active()) {
-    // Client-side span covering the whole exchange; the wire carries the
-    // span id so the server's rx span parents under it.
-    pending.span = tracer_.begin_span(span_name("rpc", type),
-                                      pending.issue_ctx);
-    m.trace_id = pending.span.trace_id;
-    m.span_id = pending.span.span_id;
-  }
-  pending.timer = transport_.schedule(config_.rpc_timeout, [this, id] {
-    auto it = pending_rpcs_.find(id);
-    if (it == pending_rpcs_.end()) return;
-    PendingRpc p = std::move(it->second);
-    pending_rpcs_.erase(it);
-    tracer_.end_span(p.span);
-    obs::ScopedTraceContext scope(tracer_, p.issue_ctx);
-    Decoder empty(std::span<const std::uint8_t>{});
-    p.handler(false, empty);
-  });
-  pending_rpcs_.emplace(id, std::move(pending));
-
-  route(std::move(m));
+  // Single-attempt semantics on purpose: pings must pace with the detector
+  // (and must reach nodes marked down so recovery is noticed), joins and
+  // cluster-walk probes have their own fallbacks.
+  RpcEngine::CallOptions opts;
+  opts.max_attempts = 1;
+  opts.ignore_down = true;
+  engine_.call({dst}, type, std::move(payload), std::move(handler),
+               std::move(opts));
 }
 
 void Node::respond(const Message& req, MsgType type, Bytes payload) {
@@ -611,27 +618,82 @@ void Node::app_respond(const net::Message& req, net::MsgType type,
   respond(req, type, std::move(payload));
 }
 
-void Node::send_reliable(NodeId dst, MsgType type, Bytes payload) {
-  const std::uint64_t rid = next_reliable_id_++;
-  reliable_[rid] = ReliableSend{dst, type, std::move(payload)};
-  reliable_attempt(rid);
+// ---------------------------------------------------------------------------
+// Resolver::Host glue + metadata persistence glue
+// ---------------------------------------------------------------------------
+
+std::optional<RegionDescriptor> Node::homed_descriptor(
+    const GlobalAddress& addr) {
+  auto it = homed_regions_.upper_bound(addr);
+  if (it != homed_regions_.begin()) {
+    const auto& [base, desc] = *std::prev(it);
+    if (desc.range.contains(addr)) return desc;
+  }
+  return std::nullopt;
 }
 
-void Node::reliable_attempt(std::uint64_t rid) {
-  auto it = reliable_.find(rid);
-  if (it == reliable_.end()) return;
-  const ReliableSend& rs = it->second;
-  // Keep trying until an ack arrives ("the Khazana system keeps trying the
-  // operation in the background until it succeeds", Section 3.5).
-  rpc(rs.dst, rs.type, rs.payload, [this, rid](bool ok, Decoder&) {
-    if (ok) {
-      reliable_.erase(rid);
+void Node::fetch_map_page(std::uint32_t index,
+                          std::function<void(Result<Bytes>)> cb) {
+  if (map_ != nullptr) {
+    cb(map_store_->read_page(index));
+    return;
+  }
+  const GlobalAddress addr = kMapRegionBase.plus(
+      static_cast<std::uint64_t>(index) * kDefaultPageSize);
+  auto* cm = cm_for(ProtocolId::kRelease);
+  cm->acquire(addr, LockMode::kRead, [this, addr, cb = std::move(cb)](
+                                         Status s) mutable {
+    if (!s.ok()) {
+      cb(s.error());
       return;
     }
-    ins_.background_retries->inc();
-    transport_.schedule(config_.rpc_timeout,
-                        [this, rid] { reliable_attempt(rid); });
+    const Bytes* data = storage_.get(addr);
+    Bytes copy = data != nullptr ? *data : Bytes(kDefaultPageSize, 0);
+    cm_for(ProtocolId::kRelease)->release(addr, LockMode::kRead, false);
+    cb(std::move(copy));
   });
+}
+
+MetaLog::Snapshot Node::snapshot_state() {
+  MetaLog::Snapshot snap;
+  snap.granted_bytes = granted_bytes_;
+  snap.pool = pool_;
+  snap.regions = homed_regions_;
+  for (const auto& p : pages_.homed_pages()) {
+    const auto* info = pages_.find(p);
+    snap.page_versions[p] = info != nullptr ? info->version : 0;
+  }
+  return snap;
+}
+
+void Node::journal_page(const GlobalAddress& page) {
+  const auto* info = pages_.find(page);
+  meta_.record_page(page, info != nullptr ? info->version : 0);
+}
+
+void Node::recover_meta() {
+  auto* disk = storage_.disk();
+  if (disk == nullptr) return;
+  MetaLog::Snapshot snap = meta_.recover();
+
+  // Install the recovered state.
+  granted_bytes_ = snap.granted_bytes;
+  pool_ = std::move(snap.pool);
+  for (const auto& [base, desc] : snap.regions) {
+    homed_regions_[base] = desc;
+    regions_.insert(desc);
+  }
+  for (const auto& [p, v] : snap.page_versions) {
+    auto& info = pages_.ensure(p);
+    info.homed_locally = true;
+    info.home = config_.id;
+    info.owner = config_.id;
+    info.version = v;
+    // Volatile copies elsewhere died with the crash from this node's point
+    // of view; the copyset restarts at just us.
+    info.state = disk->contains(p) ? PageState::kShared : PageState::kInvalid;
+    info.sharers = {config_.id};
+  }
 }
 
 }  // namespace khz::core

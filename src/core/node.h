@@ -35,8 +35,11 @@
 #include "consistency/cm.h"
 #include "core/address_map.h"
 #include "core/cluster.h"
+#include "core/meta_log.h"
 #include "core/region.h"
 #include "core/region_directory.h"
+#include "core/resolver.h"
+#include "core/rpc_engine.h"
 #include "net/transport.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
@@ -94,7 +97,9 @@ struct NodeStats {
   std::uint64_t background_retries = 0;
 };
 
-class Node final : public consistency::CmHost {
+class Node final : public consistency::CmHost,
+                   public RpcEngine::Host,
+                   public Resolver::Host {
  public:
   Node(NodeConfig config, net::Transport& transport);
   ~Node() override;
@@ -106,6 +111,12 @@ class Node final : public consistency::CmHost {
   /// address map; all nodes recover persistent state from disk and start
   /// background loops.
   void start();
+
+  /// Tears down background machinery: cancels the failure-detector timer
+  /// and every pending RPC / reliable-send timer in the engine, so a node
+  /// with in-flight RPCs can be destroyed while its transport lives on.
+  /// Idempotent; also called by the destructor.
+  void stop();
 
   // --- client operations (asynchronous; callbacks fire in node context) --
   using StatusCb = std::function<void(Status)>;
@@ -188,7 +199,10 @@ class Node final : public consistency::CmHost {
   [[nodiscard]] NodeStats stats() const;
   /// Causal span recorder for this node (spans export via the worlds'
   /// trace_json helpers).
-  [[nodiscard]] obs::Tracer& tracer() { return tracer_; }
+  [[nodiscard]] obs::Tracer& tracer() override { return tracer_; }
+  /// The node's RPC substrate (retries, deadlines, backoff). Exposed so
+  /// tests and advanced clients can issue deadline-scoped calls directly.
+  [[nodiscard]] RpcEngine& rpc_engine() { return engine_; }
   /// Two-level (RAM over disk) local page store.
   [[nodiscard]] storage::StorageHierarchy& storage() { return storage_; }
   /// Per-node page metadata: sharers, owner, dirty bits, lock holds.
@@ -198,12 +212,12 @@ class Node final : public consistency::CmHost {
   /// Current cluster membership as this node believes it (includes self).
   [[nodiscard]] const std::set<NodeId>& members() const { return members_; }
   /// All cluster managers, primary first.
-  [[nodiscard]] std::vector<NodeId> managers() const {
+  [[nodiscard]] std::vector<NodeId> managers() const override {
     if (!config_.cluster_managers.empty()) return config_.cluster_managers;
     return {config_.cluster_manager};
   }
   /// True when this node serves the cluster-manager role.
-  [[nodiscard]] bool is_manager() const {
+  [[nodiscard]] bool is_manager() const override {
     const auto ms = managers();
     return std::find(ms.begin(), ms.end(), config_.id) != ms.end();
   }
@@ -214,7 +228,7 @@ class Node final : public consistency::CmHost {
 
   /// Pending background (release-side) retry operations.
   [[nodiscard]] std::size_t background_queue_depth() const {
-    return reliable_.size();
+    return engine_.reliable_queue_depth();
   }
 
   // --- application-layer messaging (distributed object runtime) ---------
@@ -260,6 +274,25 @@ class Node final : public consistency::CmHost {
     return config_.max_retries;
   }
   [[nodiscard]] obs::MetricsRegistry& metrics() override { return metrics_; }
+  /// Failure-detector verdict, shared by the RPC engine (down-node
+  /// short-circuit) and the consistency protocols (request steering).
+  [[nodiscard]] bool is_down(NodeId node) override {
+    return down_nodes_.contains(node);
+  }
+  /// Protocol retries share the engine's capped jittered backoff policy.
+  [[nodiscard]] Micros retry_backoff(int attempt) override {
+    return engine_.backoff(attempt);
+  }
+
+  // --- Resolver::Host ---------------------------------------------------
+  [[nodiscard]] NodeId genesis() const override { return config_.genesis; }
+  [[nodiscard]] std::optional<RegionDescriptor> homed_descriptor(
+      const GlobalAddress& addr) override;
+  [[nodiscard]] RegionDirectory& region_cache() override { return regions_; }
+  [[nodiscard]] std::vector<NodeId> manager_hint(
+      const GlobalAddress& addr) override {
+    return cluster_.hint(addr);
+  }
 
  private:
   // -- map page store over region-0 pages (manager side) ------------------
@@ -276,7 +309,6 @@ class Node final : public consistency::CmHost {
     Node& node_;
   };
 
-  using DescCb = std::function<void(Result<RegionDescriptor>)>;
   using RespHandler = std::function<void(bool ok, Decoder& d)>;
 
   // Messaging.
@@ -285,18 +317,13 @@ class Node final : public consistency::CmHost {
   /// Routes a fully-built message: self-sends loop back through the
   /// scheduler (handlers are never re-entered), everything else goes to
   /// the transport. Does not touch the trace fields.
-  void route(net::Message m);
+  void route(net::Message m) override;
   /// Stamps the message with the tracer's current context, then route().
   void send_msg(net::Message m);
+  /// Single-attempt RPC (probes, joins, walk fan-outs). Retrying callers
+  /// use engine_.call() directly with a candidate list.
   void rpc(NodeId dst, net::MsgType type, Bytes payload, RespHandler handler);
-  /// Retries across `candidates` until a response arrives or `attempts`
-  /// sends have failed (acquire-side retry policy, Section 3.5).
-  void rpc_retry(std::vector<NodeId> candidates, net::MsgType type,
-                 Bytes payload, int attempts, RespHandler handler);
   void respond(const net::Message& req, net::MsgType type, Bytes payload);
-  /// Fire-and-forget with background retry until acked (release-side ops).
-  void send_reliable(NodeId dst, net::MsgType type, Bytes payload);
-  void reliable_attempt(std::uint64_t rid);
 
   // Request handlers (by message type).
   void on_reserve_req(const net::Message& m);
@@ -318,25 +345,10 @@ class Node final : public consistency::CmHost {
   void on_migrate_data(const net::Message& m);
   void on_replicate_to_req(const net::Message& m);
 
-  // Three-level location lookup (Section 3.2). `t0` is when resolve()
-  // started; each terminal records into the histogram of the hit class
-  // that actually produced the descriptor (`hist` threads the pending
-  // class through fetch_descriptor, whose fallback is the cluster walk).
-  void resolve(const GlobalAddress& addr, DescCb cb);
-  void resolve_via_manager(const GlobalAddress& addr, Micros t0, DescCb cb);
-  void resolve_via_map_walk(const GlobalAddress& addr, Micros t0, DescCb cb);
-  void map_walk_step(std::uint32_t page_index, GlobalAddress addr, int depth,
-                     Micros t0, DescCb cb);
-  void resolve_via_cluster_walk(const GlobalAddress& addr, Micros t0,
-                                DescCb cb);
-  void fetch_descriptor(std::vector<NodeId> candidates, std::size_t next,
-                        const GlobalAddress& addr, Micros t0,
-                        obs::Histogram* hist, DescCb cb);
-
-  // Map page access for the tree walk (readers replicate map pages via the
-  // release protocol).
+  // Map page access for the Resolver's tree walk (readers replicate map
+  // pages via the release protocol).
   void fetch_map_page(std::uint32_t index,
-                      std::function<void(Result<Bytes>)> cb);
+                      std::function<void(Result<Bytes>)> cb) override;
 
   // Local reservation machinery.
   /// Publishes (or retracts) a location hint for `range` held by this node
@@ -380,19 +392,13 @@ class Node final : public consistency::CmHost {
   void maybe_promote_regions(NodeId dead);
   void promote_region(RegionDescriptor desc, NodeId dead);
 
-  // Persistence of node metadata across restarts. Mutations append O(1)
-  // records to the disk store's write-ahead journal; checkpoint_meta()
-  // rewrites the full snapshot and truncates the journal once it grows
-  // past the compaction threshold. recover_meta() = snapshot + replay.
-  static constexpr std::size_t kJournalCompactThreshold = 1024;
-  void checkpoint_meta();
+  // Persistence of node metadata across restarts lives in MetaLog; the
+  // node supplies the snapshot (for compaction) and installs what
+  // recover() returns.
+  [[nodiscard]] MetaLog::Snapshot snapshot_state();
   void recover_meta();
-  void journal_append(const Bytes& record);
-  void journal_region(const RegionDescriptor& desc);
-  void journal_region_erase(const GlobalAddress& base);
-  void journal_pool();
+  /// Journals the page's current directory version (write-through pages).
   void journal_page(const GlobalAddress& page);
-  void journal_page_erase(const GlobalAddress& page);
 
   NodeConfig config_;
   net::Transport& transport_;
@@ -419,28 +425,6 @@ class Node final : public consistency::CmHost {
            std::unique_ptr<consistency::ConsistencyManager>>
       cms_;
 
-  // RPC bookkeeping.
-  RpcId next_rpc_id_ = 1;
-  struct PendingRpc {
-    RespHandler handler;
-    std::uint64_t timer = 0;
-    /// Client-side span covering the request/response exchange, and the
-    /// context that issued the rpc — restored around the handler so the
-    /// continuation stays in the issuing trace.
-    obs::TraceContext span;
-    obs::TraceContext issue_ctx;
-  };
-  std::unordered_map<RpcId, PendingRpc> pending_rpcs_;
-
-  // Background reliable sends (release-side retry queue).
-  struct ReliableSend {
-    NodeId dst;
-    net::MsgType type;
-    Bytes payload;
-  };
-  std::map<std::uint64_t, ReliableSend> reliable_;
-  std::uint64_t next_reliable_id_ = 1;
-
   // Active lock contexts.
   struct ActiveLock {
     consistency::LockContext ctx;
@@ -465,6 +449,16 @@ class Node final : public consistency::CmHost {
   // never takes the registry's name-lookup mutex.
   obs::MetricsRegistry metrics_;
   obs::Tracer tracer_;
+
+  /// RPC substrate + the subsystems split out of the old god object. All
+  /// three see the node only through narrow host interfaces. Declared
+  /// after metrics_ (their instruments bind at construction).
+  RpcEngine engine_;
+  Resolver resolver_;
+  MetaLog meta_;
+  /// Failure-detector loop timer; cancelled by stop().
+  std::uint64_t ping_timer_ = 0;
+
   struct Instruments {
     obs::Counter* reserves = nullptr;
     obs::Counter* locks_granted = nullptr;
@@ -477,6 +471,9 @@ class Node final : public consistency::CmHost {
     obs::Counter* resolve_cluster_walks = nullptr;
     obs::Counter* replica_pushes = nullptr;
     obs::Counter* background_retries = nullptr;
+    /// Shared with the engine: server-side drops of expired work count
+    /// into the same instrument as client-side expiries.
+    obs::Counter* deadline_expired = nullptr;
     obs::Histogram* reserve_us = nullptr;
     obs::Histogram* lock_read_us = nullptr;
     obs::Histogram* lock_write_us = nullptr;

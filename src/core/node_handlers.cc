@@ -1,5 +1,6 @@
-// Request handlers, replica maintenance, failure detection, and metadata
-// persistence for core::Node.
+// Request handlers and replica maintenance for core::Node. Failure
+// detection / fail-over live in node_failover.cc; metadata persistence
+// in meta_log.cc.
 #include <algorithm>
 #include <map>
 #include <vector>
@@ -82,13 +83,13 @@ void Node::on_unreserve_req(const Message& m) {
   homed_regions_.erase(it);
   regions_.invalidate(base);
   pool_.push_back(desc.range);
-  journal_region_erase(base);
-  journal_pool();
+  meta_.record_region_erase(base);
+  meta_.record_pool(granted_bytes_, pool_);
   Encoder map_req;
   map_req.u8(2);  // erase
   map_req.range(desc.range);
   map_req.u32(0);
-  send_reliable(config_.genesis, MsgType::kMapMutateReq,
+  engine_.send_reliable(config_.genesis, MsgType::kMapMutateReq,
                 std::move(map_req).take());
   respond(m, MsgType::kUnreserveResp, status_payload(ErrorCode::kOk));
 }
@@ -131,7 +132,7 @@ void Node::on_space_req(const Message& m) {
       kFirstClientAddress.plus(my_index * kManagerSlab + granted_bytes_);
   granted_bytes_ += granted;
   cluster_.report_free_space(m.src, granted);
-  journal_pool();
+  meta_.record_pool(granted_bytes_, pool_);
   Encoder e;
   e.u8(kStatusOk);
   e.addr(base);
@@ -271,7 +272,7 @@ void Node::on_alloc_req(const Message& m) {
   materialize_region_pages(desc, range);
   desc.allocated = true;
   regions_.insert(desc);
-  journal_region(desc);
+  meta_.record_region(desc);
   respond(m, MsgType::kAllocResp, status_payload(ErrorCode::kOk));
 }
 
@@ -323,7 +324,7 @@ void Node::on_attr_req(const Message& m, bool set) {
   attrs.protocol = desc.attrs.protocol;
   desc.attrs = attrs;
   regions_.insert(desc);
-  journal_region(desc);
+  meta_.record_region(desc);
   respond(m, MsgType::kSetAttrResp, status_payload(ErrorCode::kOk));
 }
 
@@ -455,7 +456,7 @@ void Node::maintain_replicas(const GlobalAddress& page) {
         map_req.range(desc.range);
         map_req.u32(static_cast<std::uint32_t>(desc.home_nodes.size()));
         for (NodeId h : desc.home_nodes) map_req.u32(h);
-        send_reliable(config_.genesis, MsgType::kMapMutateReq,
+        engine_.send_reliable(config_.genesis, MsgType::kMapMutateReq,
                       std::move(map_req).take());
       }
     }
@@ -551,8 +552,7 @@ void Node::on_migrate_req(const Message& m) {
     if (data != nullptr) e.bytes(*data);
   }
 
-  rpc_retry({new_home}, MsgType::kMigrateData, std::move(e).take(),
-            config_.max_retries,
+  engine_.call({new_home}, MsgType::kMigrateData, std::move(e).take(),
             [this, m, base, new_home](bool ok, Decoder& resp) {
               if (!ok || from_wire(resp.u8()) != ErrorCode::kOk) {
                 respond(m, MsgType::kMigrateResp,
@@ -577,7 +577,7 @@ void Node::on_migrate_req(const Message& m) {
                 moved.home_nodes.insert(moved.home_nodes.begin(), new_home);
                 regions_.insert(moved);
                 homed_regions_.erase(it2);
-                journal_region_erase(base);
+                meta_.record_region_erase(base);
 
                 // Update the map and the manager's hints.
                 Encoder map_req;
@@ -586,7 +586,7 @@ void Node::on_migrate_req(const Message& m) {
                 map_req.u32(
                     static_cast<std::uint32_t>(moved.home_nodes.size()));
                 for (NodeId h : moved.home_nodes) map_req.u32(h);
-                send_reliable(config_.genesis, MsgType::kMapMutateReq,
+                engine_.send_reliable(config_.genesis, MsgType::kMapMutateReq,
                               std::move(map_req).take());
                 publish_hint(moved.range, /*retract=*/true);
               }
@@ -637,7 +637,7 @@ void Node::on_migrate_data(const Message& m) {
       info.state = PageState::kShared;
     }
   }
-  journal_region(desc);
+  meta_.record_region(desc);
 
   // Advertise the new home.
   publish_hint(desc.range, /*retract=*/false);
@@ -761,370 +761,6 @@ void Node::leave(StatusCb cb) {
     });
   };
   (*step)(0);
-}
-
-// ---------------------------------------------------------------------------
-// Failure detection
-// ---------------------------------------------------------------------------
-
-void Node::ping_tick() {
-  for (NodeId n : members_) {
-    if (n == config_.id) continue;
-    rpc(n, MsgType::kPing, {}, [this, n](bool ok, Decoder&) {
-      if (ok) {
-        missed_pongs_[n] = 0;
-        if (down_nodes_.contains(n)) mark_node_up(n);
-        return;
-      }
-      if (++missed_pongs_[n] >= 3 && !down_nodes_.contains(n)) {
-        mark_node_down(n);
-      }
-    });
-  }
-  transport_.schedule(config_.ping_interval, [this] { ping_tick(); });
-}
-
-void Node::mark_node_down(NodeId node) {
-  KHZ_INFO("node %u: peer %u presumed down", config_.id, node);
-  down_nodes_.insert(node);
-  // Promote before the protocol cleanup: the CMs' on_node_down reclaims
-  // ownership for homed pages, and promotion may have just made this node
-  // the home of regions the dead peer owned.
-  maybe_promote_regions(node);
-  for (auto& [_, cm] : cms_) cm->on_node_down(node);
-}
-
-void Node::mark_node_up(NodeId node) {
-  down_nodes_.erase(node);
-  missed_pongs_[node] = 0;
-}
-
-// ---------------------------------------------------------------------------
-// Home fail-over (docs/recovery.md)
-// ---------------------------------------------------------------------------
-
-void Node::maybe_promote_regions(NodeId dead) {
-  // Scan every descriptor this node knows about. The election needs no
-  // coordination round: the copy set is listed in the descriptor, the rule
-  // ("highest surviving node id in home_nodes") is deterministic, and every
-  // surviving node applies it to the same list — so they all converge on
-  // the same heir, and only the heir promotes itself.
-  for (RegionDescriptor desc : regions_.snapshot()) {
-    if (desc.primary_home() != dead) continue;
-    if (AddressRange{kMapRegionBase, kMapRegionSize}.contains(
-            desc.range.base)) {
-      continue;  // the map region's authority is pinned to genesis
-    }
-    NodeId heir = kNoNode;
-    for (NodeId n : desc.home_nodes) {
-      if (n == dead || down_nodes_.contains(n)) continue;
-      if (heir == kNoNode || n > heir) heir = n;
-    }
-    if (heir == kNoNode) continue;  // no surviving copy-set member
-
-    // Repoint the local cache at the heir so this node's own retries go to
-    // the new home immediately instead of bouncing off the corpse.
-    desc.home_nodes.erase(
-        std::remove(desc.home_nodes.begin(), desc.home_nodes.end(), dead),
-        desc.home_nodes.end());
-    desc.home_nodes.erase(
-        std::remove(desc.home_nodes.begin(), desc.home_nodes.end(), heir),
-        desc.home_nodes.end());
-    desc.home_nodes.insert(desc.home_nodes.begin(), heir);
-    regions_.insert(desc);
-
-    if (heir == config_.id) promote_region(desc, dead);
-  }
-}
-
-void Node::promote_region(RegionDescriptor desc, NodeId dead) {
-  if (homed_regions_.contains(desc.range.base)) return;  // already home
-  KHZ_INFO("node %u: promoting to home of region %016llx_%016llx (home %u "
-           "presumed dead)",
-           config_.id, static_cast<unsigned long long>(desc.range.base.hi),
-           static_cast<unsigned long long>(desc.range.base.lo), dead);
-  desc.allocated = true;  // replicas only exist for allocated pages
-  homed_regions_[desc.range.base] = desc;
-  regions_.insert(desc);
-  journal_region(desc);
-  metrics_.counter("node.promotions").inc();
-
-  const std::uint32_t psz = desc.attrs.page_size;
-  for (GlobalAddress p = desc.range.base; p < desc.range.end();
-       p = p.plus(psz)) {
-    auto& info = pages_.ensure(p);
-    info.homed_locally = true;
-    info.home = config_.id;
-    info.sharers.erase(dead);
-    const bool have_copy =
-        info.state != PageState::kInvalid && storage_.get(p) != nullptr;
-    if (have_copy) {
-      info.sharers.insert(config_.id);
-      if (info.owner == dead || info.owner == kNoNode ||
-          info.owner == config_.id) {
-        info.owner = config_.id;
-      }
-      // A live exclusive owner elsewhere keeps its authority: its
-      // owner-side replica push (from_owner) will reach this node — its
-      // cache was repointed by its own maybe_promote_regions — and hand
-      // ownership back here with the newest bytes.
-      if (info.state == PageState::kExclusive) info.state = PageState::kShared;
-      (void)storage_.flush(p);
-      journal_page(p);
-    } else {
-      if (info.owner == dead) info.owner = kNoNode;
-      NodeId live_holder = kNoNode;
-      for (NodeId s : info.sharers) {
-        if (s != config_.id && !down_nodes_.contains(s)) live_holder = s;
-      }
-      if (info.owner == kNoNode && live_holder != kNoNode) {
-        info.owner = live_holder;  // protocol fetches from there on demand
-      } else if (info.owner == kNoNode) {
-        // Nobody left with a copy (the replica push never reached us):
-        // the page's last write is lost with the old home. Re-materialize
-        // zeros so the region stays usable.
-        KHZ_WARN("node %u: page %016llx_%016llx lost with home %u; "
-                 "re-materializing zeros",
-                 config_.id, static_cast<unsigned long long>(p.hi),
-                 static_cast<unsigned long long>(p.lo), dead);
-        info.owner = config_.id;
-        info.state = PageState::kShared;
-        info.sharers.insert(config_.id);
-        store_page(p, Bytes(psz, 0));
-      }
-    }
-  }
-
-  // Advertise the new home: hints to the cluster managers, home list to
-  // the address map (release-type: retried in the background).
-  publish_hint(desc.range, /*retract=*/false);
-  Encoder map_req;
-  map_req.u8(3);  // update_homes
-  map_req.range(desc.range);
-  map_req.u32(static_cast<std::uint32_t>(desc.home_nodes.size()));
-  for (NodeId h : desc.home_nodes) map_req.u32(h);
-  send_reliable(config_.genesis, MsgType::kMapMutateReq,
-                std::move(map_req).take());
-
-  // Honor min_replicas before accepting new writes: gate write grants
-  // (write_gated) and kick replica maintenance to rebuild the copyset.
-  if (desc.attrs.min_replicas > 1) {
-    recovering_regions_.insert(desc.range.base);
-    for (GlobalAddress p = desc.range.base; p < desc.range.end();
-         p = p.plus(psz)) {
-      note_copyset_change(p);
-    }
-  }
-}
-
-// ---------------------------------------------------------------------------
-// Metadata persistence (restart recovery)
-//
-// Durable state = the last full snapshot ("node_state" meta blob) plus a
-// write-ahead journal of every mutation since (storage/meta_journal.h).
-// Mutators append an O(1) record per change; once the journal passes
-// kJournalCompactThreshold records the next append rewrites the snapshot
-// and truncates the journal. Recovery decodes the snapshot into
-// accumulators, replays the journal over them, then installs the result.
-//
-// Journal record tags (first byte of each record):
-//   1  region upsert        (encoded RegionDescriptor)
-//   2  region erase         (base address)
-//   3  pool snapshot        (u64 granted_bytes, u32 count, count ranges)
-//   4  homed page version   (page address, u64 version)
-//   5  homed page erase     (page address)
-// ---------------------------------------------------------------------------
-
-namespace {
-constexpr std::uint8_t kJnlRegion = 1;
-constexpr std::uint8_t kJnlRegionErase = 2;
-constexpr std::uint8_t kJnlPool = 3;
-constexpr std::uint8_t kJnlPage = 4;
-constexpr std::uint8_t kJnlPageErase = 5;
-}  // namespace
-
-void Node::checkpoint_meta() {
-  auto* disk = storage_.disk();
-  if (disk == nullptr) return;
-  Encoder e;
-  e.u64(granted_bytes_);
-  e.u32(static_cast<std::uint32_t>(pool_.size()));
-  for (const auto& r : pool_) e.range(r);
-  e.u32(static_cast<std::uint32_t>(homed_regions_.size()));
-  for (const auto& [base, desc] : homed_regions_) desc.encode(e);
-  const auto homed_pages = pages_.homed_pages();
-  e.u32(static_cast<std::uint32_t>(homed_pages.size()));
-  for (const auto& p : homed_pages) {
-    e.addr(p);
-    const auto* info = pages_.find(p);
-    e.u64(info != nullptr ? info->version : 0);
-  }
-  (void)disk->put_meta("node_state", e.data());
-  // The snapshot now covers everything the journal recorded; start fresh.
-  (void)disk->journal().reset();
-}
-
-void Node::journal_append(const Bytes& record) {
-  auto* disk = storage_.disk();
-  if (disk == nullptr) return;
-  (void)disk->journal().append(record);
-  if (disk->journal().appended() >= kJournalCompactThreshold) {
-    checkpoint_meta();
-  }
-}
-
-void Node::journal_region(const RegionDescriptor& desc) {
-  if (storage_.disk() == nullptr) return;
-  Encoder e;
-  e.u8(kJnlRegion);
-  desc.encode(e);
-  journal_append(e.data());
-}
-
-void Node::journal_region_erase(const GlobalAddress& base) {
-  if (storage_.disk() == nullptr) return;
-  Encoder e;
-  e.u8(kJnlRegionErase);
-  e.addr(base);
-  journal_append(e.data());
-}
-
-void Node::journal_pool() {
-  if (storage_.disk() == nullptr) return;
-  Encoder e;
-  e.u8(kJnlPool);
-  e.u64(granted_bytes_);
-  e.u32(static_cast<std::uint32_t>(pool_.size()));
-  for (const auto& r : pool_) e.range(r);
-  journal_append(e.data());
-}
-
-void Node::journal_page(const GlobalAddress& page) {
-  if (storage_.disk() == nullptr) return;
-  const auto* info = pages_.find(page);
-  Encoder e;
-  e.u8(kJnlPage);
-  e.addr(page);
-  e.u64(info != nullptr ? info->version : 0);
-  journal_append(e.data());
-}
-
-void Node::journal_page_erase(const GlobalAddress& page) {
-  if (storage_.disk() == nullptr) return;
-  Encoder e;
-  e.u8(kJnlPageErase);
-  e.addr(page);
-  journal_append(e.data());
-}
-
-void Node::recover_meta() {
-  auto* disk = storage_.disk();
-  if (disk == nullptr) return;
-
-  // Accumulators the snapshot and journal both apply to.
-  std::uint64_t granted = 0;
-  std::vector<AddressRange> pool;
-  std::map<GlobalAddress, RegionDescriptor> regions;
-  std::map<GlobalAddress, Version> page_versions;
-
-  if (const auto blob = disk->get_meta("node_state")) {
-    Decoder d(*blob);
-    granted = d.u64();
-    const std::uint32_t npool = d.u32();
-    for (std::uint32_t i = 0; i < npool && d.ok(); ++i) {
-      pool.push_back(d.range());
-    }
-    const std::uint32_t nregions = d.u32();
-    for (std::uint32_t i = 0; i < nregions && d.ok(); ++i) {
-      RegionDescriptor desc = RegionDescriptor::decode(d);
-      regions[desc.range.base] = desc;
-    }
-    const std::uint32_t npages = d.u32();
-    for (std::uint32_t i = 0; i < npages && d.ok(); ++i) {
-      const GlobalAddress p = d.addr();
-      page_versions[p] = d.u64();
-    }
-    if (!d.ok()) {
-      KHZ_WARN("node %u: corrupt node_state metadata ignored", config_.id);
-      return;
-    }
-  }
-
-  // Replay mutations journalled after the snapshot. Stops at the first
-  // torn or corrupt record (crash mid-append loses only that record).
-  const std::size_t replayed = disk->journal().replay([&](const Bytes& rec) {
-    Decoder d(rec);
-    switch (d.u8()) {
-      case kJnlRegion: {
-        RegionDescriptor desc = RegionDescriptor::decode(d);
-        if (d.ok()) regions[desc.range.base] = desc;
-        break;
-      }
-      case kJnlRegionErase: {
-        const GlobalAddress base = d.addr();
-        if (!d.ok()) break;
-        auto it = regions.find(base);
-        if (it != regions.end()) {
-          // The region's pages died with it.
-          const AddressRange range = it->second.range;
-          page_versions.erase(page_versions.lower_bound(range.base),
-                              page_versions.lower_bound(range.end()));
-          regions.erase(it);
-        }
-        break;
-      }
-      case kJnlPool: {
-        const std::uint64_t g = d.u64();
-        std::vector<AddressRange> p;
-        const std::uint32_t n = d.u32();
-        for (std::uint32_t i = 0; i < n && d.ok(); ++i) {
-          p.push_back(d.range());
-        }
-        if (d.ok()) {
-          granted = g;
-          pool = std::move(p);
-        }
-        break;
-      }
-      case kJnlPage: {
-        const GlobalAddress p = d.addr();
-        const Version v = d.u64();
-        if (d.ok()) page_versions[p] = v;
-        break;
-      }
-      case kJnlPageErase: {
-        const GlobalAddress p = d.addr();
-        if (d.ok()) page_versions.erase(p);
-        break;
-      }
-      default:
-        KHZ_WARN("node %u: unknown journal record skipped", config_.id);
-        break;
-    }
-  });
-  if (replayed > 0) {
-    KHZ_INFO("node %u: replayed %zu journal records", config_.id,
-             replayed);
-  }
-
-  // Install the recovered state.
-  granted_bytes_ = granted;
-  pool_ = std::move(pool);
-  for (const auto& [base, desc] : regions) {
-    homed_regions_[base] = desc;
-    regions_.insert(desc);
-  }
-  for (const auto& [p, v] : page_versions) {
-    auto& info = pages_.ensure(p);
-    info.homed_locally = true;
-    info.home = config_.id;
-    info.owner = config_.id;
-    info.version = v;
-    // Volatile copies elsewhere died with the crash from this node's point
-    // of view; the copyset restarts at just us.
-    info.state = disk->contains(p) ? PageState::kShared : PageState::kInvalid;
-    info.sharers = {config_.id};
-  }
 }
 
 }  // namespace khz::core

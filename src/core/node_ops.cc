@@ -100,31 +100,6 @@ struct LockOp {
 };
 
 // ---------------------------------------------------------------------------
-// rpc_retry
-// ---------------------------------------------------------------------------
-
-void Node::rpc_retry(std::vector<NodeId> candidates, MsgType type,
-                     Bytes payload, int attempts, RespHandler handler) {
-  if (attempts <= 0 || candidates.empty()) {
-    Decoder empty(std::span<const std::uint8_t>{});
-    handler(false, empty);
-    return;
-  }
-  const NodeId target = candidates.front();
-  std::rotate(candidates.begin(), candidates.begin() + 1, candidates.end());
-  rpc(target, type, payload,
-      [this, candidates = std::move(candidates), type, payload, attempts,
-       handler = std::move(handler)](bool ok, Decoder& d) mutable {
-        if (ok) {
-          handler(true, d);
-          return;
-        }
-        rpc_retry(std::move(candidates), type, std::move(payload),
-                  attempts - 1, std::move(handler));
-      });
-}
-
-// ---------------------------------------------------------------------------
 // Address-space management: reserve / unreserve
 // ---------------------------------------------------------------------------
 
@@ -188,8 +163,9 @@ void Node::reserve(std::uint64_t size, const RegionAttrs& raw_attrs,
   const std::uint64_t chunk = std::max<std::uint64_t>(kPoolChunkSize, aligned);
   Encoder e;
   e.u64(chunk);
-  rpc_retry(managers(), MsgType::kSpaceReq, std::move(e).take(),
-            config_.max_retries + static_cast<int>(managers().size()),
+  // Acquire-side retry policy (attempt count, backoff, steering across the
+  // manager set) lives in the engine.
+  engine_.call(managers(), MsgType::kSpaceReq, std::move(e).take(),
             [this, aligned, attrs, cb = std::move(cb)](bool ok,
                                                        Decoder& d) mutable {
               if (!ok) {
@@ -204,7 +180,7 @@ void Node::reserve(std::uint64_t size, const RegionAttrs& raw_attrs,
               const GlobalAddress base = d.addr();
               const std::uint64_t granted = d.u64();
               pool_.push_back({base, granted});
-              journal_pool();
+              meta_.record_pool(granted_bytes_, pool_);
               if (auto carved = carve_from_pool(aligned)) {
                 finish_reserve({*carved, aligned}, attrs, std::move(cb));
               } else {
@@ -221,8 +197,8 @@ void Node::finish_reserve(const AddressRange& range, const RegionAttrs& attrs,
   desc.home_nodes = {config_.id};
   homed_regions_[range.base] = desc;
   regions_.insert(desc);
-  journal_region(desc);
-  journal_pool();  // the reservation was carved out of the pool
+  meta_.record_region(desc);
+  meta_.record_pool(granted_bytes_, pool_);  // the reservation was carved out of the pool
   ins_.reserves->inc();
 
   // Register the reservation with the address map (background-reliable;
@@ -233,7 +209,7 @@ void Node::finish_reserve(const AddressRange& range, const RegionAttrs& attrs,
   map_req.range(range);
   map_req.u32(1);
   map_req.u32(config_.id);
-  send_reliable(config_.genesis, MsgType::kMapMutateReq,
+  engine_.send_reliable(config_.genesis, MsgType::kMapMutateReq,
                 std::move(map_req).take());
 
   publish_hint(range, /*retract=*/false);
@@ -242,7 +218,7 @@ void Node::finish_reserve(const AddressRange& range, const RegionAttrs& attrs,
 }
 
 void Node::unreserve(const GlobalAddress& base, StatusCb cb) {
-  resolve(base, [this, base, cb = std::move(cb)](
+  resolver_.resolve(base, [this, base, cb = std::move(cb)](
                     Result<RegionDescriptor> r) mutable {
     if (!r) {
       cb(r.error());
@@ -258,13 +234,13 @@ void Node::unreserve(const GlobalAddress& base, StatusCb cb) {
       homed_regions_.erase(base);
       regions_.invalidate(base);
       pool_.push_back(desc.range);  // reclaim into the local pool
-      journal_region_erase(base);
-      journal_pool();
+      meta_.record_region_erase(base);
+      meta_.record_pool(granted_bytes_, pool_);
       Encoder map_req;
       map_req.u8(2);  // erase
       map_req.range(desc.range);
       map_req.u32(0);
-      send_reliable(config_.genesis, MsgType::kMapMutateReq,
+      engine_.send_reliable(config_.genesis, MsgType::kMapMutateReq,
                     std::move(map_req).take());
       publish_hint(desc.range, /*retract=*/true);
       cb(Status{});
@@ -274,7 +250,7 @@ void Node::unreserve(const GlobalAddress& base, StatusCb cb) {
     // in the background (Section 3.5).
     Encoder e;
     e.addr(base);
-    send_reliable(desc.primary_home(), MsgType::kUnreserveReq,
+    engine_.send_reliable(desc.primary_home(), MsgType::kUnreserveReq,
                   std::move(e).take());
     regions_.invalidate(base);
     cb(Status{});
@@ -290,7 +266,7 @@ void Node::allocate(const AddressRange& range, StatusCb cb) {
     cb(ErrorCode::kBadArgument);
     return;
   }
-  resolve(range.base, [this, range, cb = std::move(cb)](
+  resolver_.resolve(range.base, [this, range, cb = std::move(cb)](
                           Result<RegionDescriptor> r) mutable {
     if (!r) {
       cb(r.error());
@@ -310,15 +286,14 @@ void Node::allocate(const AddressRange& range, StatusCb cb) {
       auto it = homed_regions_.find(desc.range.base);
       if (it != homed_regions_.end()) {
         it->second.allocated = true;
-        journal_region(it->second);
+        meta_.record_region(it->second);
       }
       cb(Status{});
       return;
     }
     Encoder e;
     e.range(range);
-    rpc_retry(desc.home_nodes, MsgType::kAllocReq, std::move(e).take(),
-              config_.max_retries,
+    engine_.call(desc.home_nodes, MsgType::kAllocReq, std::move(e).take(),
               [this, base = desc.range.base, cb = std::move(cb)](
                   bool ok, Decoder& d) mutable {
                 if (!ok) {
@@ -340,7 +315,7 @@ void Node::deallocate(const AddressRange& range, StatusCb cb) {
     cb(ErrorCode::kBadArgument);
     return;
   }
-  resolve(range.base, [this, range, cb = std::move(cb)](
+  resolver_.resolve(range.base, [this, range, cb = std::move(cb)](
                           Result<RegionDescriptor> r) mutable {
     if (!r) {
       cb(r.error());
@@ -358,7 +333,7 @@ void Node::deallocate(const AddressRange& range, StatusCb cb) {
     }
     Encoder e;
     e.range(range);
-    send_reliable(desc.primary_home(), MsgType::kFreeReq,
+    engine_.send_reliable(desc.primary_home(), MsgType::kFreeReq,
                   std::move(e).take());
     cb(Status{});
   });
@@ -384,7 +359,7 @@ void Node::lock(const AddressRange& range, LockMode mode, LockCb cb) {
     cb(ErrorCode::kBadArgument);
     return;
   }
-  resolve(range.base, [this, range, mode, cb = std::move(cb)](
+  resolver_.resolve(range.base, [this, range, mode, cb = std::move(cb)](
                           Result<RegionDescriptor> r) mutable {
     if (!r) {
       ins_.locks_failed->inc();
@@ -410,8 +385,7 @@ void Node::lock(const AddressRange& range, LockMode mode, LockCb cb) {
     regions_.invalidate(desc.range.base);
     Encoder e;
     e.addr(range.base);
-    rpc_retry(desc.home_nodes, MsgType::kDescLookupReq, std::move(e).take(),
-              config_.max_retries,
+    engine_.call(desc.home_nodes, MsgType::kDescLookupReq, std::move(e).take(),
               [this, range, mode, cb = std::move(cb)](bool ok,
                                                       Decoder& d) mutable {
                 if (!ok) {
@@ -542,7 +516,7 @@ void Node::lock_next_page(std::shared_ptr<LockOp> op) {
       op->prefetch_done = 0;
       op->inflight = 0;
       regions_.invalidate(op->range.base);
-      resolve(op->range.base, [this, op](Result<RegionDescriptor> r) mutable {
+      resolver_.resolve(op->range.base, [this, op](Result<RegionDescriptor> r) mutable {
         if (!r) {
           ins_.locks_failed->inc();
           op->cb(r.error());
@@ -648,7 +622,7 @@ Status Node::write(const LockContext& ctx, std::uint64_t offset,
 // ---------------------------------------------------------------------------
 
 void Node::getattr(const GlobalAddress& base, AttrCb cb) {
-  resolve(base, [this, base, cb = std::move(cb)](
+  resolver_.resolve(base, [this, base, cb = std::move(cb)](
                     Result<RegionDescriptor> r) mutable {
     if (!r) {
       cb(r.error());
@@ -661,8 +635,8 @@ void Node::getattr(const GlobalAddress& base, AttrCb cb) {
     }
     Encoder e;
     e.addr(base);
-    rpc_retry(desc.home_nodes, MsgType::kGetAttrReq, std::move(e).take(),
-              config_.max_retries, [cb = std::move(cb)](bool ok, Decoder& d) mutable {
+    engine_.call(desc.home_nodes, MsgType::kGetAttrReq, std::move(e).take(),
+              [cb = std::move(cb)](bool ok, Decoder& d) mutable {
                 if (!ok) {
                   cb(ErrorCode::kUnreachable);
                   return;
@@ -679,7 +653,7 @@ void Node::getattr(const GlobalAddress& base, AttrCb cb) {
 
 void Node::setattr(const GlobalAddress& base, const RegionAttrs& attrs,
                    StatusCb cb) {
-  resolve(base, [this, base, attrs, cb = std::move(cb)](
+  resolver_.resolve(base, [this, base, attrs, cb = std::move(cb)](
                     Result<RegionDescriptor> r) mutable {
     if (!r) {
       cb(r.error());
@@ -690,8 +664,7 @@ void Node::setattr(const GlobalAddress& base, const RegionAttrs& attrs,
     e.addr(base);
     attrs.encode(e);
     e.u32(config_.principal);
-    rpc_retry(desc.home_nodes, MsgType::kSetAttrReq, std::move(e).take(),
-              config_.max_retries,
+    engine_.call(desc.home_nodes, MsgType::kSetAttrReq, std::move(e).take(),
               [this, base, cb = std::move(cb)](bool ok, Decoder& d) mutable {
                 if (!ok) {
                   cb(ErrorCode::kUnreachable);
@@ -705,7 +678,7 @@ void Node::setattr(const GlobalAddress& base, const RegionAttrs& attrs,
 }
 
 void Node::locate(const GlobalAddress& addr, LocateCb cb) {
-  resolve(addr, [this, addr, cb = std::move(cb)](
+  resolver_.resolve(addr, [this, addr, cb = std::move(cb)](
                     Result<RegionDescriptor> r) mutable {
     if (!r) {
       cb(r.error());
@@ -714,8 +687,7 @@ void Node::locate(const GlobalAddress& addr, LocateCb cb) {
     const RegionDescriptor desc = r.value();
     Encoder e;
     e.addr(addr);
-    rpc_retry(desc.home_nodes, MsgType::kLocateReq, std::move(e).take(),
-              config_.max_retries,
+    engine_.call(desc.home_nodes, MsgType::kLocateReq, std::move(e).take(),
               [cb = std::move(cb)](bool ok, Decoder& d) mutable {
                 if (!ok) {
                   cb(ErrorCode::kUnreachable);
@@ -737,7 +709,7 @@ void Node::locate(const GlobalAddress& addr, LocateCb cb) {
 }
 
 void Node::migrate(const GlobalAddress& base, NodeId new_home, StatusCb cb) {
-  resolve(base, [this, base, new_home, cb = std::move(cb)](
+  resolver_.resolve(base, [this, base, new_home, cb = std::move(cb)](
                     Result<RegionDescriptor> r) mutable {
     if (!r) {
       cb(r.error());
@@ -755,8 +727,7 @@ void Node::migrate(const GlobalAddress& base, NodeId new_home, StatusCb cb) {
     Encoder e;
     e.addr(base);
     e.u32(new_home);
-    rpc_retry(desc.home_nodes, MsgType::kMigrateReq, std::move(e).take(),
-              config_.max_retries,
+    engine_.call(desc.home_nodes, MsgType::kMigrateReq, std::move(e).take(),
               [this, base, cb = std::move(cb)](bool ok, Decoder& d) mutable {
                 if (!ok) {
                   cb(ErrorCode::kUnreachable);
@@ -771,7 +742,7 @@ void Node::migrate(const GlobalAddress& base, NodeId new_home, StatusCb cb) {
 
 void Node::replicate_to(const GlobalAddress& base, NodeId target,
                         StatusCb cb) {
-  resolve(base, [this, base, target, cb = std::move(cb)](
+  resolver_.resolve(base, [this, base, target, cb = std::move(cb)](
                     Result<RegionDescriptor> r) mutable {
     if (!r) {
       cb(r.error());
@@ -780,8 +751,8 @@ void Node::replicate_to(const GlobalAddress& base, NodeId target,
     Encoder e;
     e.addr(base);
     e.u32(target);
-    rpc_retry(r.value().home_nodes, MsgType::kReplicateToReq,
-              std::move(e).take(), config_.max_retries,
+    engine_.call(r.value().home_nodes, MsgType::kReplicateToReq,
+              std::move(e).take(),
               [cb = std::move(cb)](bool ok, Decoder& d) mutable {
                 if (!ok) {
                   cb(ErrorCode::kUnreachable);
@@ -791,208 +762,6 @@ void Node::replicate_to(const GlobalAddress& base, NodeId target,
                 cb(err == ErrorCode::kOk ? Status{} : Status{err});
               });
   });
-}
-
-// ---------------------------------------------------------------------------
-// Three-level location lookup (Section 3.2)
-// ---------------------------------------------------------------------------
-
-void Node::resolve(const GlobalAddress& addr, DescCb cb) {
-  const Micros t0 = now();
-  // Level 0: well-known bootstrap region.
-  if (AddressRange{kMapRegionBase, kMapRegionSize}.contains(addr)) {
-    cb(map_region_descriptor(config_.genesis));
-    return;
-  }
-  // Level 0b: regions homed here are authoritative.
-  auto it = homed_regions_.upper_bound(addr);
-  if (it != homed_regions_.begin()) {
-    const auto& [base, desc] = *std::prev(it);
-    if (desc.range.contains(addr)) {
-      cb(desc);
-      return;
-    }
-  }
-  // Level 1: region directory (possibly stale; used optimistically).
-  if (auto cached = regions_.lookup(addr)) {
-    ins_.resolve_cache_hits->inc();
-    // Effectively free, but recording it keeps the hit-class latency mix
-    // comparable across the resolve.* histograms.
-    ins_.resolve_region_dir_us->record(now() - t0);
-    cb(*cached);
-    return;
-  }
-  resolve_via_manager(addr, t0, std::move(cb));
-}
-
-void Node::resolve_via_manager(const GlobalAddress& addr, Micros t0,
-                               DescCb cb) {
-  // Level 2: the cluster manager's hint cache.
-  if (is_manager()) {
-    const auto nodes = cluster_.hint(addr);
-    if (!nodes.empty()) {
-      ins_.resolve_manager_hits->inc();
-      fetch_descriptor(nodes, 0, addr, t0, ins_.resolve_manager_hint_us,
-                       std::move(cb));
-    } else {
-      resolve_via_map_walk(addr, t0, std::move(cb));
-    }
-    return;
-  }
-  Encoder e;
-  e.addr(addr);
-  rpc_retry(managers(), MsgType::kHintQueryReq, std::move(e).take(),
-      static_cast<int>(managers().size()),
-      [this, addr, t0, cb = std::move(cb)](bool ok, Decoder& d) mutable {
-        if (ok) {
-          const ErrorCode err = from_wire(d.u8());
-          if (err == ErrorCode::kOk) {
-            std::vector<NodeId> nodes;
-            const std::uint32_t n = d.u32();
-            for (std::uint32_t i = 0; i < n && d.ok(); ++i) {
-              nodes.push_back(d.u32());
-            }
-            if (!nodes.empty()) {
-              ins_.resolve_manager_hits->inc();
-              fetch_descriptor(std::move(nodes), 0, addr, t0,
-                               ins_.resolve_manager_hint_us, std::move(cb));
-              return;
-            }
-          }
-        }
-        // Level 3: walk the address-map tree.
-        resolve_via_map_walk(addr, t0, std::move(cb));
-      });
-}
-
-void Node::resolve_via_map_walk(const GlobalAddress& addr, Micros t0,
-                                DescCb cb) {
-  ins_.resolve_map_walks->inc();
-  map_walk_step(0, addr, 0, t0, std::move(cb));
-}
-
-void Node::map_walk_step(std::uint32_t page_index, GlobalAddress addr,
-                         int depth, Micros t0, DescCb cb) {
-  fetch_map_page(page_index, [this, addr, depth, t0, cb = std::move(cb)](
-                                 Result<Bytes> r) mutable {
-    if (!r) {
-      resolve_via_cluster_walk(addr, t0, std::move(cb));
-      return;
-    }
-    const auto step = AddressMap::walk_step(r.value(), addr);
-    if (step.found) {
-      fetch_descriptor(step.entry.homes, 0, addr, t0,
-                       ins_.resolve_map_walk_us, std::move(cb));
-      return;
-    }
-    if (step.descend && depth < 16) {
-      map_walk_step(step.child, addr, depth + 1, t0, std::move(cb));
-      return;
-    }
-    // Not in the map (lagging registration) — cluster walk (Section 3.1:
-    // "If the set of nodes specified in a given region's address map entry
-    // is stale, the region can still be located using a cluster-walk
-    // algorithm").
-    resolve_via_cluster_walk(addr, t0, std::move(cb));
-  });
-}
-
-void Node::fetch_map_page(std::uint32_t index,
-                          std::function<void(Result<Bytes>)> cb) {
-  if (map_ != nullptr) {
-    cb(map_store_->read_page(index));
-    return;
-  }
-  const GlobalAddress addr = kMapRegionBase.plus(
-      static_cast<std::uint64_t>(index) * kDefaultPageSize);
-  auto* cm = cm_for(ProtocolId::kRelease);
-  cm->acquire(addr, LockMode::kRead, [this, addr, cb = std::move(cb)](
-                                         Status s) mutable {
-    if (!s.ok()) {
-      cb(s.error());
-      return;
-    }
-    const Bytes* data = storage_.get(addr);
-    Bytes copy = data != nullptr ? *data : Bytes(kDefaultPageSize, 0);
-    cm_for(ProtocolId::kRelease)->release(addr, LockMode::kRead, false);
-    cb(std::move(copy));
-  });
-}
-
-void Node::fetch_descriptor(std::vector<NodeId> candidates, std::size_t next,
-                            const GlobalAddress& addr, Micros t0,
-                            obs::Histogram* hist, DescCb cb) {
-  // Skip self (we would have answered from homed_regions_ already).
-  while (next < candidates.size() && candidates[next] == config_.id) ++next;
-  if (next >= candidates.size()) {
-    resolve_via_cluster_walk(addr, t0, std::move(cb));
-    return;
-  }
-  Encoder e;
-  e.addr(addr);
-  // Hoist the target: the capture below moves `candidates`, and argument
-  // evaluation order is unspecified.
-  const NodeId target = candidates[next];
-  rpc(target, MsgType::kDescLookupReq, std::move(e).take(),
-      [this, candidates = std::move(candidates), next, addr, t0, hist,
-       cb = std::move(cb)](bool ok, Decoder& d) mutable {
-        if (ok) {
-          const ErrorCode err = from_wire(d.u8());
-          if (err == ErrorCode::kOk) {
-            RegionDescriptor desc = RegionDescriptor::decode(d);
-            regions_.insert(desc);
-            if (hist != nullptr) hist->record(now() - t0);
-            cb(std::move(desc));
-            return;
-          }
-        }
-        // Stale hint: "the use of a stale home pointer will simply result
-        // in a message being sent to a node that no longer is home"
-        // (Section 3.2) — try the next candidate.
-        fetch_descriptor(std::move(candidates), next + 1, addr, t0, hist,
-                         std::move(cb));
-      });
-}
-
-void Node::resolve_via_cluster_walk(const GlobalAddress& addr, Micros t0,
-                                    DescCb cb) {
-  ins_.resolve_cluster_walks->inc();
-  std::vector<NodeId> targets;
-  for (NodeId n : membership()) {
-    if (n != config_.id) targets.push_back(n);
-  }
-  if (targets.empty()) {
-    cb(ErrorCode::kUnreachable);
-    return;
-  }
-  struct WalkState {
-    std::size_t remaining;
-    bool done = false;
-    DescCb cb;
-  };
-  auto st = std::make_shared<WalkState>();
-  st->remaining = targets.size();
-  st->cb = std::move(cb);
-  for (NodeId t : targets) {
-    Encoder e;
-    e.addr(addr);
-    rpc(t, MsgType::kClusterWalkReq, std::move(e).take(),
-        [this, st, t0](bool ok, Decoder& d) {
-          if (st->done) return;
-          if (ok && d.boolean()) {
-            RegionDescriptor desc = RegionDescriptor::decode(d);
-            st->done = true;
-            regions_.insert(desc);
-            ins_.resolve_cluster_walk_us->record(now() - t0);
-            st->cb(std::move(desc));
-            return;
-          }
-          if (--st->remaining == 0) {
-            st->done = true;
-            st->cb(ErrorCode::kUnreachable);
-          }
-        });
-  }
 }
 
 }  // namespace khz::core

@@ -100,7 +100,13 @@ std::string TcpWorld::metrics_json(NodeId id) {
 }
 
 TcpWorld::~TcpWorld() {
-  // Stop transports first so no executor callback touches a dead Node.
+  // Cancel every node timer (RPC engine, failure detector) on the node's
+  // own executor while its transport is still alive — stop_all() destroys
+  // the endpoints, and a later cancel would touch a dead transport.
+  for (std::size_t i = 0; i < nodes_.size(); ++i) {
+    transports_[i]->run_on_executor([&, i] { nodes_[i]->stop(); });
+  }
+  // Then stop transports so no executor callback touches a dead Node.
   bus_.stop_all();
   nodes_.clear();
 }

@@ -62,6 +62,7 @@ Bytes Message::encode() const {
   e.u64(rpc_id);
   e.u64(trace_id);
   e.u64(span_id);
+  e.u64(deadline);
   e.bytes(payload);
   return std::move(e).take();
 }
@@ -75,6 +76,7 @@ Bytes Message::encode_framed() const {
   e.u64(rpc_id);
   e.u64(trace_id);
   e.u64(span_id);
+  e.u64(deadline);
   e.bytes(payload);
   Bytes out = std::move(e).take();
   const auto body_len = static_cast<std::uint32_t>(out.size() - 4);
@@ -92,6 +94,7 @@ bool Message::decode(std::span<const std::uint8_t> wire, Message& out) {
   out.rpc_id = d.u64();
   out.trace_id = d.u64();
   out.span_id = d.u64();
+  out.deadline = d.u64();
   out.payload = d.bytes();
   return d.at_end();
 }

@@ -110,10 +110,16 @@ struct Message {
   /// spans under the sender's, giving one cross-node trace per client op.
   std::uint64_t trace_id = 0;
   std::uint64_t span_id = 0;
+  /// Absolute deadline (microseconds on the shared clock) for the operation
+  /// this message serves. Zero = no deadline. Carried on the wire so a
+  /// server can drop work whose budget has already expired instead of
+  /// computing an answer nobody is waiting for, and so nested RPCs issued
+  /// while handling this request inherit the remaining budget.
+  std::uint64_t deadline = 0;
   Bytes payload;
 
   [[nodiscard]] std::size_t wire_size() const {
-    return 2 + 4 + 4 + 8 + 8 + 8 + 4 + payload.size();
+    return 2 + 4 + 4 + 8 + 8 + 8 + 8 + 4 + payload.size();
   }
 
   /// Flat wire encoding, used by the TCP transport.
