@@ -1,0 +1,168 @@
+// Open-loop zipfian load generation for the overload experiments.
+//
+// Every other bench in this repo is closed-loop: one logical client issues
+// an op, waits for it, issues the next. A closed loop can never push a
+// server past saturation — the moment the server slows down, the offered
+// load drops with it, which is exactly the regime the paper's
+// web-cache-style services do NOT live in. This header provides the other
+// kind of generator: a Poisson arrival process at a fixed offered rate,
+// independent of completions, fanned across thousands of logical client
+// streams whose key popularity follows a zipfian distribution (hot keys
+// dominate, like real cache traffic).
+//
+// The generator schedules arrivals on the node's own timer rail, so the
+// same code drives the discrete-event simulator (virtual time) and a
+// TcpWorld node (real time, posted onto the node's executor). All mutable
+// state is touched only from node context; the counters are atomics so a
+// TcpWorld main thread can poll progress from outside.
+#pragma once
+
+#include <algorithm>
+#include <atomic>
+#include <cmath>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/types.h"
+#include "core/node.h"
+#include "obs/metrics.h"
+
+namespace khz::bench {
+
+/// Zipfian key sampler: P(k) ~ 1/(k+1)^s over n keys, via a precomputed
+/// CDF and binary search. s ~= 0.99 is the classic YCSB skew.
+class ZipfSampler {
+ public:
+  explicit ZipfSampler(std::size_t n, double s = 0.99) : cdf_(n) {
+    double sum = 0;
+    for (std::size_t k = 0; k < n; ++k) {
+      sum += 1.0 / std::pow(static_cast<double>(k + 1), s);
+      cdf_[k] = sum;
+    }
+    for (double& c : cdf_) c /= sum;
+  }
+
+  [[nodiscard]] std::size_t sample(double u01) const {
+    const auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u01);
+    if (it == cdf_.end()) return cdf_.size() - 1;
+    return static_cast<std::size_t>(it - cdf_.begin());
+  }
+
+  [[nodiscard]] std::size_t keys() const { return cdf_.size(); }
+
+ private:
+  std::vector<double> cdf_;
+};
+
+/// Outcome counters for one generator run. Latency covers successful ops
+/// only; failures (deadline expired, shed, budget exhausted) are the
+/// overload signal, not a latency sample.
+struct LoadStats {
+  std::atomic<std::uint64_t> issued{0};
+  std::atomic<std::uint64_t> ok{0};
+  std::atomic<std::uint64_t> failed{0};
+  obs::Histogram latency_us;
+
+  [[nodiscard]] std::uint64_t completed() const { return ok + failed; }
+};
+
+/// Open-loop driver over one issuing node. start() must run in node
+/// context; arrivals then self-schedule until the configured duration of
+/// node-clock time has elapsed.
+class OpenLoopLoad {
+ public:
+  struct Options {
+    /// Offered load, in operations per second of node-clock time.
+    double rate_ops_per_sec = 1000;
+    /// How long the arrival process runs (node clock).
+    Micros duration = 1'000'000;
+    /// Key space size and zipf skew for the popularity distribution.
+    std::size_t keys = 64;
+    double zipf_s = 0.99;
+    /// Logical client streams: each arrival is attributed to one stream
+    /// (round-robin would synchronize phases; we draw uniformly).
+    std::size_t clients = 1000;
+    std::uint64_t seed = 1;
+  };
+
+  /// Issues one operation for (client, key); must call done(ok) exactly
+  /// once, in node context, when the op completes or fails.
+  using IssueFn = std::function<void(std::size_t client, std::size_t key,
+                                     std::function<void(bool)> done)>;
+
+  OpenLoopLoad(core::Node& node, Options opts, IssueFn issue)
+      : node_(node),
+        opts_(opts),
+        issue_(std::move(issue)),
+        zipf_(opts.keys, opts.zipf_s),
+        rng_(opts.seed) {}
+
+  /// Kicks off the arrival process (call in node context). The first
+  /// arrival lands after one interarrival gap.
+  void start() {
+    end_at_ = node_.now() + opts_.duration;
+    arm_next();
+  }
+
+  /// All arrivals fired and every issued op completed.
+  [[nodiscard]] bool done() const {
+    return arrivals_done_.load() && inflight_.load() == 0;
+  }
+
+  [[nodiscard]] LoadStats& stats() { return stats_; }
+  [[nodiscard]] std::uint64_t inflight() const { return inflight_.load(); }
+
+ private:
+  /// Exponential interarrival at the offered rate: a Poisson process, the
+  /// standard open-loop arrival model. Clamped to >= 1us (the scheduler's
+  /// resolution).
+  [[nodiscard]] Micros next_gap() {
+    const double u = std::max(rng_.uniform(), 1e-12);
+    const double gap_us = -std::log(u) * 1e6 / opts_.rate_ops_per_sec;
+    return std::max<Micros>(1, static_cast<Micros>(gap_us));
+  }
+
+  void arm_next() {
+    if (node_.now() >= end_at_) {
+      arrivals_done_.store(true);
+      return;
+    }
+    node_.schedule(next_gap(), [this] {
+      fire();
+      arm_next();
+    });
+  }
+
+  void fire() {
+    const std::size_t client = rng_.below(opts_.clients);
+    const std::size_t key = zipf_.sample(rng_.uniform());
+    stats_.issued.fetch_add(1);
+    inflight_.fetch_add(1);
+    const Micros t0 = node_.now();
+    issue_(client, key, [this, t0](bool ok) {
+      if (ok) {
+        stats_.ok.fetch_add(1);
+        stats_.latency_us.record(
+            static_cast<std::uint64_t>(node_.now() - t0));
+      } else {
+        stats_.failed.fetch_add(1);
+      }
+      inflight_.fetch_sub(1);
+    });
+  }
+
+  core::Node& node_;
+  Options opts_;
+  IssueFn issue_;
+  ZipfSampler zipf_;
+  Rng rng_;
+  Micros end_at_ = 0;
+  std::atomic<bool> arrivals_done_{false};
+  std::atomic<std::uint64_t> inflight_{0};
+  LoadStats stats_;
+};
+
+}  // namespace khz::bench

@@ -29,6 +29,7 @@ enum class ErrorCode : std::uint8_t {
   kNotFound,         // named entity does not exist (kfs paths, objects)
   kExists,           // named entity already exists
   kCorrupt,          // on-disk or wire data failed validation
+  kOverloaded,       // server shed the request (admission queue full)
   kInternal,         // invariant violation; indicates a bug
 };
 
@@ -48,6 +49,7 @@ enum class ErrorCode : std::uint8_t {
     case ErrorCode::kNotFound: return "not-found";
     case ErrorCode::kExists: return "exists";
     case ErrorCode::kCorrupt: return "corrupt";
+    case ErrorCode::kOverloaded: return "overloaded";
     case ErrorCode::kInternal: return "internal";
   }
   return "unknown";

@@ -37,6 +37,9 @@ bool is_response(MsgType t) {
     case MsgType::kMigrateDataResp:
     case MsgType::kReplicateToResp:
     case MsgType::kPong:
+    // Backpressure replies are rpc_id-correlated like responses; the
+    // engine turns them into backoff + candidate rotation.
+    case MsgType::kNack:
       return true;
     default:
       return false;
@@ -64,6 +67,15 @@ RpcPolicy make_policy(const NodeConfig& c) {
   return p;
 }
 
+AdmissionConfig make_admission(const NodeConfig& c) {
+  AdmissionConfig a;
+  a.client_queue_limit = c.admission_client_queue;
+  a.protocol_queue_limit = c.admission_protocol_queue;
+  a.replication_queue_limit = c.admission_replication_queue;
+  a.service_us = c.admission_service_us;
+  return a;
+}
+
 }  // namespace
 
 // ---------------------------------------------------------------------------
@@ -83,8 +95,12 @@ Node::Node(NodeConfig config, net::Transport& transport)
       tracer_(config_.id),
       engine_(*this, make_policy(config_), metrics_),
       resolver_(*this, engine_, metrics_),
-      meta_(storage_, config_.id, [this] { return snapshot_state(); }) {
+      meta_(storage_, config_.id, [this] { return snapshot_state(); }),
+      admission_(*this, make_admission(config_), metrics_) {
   consistency::register_builtin_protocols();
+  if (config_.sync_metadata && storage_.disk() != nullptr) {
+    storage_.disk()->journal().set_sync_on_commit(true);
+  }
   tracer_.set_clock(&transport_.clock());
   regions_.bind_metrics(metrics_);
   ins_.reserves = &metrics_.counter("node.reserves");
@@ -98,7 +114,7 @@ Node::Node(NodeConfig config, net::Transport& transport)
   ins_.resolve_cluster_walks = &metrics_.counter("node.resolve_cluster_walks");
   ins_.replica_pushes = &metrics_.counter("node.replica_pushes");
   ins_.background_retries = &metrics_.counter("node.background_retries");
-  ins_.deadline_expired = &metrics_.counter("rpc.deadline_expired");
+  ins_.deadline_expired = &metrics_.counter("rpc.deadline_expired.server");
   ins_.reserve_us = &metrics_.histogram("op.reserve_us");
   ins_.lock_read_us = &metrics_.histogram("op.lock.read_us");
   ins_.lock_write_us = &metrics_.histogram("op.lock.write_us");
@@ -128,6 +144,7 @@ void Node::stop() {
   // Engine first: it cancels every pending RPC-attempt, backoff and
   // reliable-send timer, all of which capture `this`.
   engine_.shutdown();
+  admission_.shutdown();
   if (ping_timer_ != 0) {
     transport_.cancel(ping_timer_);
     ping_timer_ = 0;
@@ -499,6 +516,16 @@ void Node::on_message(Message msg) {
     ins_.deadline_expired->inc();
     return;
   }
+
+  // Admission control: when enabled, queueable classes park in bounded
+  // per-class queues (shedding with kNack backpressure under overload) and
+  // dispatch from the drain pump. Bypass classes — and everything when
+  // admission is off — keep the synchronous path.
+  if (admission_.offer(msg)) return;
+  dispatch_request(msg);
+}
+
+void Node::dispatch_request(const Message& msg) {
   // Nested RPCs issued while serving this request inherit what remains of
   // the caller's budget.
   RpcEngine::DeadlineScope dscope(engine_, msg.deadline);
@@ -518,6 +545,18 @@ void Node::on_message(Message msg) {
     handle_request(msg);
   }
   tracer_.end_span(rx);
+}
+
+void Node::dispatch(const net::Message& m) {
+  // The admission pump already dropped client-class work that expired in
+  // the queue; anything handed here is still worth serving.
+  dispatch_request(m);
+}
+
+void Node::nack(const net::Message& req) {
+  Encoder e;
+  e.u8(static_cast<std::uint8_t>(ErrorCode::kOverloaded));
+  respond(req, MsgType::kNack, std::move(e).take());
 }
 
 void Node::handle_request(const Message& msg) {

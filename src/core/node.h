@@ -34,6 +34,7 @@
 #include "common/rng.h"
 #include "consistency/cm.h"
 #include "core/address_map.h"
+#include "core/admission.h"
 #include "core/cluster.h"
 #include "core/meta_log.h"
 #include "core/region.h"
@@ -74,6 +75,24 @@ struct NodeConfig {
   /// 0 disables the failure-detector ping loop.
   Micros ping_interval = 0;
 
+  /// Admission control (docs/overload.md): bounded per-op-class request
+  /// queues with deadline-sorted shedding and kNack backpressure. A limit
+  /// of 0 disables admission for that class; all zero (the default) keeps
+  /// the synchronous pre-admission dispatch path.
+  std::size_t admission_client_queue = 0;
+  std::size_t admission_protocol_queue = 0;
+  std::size_t admission_replication_queue = 0;
+  /// Paced drain: one admitted message per this many micros of scheduler
+  /// time (0 = drain unpaced on the next tick). This is what makes a
+  /// simulated node saturate — sim handlers take zero virtual time.
+  Micros admission_service_us = 0;
+
+  /// fdatasync the metadata journal on every commit, so acknowledged
+  /// metadata survives power loss, not just a process crash. Off by
+  /// default: sim tests journal thousands of records and only need
+  /// crash-of-the-process durability.
+  bool sync_metadata = false;
+
   std::uint64_t seed = 42;
   std::uint32_t principal = 0;  // identity for ACL checks
 };
@@ -99,7 +118,8 @@ struct NodeStats {
 
 class Node final : public consistency::CmHost,
                    public RpcEngine::Host,
-                   public Resolver::Host {
+                   public Resolver::Host,
+                   public AdmissionController::Host {
  public:
   Node(NodeConfig config, net::Transport& transport);
   ~Node() override;
@@ -203,6 +223,9 @@ class Node final : public consistency::CmHost,
   /// The node's RPC substrate (retries, deadlines, backoff). Exposed so
   /// tests and advanced clients can issue deadline-scoped calls directly.
   [[nodiscard]] RpcEngine& rpc_engine() { return engine_; }
+  /// Server-side admission queues (bounded, deadline-shedding). Tests and
+  /// benches inspect depths; configuration comes from NodeConfig.
+  [[nodiscard]] AdmissionController& admission() { return admission_; }
   /// Two-level (RAM over disk) local page store.
   [[nodiscard]] storage::StorageHierarchy& storage() { return storage_; }
   /// Per-node page metadata: sharers, owner, dirty bits, lock holds.
@@ -284,6 +307,10 @@ class Node final : public consistency::CmHost,
     return engine_.backoff(attempt);
   }
 
+  // --- AdmissionController::Host (now/schedule/cancel shared with CmHost)
+  void dispatch(const net::Message& m) override;
+  void nack(const net::Message& m) override;
+
   // --- Resolver::Host ---------------------------------------------------
   [[nodiscard]] NodeId genesis() const override { return config_.genesis; }
   [[nodiscard]] std::optional<RegionDescriptor> homed_descriptor(
@@ -313,6 +340,10 @@ class Node final : public consistency::CmHost,
 
   // Messaging.
   void on_message(net::Message msg);
+  /// Deadline scope + rx-span bracketing around handle_request; requests
+  /// reach it either synchronously from on_message or deferred through the
+  /// admission queues.
+  void dispatch_request(const net::Message& msg);
   void handle_request(const net::Message& msg);
   /// Routes a fully-built message: self-sends loop back through the
   /// scheduler (handlers are never re-entered), everything else goes to
@@ -456,6 +487,7 @@ class Node final : public consistency::CmHost,
   RpcEngine engine_;
   Resolver resolver_;
   MetaLog meta_;
+  AdmissionController admission_;
   /// Failure-detector loop timer; cancelled by stop().
   std::uint64_t ping_timer_ = 0;
 
@@ -471,8 +503,9 @@ class Node final : public consistency::CmHost,
     obs::Counter* resolve_cluster_walks = nullptr;
     obs::Counter* replica_pushes = nullptr;
     obs::Counter* background_retries = nullptr;
-    /// Shared with the engine: server-side drops of expired work count
-    /// into the same instrument as client-side expiries.
+    /// Server-side drops of expired work (rpc.deadline_expired.server);
+    /// the engine counts client-side expiries separately under
+    /// rpc.deadline_expired.client, so shed-rate attribution works.
     obs::Counter* deadline_expired = nullptr;
     obs::Histogram* reserve_us = nullptr;
     obs::Histogram* lock_read_us = nullptr;

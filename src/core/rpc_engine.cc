@@ -19,12 +19,18 @@ RpcEngine::RpcEngine(Host& host, RpcPolicy policy,
     : host_(host), policy_(policy) {
   ins_.attempts = &metrics.counter("rpc.attempts");
   ins_.steered = &metrics.counter("rpc.steered");
-  ins_.deadline_expired = &metrics.counter("rpc.deadline_expired");
+  // Client-side expiries only; the node counts server-side drops of
+  // expired work under rpc.deadline_expired.server, so shed-rate
+  // attribution can tell "my budget ran out" from "the server shed me".
+  ins_.deadline_expired = &metrics.counter("rpc.deadline_expired.client");
   ins_.duplicate_replies = &metrics.counter("rpc.duplicate_replies");
   ins_.down_short_circuits = &metrics.counter("rpc.down_short_circuits");
   // Legacy name: NodeStats has always exposed background (reliable-send)
   // retries under this counter.
   ins_.background_retries = &metrics.counter("node.background_retries");
+  ins_.nacks = &metrics.counter("rpc.nacks");
+  ins_.budget_exhausted = &metrics.counter("rpc.retry_budget_exhausted");
+  ins_.reliable_dropped = &metrics.counter("rpc.reliable_dropped");
   ins_.backoff_us = &metrics.histogram("rpc.backoff_us");
 }
 
@@ -97,6 +103,12 @@ void RpcEngine::start_attempt(std::uint64_t call_id) {
     return;
   }
   if (target != c.candidates.front()) ins_.steered->inc();
+  if (!budget_attempt(target, c.attempts_made > 0)) {
+    // The destination's retry budget is spent: fail fast instead of piling
+    // more retries onto a peer that is already not keeping up.
+    finish(call_id, false, nullptr);
+    return;
+  }
   ins_.attempts->inc();
   ++c.attempts_made;
   --c.attempts_left;
@@ -138,6 +150,13 @@ void RpcEngine::on_attempt_timeout(std::uint64_t call_id) {
     finish(call_id, false, nullptr);
     return;
   }
+  schedule_retry(call_id);
+}
+
+void RpcEngine::schedule_retry(std::uint64_t call_id) {
+  auto it = calls_.find(call_id);
+  if (it == calls_.end()) return;
+  Call& c = it->second;
   const Micros now = host_.now();
   if (c.deadline != 0 && now >= c.deadline) {
     ins_.deadline_expired->inc();
@@ -162,6 +181,23 @@ void RpcEngine::on_attempt_timeout(std::uint64_t call_id) {
   });
 }
 
+bool RpcEngine::budget_attempt(NodeId dst, bool retry) {
+  if (policy_.retry_budget_cap <= 0) return true;  // budgeting disabled
+  auto [it, inserted] = budget_.try_emplace(dst, policy_.retry_budget_cap);
+  double& tokens = it->second;
+  if (!retry) {
+    tokens = std::min(policy_.retry_budget_cap,
+                      tokens + policy_.retry_budget_ratio);
+    return true;
+  }
+  if (tokens < 1.0) {
+    ins_.budget_exhausted->inc();
+    return false;
+  }
+  tokens -= 1.0;
+  return true;
+}
+
 bool RpcEngine::on_response(const net::Message& msg) {
   auto rit = rpc_to_call_.find(msg.rpc_id);
   if (rit == rpc_to_call_.end()) {
@@ -177,6 +213,26 @@ bool RpcEngine::on_response(const net::Message& msg) {
     return false;
   }
   Call& c = it->second;
+  if (msg.type == net::MsgType::kNack) {
+    // Backpressure: the server shed this attempt at admission. The peer is
+    // alive but saturated, so unlike the accept-bounce below the retry
+    // waits out a backoff (and rotates candidates) rather than re-firing
+    // immediately into the same full queue.
+    ins_.nacks->inc();
+    rpc_to_call_.erase(rit);
+    if (c.timer != 0) {
+      host_.cancel(c.timer);
+      c.timer = 0;
+    }
+    host_.tracer().end_span(c.span);
+    c.span = {};
+    if (c.attempts_left <= 0) {
+      finish(call_id, false, nullptr);
+      return true;
+    }
+    schedule_retry(call_id);
+    return true;
+  }
   if (c.accept && !c.accept(Decoder(msg.payload))) {
     // Well-formed reply, wrong node ("not the home"): steer to the next
     // candidate immediately — the peer is alive, no backoff needed.
@@ -221,6 +277,29 @@ void RpcEngine::finish(std::uint64_t call_id, bool ok, const Bytes* payload) {
 }
 
 void RpcEngine::send_reliable(NodeId dst, net::MsgType type, Bytes payload) {
+  if (policy_.reliable_queue_limit > 0) {
+    // Bound the backlog per destination: a peer that stays down for hours
+    // must not grow this map without limit. Drop oldest-first — the newest
+    // message usually supersedes it (replica pushes, hint publishes carry
+    // current state), and the map is keyed by increasing id, so the first
+    // match is the oldest.
+    std::size_t depth = 0;
+    auto oldest = reliable_.end();
+    for (auto it = reliable_.begin(); it != reliable_.end(); ++it) {
+      if (it->second.dst != dst) continue;
+      if (oldest == reliable_.end()) oldest = it;
+      ++depth;
+    }
+    if (depth >= policy_.reliable_queue_limit && oldest != reliable_.end()) {
+      if (oldest->second.retry_timer != 0) {
+        host_.cancel(oldest->second.retry_timer);
+      }
+      // If the entry has an attempt in flight its completion lambda finds
+      // the id gone and does nothing — same late-reply tolerance as calls.
+      reliable_.erase(oldest);
+      ins_.reliable_dropped->inc();
+    }
+  }
   const std::uint64_t rid = next_reliable_id_++;
   reliable_[rid] = ReliableSend{dst, type, std::move(payload)};
   reliable_attempt(rid);

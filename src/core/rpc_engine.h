@@ -21,8 +21,14 @@
 //     reply ("not the home") to steer to the next candidate immediately,
 //   - down-node short-circuiting: candidates the failure detector has
 //     declared dead are skipped without burning an attempt timeout,
-//   - the reliable-send background queue, with backoff and down-peer
-//     pausing instead of blind fixed-interval hammering.
+//   - per-destination retry budgets (token buckets): retries withdraw from
+//     a bucket that only first attempts refill, so a saturated server sees
+//     a bounded retry tax instead of congestion collapse; admission Nacks
+//     from an overloaded server rotate candidates after backoff,
+//   - the reliable-send background queue, with backoff, down-peer pausing
+//     instead of blind fixed-interval hammering, and a per-destination
+//     depth bound (oldest-first drop) so a long-down peer cannot
+//     accumulate unbounded state.
 //
 // The engine sees its node through the narrow Host interface below, so it
 // unit-tests against a fake with manual time and captured sends.
@@ -59,6 +65,20 @@ struct RpcPolicy {
   /// Each delay is drawn uniformly from [d*(1-jitter), d*(1+jitter)] so
   /// synchronized clients do not retry in lockstep.
   double jitter = 0.5;
+
+  /// Retry budget (per destination, token bucket): every *first* attempt
+  /// deposits this many tokens, every retry withdraws one. Under overload
+  /// the sustained retry rate is thus capped at ratio * request rate, so
+  /// retries cannot amplify a saturated server into congestion collapse.
+  double retry_budget_ratio = 0.2;
+  /// Bucket ceiling (and initial fill): a burst of retries against a fresh
+  /// or long-idle destination may spend up to this many before the ratio
+  /// governs. 0 disables budgeting entirely.
+  double retry_budget_cap = 50;
+  /// Maximum queued reliable sends per destination. A long-down peer stops
+  /// accumulating past this: the oldest pending delivery to it is dropped
+  /// (counted as rpc.reliable_dropped). 0 = unbounded (legacy behavior).
+  std::size_t reliable_queue_limit = 256;
 };
 
 class RpcEngine {
@@ -134,6 +154,10 @@ class RpcEngine {
     return reliable_.size();
   }
 
+  /// In-flight foreground calls (issued, not yet finished). The overload
+  /// soak asserts this stays bounded at 2x saturation offered load.
+  [[nodiscard]] std::size_t inflight_calls() const { return calls_.size(); }
+
   /// Routes a response message to its call. Returns false for strays:
   /// duplicates of an already-completed call or replies that outlived it.
   bool on_response(const net::Message& msg);
@@ -206,6 +230,14 @@ class RpcEngine {
 
   void start_attempt(std::uint64_t call_id);
   void on_attempt_timeout(std::uint64_t call_id);
+  /// Common retry tail (timeout and Nack paths): rotate to the next
+  /// candidate and re-attempt after backoff, unless the remaining deadline
+  /// cannot cover the wait.
+  void schedule_retry(std::uint64_t call_id);
+  /// Token-bucket accounting for attempts against `dst`. Returns false
+  /// when `retry` is true and the destination's budget is empty — the
+  /// caller must fast-fail instead of retrying.
+  bool budget_attempt(NodeId dst, bool retry);
   /// Next not-down candidate at/after cursor, or kNoNode if all are down.
   [[nodiscard]] NodeId pick_candidate(Call& c) const;
   void finish(std::uint64_t call_id, bool ok, const Bytes* payload);
@@ -223,6 +255,11 @@ class RpcEngine {
   std::map<std::uint64_t, ReliableSend> reliable_;
   std::uint64_t next_reliable_id_ = 1;
 
+  /// Per-destination retry budgets (Finagle-style token buckets). Buckets
+  /// start full so a cold start can absorb a retry burst; steady-state
+  /// refill comes only from first attempts.
+  std::map<NodeId, double> budget_;
+
   struct {
     obs::Counter* attempts = nullptr;
     obs::Counter* steered = nullptr;
@@ -230,6 +267,9 @@ class RpcEngine {
     obs::Counter* duplicate_replies = nullptr;
     obs::Counter* down_short_circuits = nullptr;
     obs::Counter* background_retries = nullptr;
+    obs::Counter* nacks = nullptr;
+    obs::Counter* budget_exhausted = nullptr;
+    obs::Counter* reliable_dropped = nullptr;
     obs::Histogram* backoff_us = nullptr;
   } ins_;
 };

@@ -30,6 +30,14 @@ struct SimWorldOptions {
   Micros rpc_timeout = 200'000;
   int max_retries = 3;
   Micros ping_interval = 0;
+  /// Admission-control knobs, forwarded verbatim to every NodeConfig
+  /// (see docs/overload.md). Defaults keep admission off.
+  std::size_t admission_client_queue = 0;
+  std::size_t admission_protocol_queue = 0;
+  std::size_t admission_replication_queue = 0;
+  Micros admission_service_us = 0;
+  /// fdatasync the metadata journal on commit (power-loss durability).
+  bool sync_metadata = false;
   std::uint64_t seed = 1;
 };
 

@@ -27,6 +27,11 @@ TcpWorld::TcpWorld(TcpWorldOptions opts) : bus_(opts.base_port) {
     cfg.rpc_timeout = opts.rpc_timeout;
     cfg.max_retries = opts.max_retries;
     cfg.ping_interval = opts.ping_interval;
+    cfg.admission_client_queue = opts.admission_client_queue;
+    cfg.admission_protocol_queue = opts.admission_protocol_queue;
+    cfg.admission_replication_queue = opts.admission_replication_queue;
+    cfg.admission_service_us = opts.admission_service_us;
+    cfg.sync_metadata = opts.sync_metadata;
     cfg.seed = opts.seed;
     nodes_.push_back(std::make_unique<Node>(std::move(cfg), *transports_[i]));
   }

@@ -50,6 +50,7 @@ std::string_view to_string(MsgType t) {
     case MsgType::kMigrateDataResp: return "MigrateDataResp";
     case MsgType::kReplicateToReq: return "ReplicateToReq";
     case MsgType::kReplicateToResp: return "ReplicateToResp";
+    case MsgType::kNack: return "Nack";
   }
   return "?";
 }

@@ -94,6 +94,12 @@ enum class MsgType : std::uint16_t {
   // Client guidance: "push copies of this region onto node X"
   kReplicateToReq,   // any node -> region home: add X to the copy set
   kReplicateToResp,  // home -> requester: replica pushed and recorded
+
+  // Admission-control backpressure: the receiver shed the request before
+  // handling it (queue full). Correlated by rpc_id like a response; the
+  // payload carries a u8 ErrorCode (kOverloaded). The issuing engine backs
+  // off and rotates candidates instead of waiting out an attempt timeout.
+  kNack,
 };
 
 [[nodiscard]] std::string_view to_string(MsgType t);

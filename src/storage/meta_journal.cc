@@ -1,5 +1,8 @@
 #include "storage/meta_journal.h"
 
+#include <fcntl.h>
+#include <unistd.h>
+
 #include "common/log.h"
 
 namespace khz::storage {
@@ -48,6 +51,25 @@ MetaJournal::MetaJournal(std::filesystem::path path) : path_(std::move(path)) {
   }
 }
 
+MetaJournal::~MetaJournal() {
+  if (sync_fd_ >= 0) ::close(sync_fd_);
+}
+
+bool MetaJournal::sync_now() {
+  if (sync_fd_ < 0) {
+    // Same inode as out_: appends stay on the stream (buffered framing),
+    // durability goes through this descriptor. The journal file is only
+    // ever truncated in place (reset()), never replaced, so the fd stays
+    // valid across compactions.
+    sync_fd_ = ::open(path_.c_str(), O_WRONLY | O_CLOEXEC);
+    if (sync_fd_ < 0) {
+      KHZ_ERROR("journal: cannot open %s for fdatasync", path_.c_str());
+      return false;
+    }
+  }
+  return ::fdatasync(sync_fd_) == 0;
+}
+
 Status MetaJournal::append(const Bytes& record) {
   if (!out_) return ErrorCode::kInternal;
   put_u32(out_, static_cast<std::uint32_t>(record.size()));
@@ -56,6 +78,7 @@ Status MetaJournal::append(const Bytes& record) {
              static_cast<std::streamsize>(record.size()));
   out_.flush();
   if (!out_) return ErrorCode::kInternal;
+  if (sync_on_commit_ && !sync_now()) return ErrorCode::kInternal;
   ++appended_;
   return {};
 }

@@ -119,6 +119,28 @@ TEST(MetaJournal, ResetTruncatesAndKeepsAccepting) {
   EXPECT_EQ(got[0], (Bytes{7}));
 }
 
+TEST(MetaJournal, SyncOnCommitAppendsStayReplayableAcrossResets) {
+  TempDir tmp;
+  const fs::path p = tmp.path() / "j";
+  {
+    storage::MetaJournal j(p);
+    EXPECT_FALSE(j.sync_on_commit());
+    j.set_sync_on_commit(true);
+    EXPECT_TRUE(j.sync_on_commit());
+    ASSERT_TRUE(j.append(Bytes{1, 2, 3}).ok());
+    ASSERT_TRUE(j.append(Bytes{}).ok());
+    // Compaction truncates the file in place; the sync fd must keep
+    // working for appends after the reset.
+    ASSERT_TRUE(j.reset().ok());
+    ASSERT_TRUE(j.append(Bytes{7, 8}).ok());
+  }
+  storage::MetaJournal j(p);
+  std::vector<Bytes> got;
+  EXPECT_EQ(j.replay([&](const Bytes& r) { got.push_back(r); }), 1u);
+  ASSERT_EQ(got.size(), 1u);
+  EXPECT_EQ(got[0], (Bytes{7, 8}));
+}
+
 // ---------------------------------------------------------------------------
 // Restart recovery (journal + snapshot replay through a real node)
 // ---------------------------------------------------------------------------

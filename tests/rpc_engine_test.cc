@@ -237,7 +237,7 @@ TEST(RpcEngine, DeadlineExpiresMidRetry) {
   ASSERT_TRUE(got.has_value());
   EXPECT_FALSE(*got);
   EXPECT_EQ(f.host.sent.size(), 1u);
-  EXPECT_EQ(f.counter("rpc.deadline_expired"), 1u);
+  EXPECT_EQ(f.counter("rpc.deadline_expired.client"), 1u);
 }
 
 TEST(RpcEngine, DeadlineCapsTheAttemptTimeout) {
@@ -265,7 +265,7 @@ TEST(RpcEngine, ExpiredDeadlineFailsWithoutSending) {
   ASSERT_TRUE(got.has_value());
   EXPECT_FALSE(*got);
   EXPECT_TRUE(f.host.sent.empty());
-  EXPECT_EQ(f.counter("rpc.deadline_expired"), 1u);
+  EXPECT_EQ(f.counter("rpc.deadline_expired.client"), 1u);
 }
 
 TEST(RpcEngine, DeadlineRidesTheMessageEnvelope) {
@@ -396,8 +396,9 @@ TEST(RpcEngineSim, ServerDropsWorkWhoseDeadlineExpiredInFlight) {
   EXPECT_FALSE(*got);  // reflected to the caller, not retried forever
   // The server noticed the expired envelope and dropped the request
   // without answering.
-  EXPECT_GE(world.node(1).metrics().counter("rpc.deadline_expired").value(),
-            1u);
+  EXPECT_GE(
+      world.node(1).metrics().counter("rpc.deadline_expired.server").value(),
+      1u);
   EXPECT_EQ(world.net().stats().per_type.count(MsgType::kPong), 0u);
 }
 
