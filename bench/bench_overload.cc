@@ -47,6 +47,12 @@ struct Point {
   std::uint64_t nacks;
   std::uint64_t expired_in_queue;
   std::uint64_t budget_exhausted;
+  // Slow-op flight recorder on the client node, fetched through the real
+  // scrape path (node 2 scrapes node 1) after the load drains.
+  std::uint64_t slow_dossiers;
+  std::uint64_t dossier_spans;        // span count of the newest dossier
+  std::uint64_t dossier_queue_depth;  // its captured client-queue depth
+  std::string newest_dossier_json;    // the full dossier, for the 2x point
 };
 
 Point run_sim_point(int pct) {
@@ -54,12 +60,18 @@ Point run_sim_point(int pct) {
   // queue wait (limit * service_us = 32 ms), or every queued-but-served
   // request is timed out client-side and retried — amplification, not
   // measurement. The op deadline provides the real bound.
+  // Slow-op capture: an op burning half its 50 ms deadline budget is worth
+  // a dossier. Past the knee the client queue's worst-case wait alone is
+  // 32 ms (limit * service_us), so the overloaded points must produce
+  // dossiers while the underloaded ones stay quiet.
   core::SimWorld world({.nodes = 3,
                         .rpc_timeout = 50'000,
                         .admission_client_queue = 64,
                         .admission_protocol_queue = 512,
                         .admission_replication_queue = 256,
                         .admission_service_us = kServiceUs,
+                        .slow_op_deadline_fraction = 0.5,
+                        .flight_recorder_capacity = 64,
                         .seed = 7 + static_cast<std::uint64_t>(pct)});
 
   // kRegions single-page regions homed on node 0, the paced server.
@@ -129,6 +141,23 @@ Point run_sim_point(int pct) {
   p.expired_in_queue = server.counter("admission.expired_in_queue").value();
   p.budget_exhausted =
       client.metrics().counter("rpc.retry_budget_exhausted").value();
+
+  // Dossiers live on the node the ops were issued on (node 1); fetch them
+  // through the real wire path by scraping from node 2.
+  p.slow_dossiers = 0;
+  p.dossier_spans = 0;
+  p.dossier_queue_depth = 0;
+  auto scraped = world.scrape(2, 1, core::Node::kScrapeDossiers);
+  if (scraped.ok()) {
+    const auto& rs = scraped.value();
+    p.slow_dossiers = rs.dossiers_dropped + rs.dossiers.size();
+    if (!rs.dossiers.empty()) {
+      const auto& newest = rs.dossiers.back();
+      p.dossier_spans = newest.spans.size();
+      p.dossier_queue_depth = newest.depth_client;
+      p.newest_dossier_json = newest.to_json();
+    }
+  }
   return p;
 }
 
@@ -140,6 +169,7 @@ void sim_sweep(bench::JsonReport& report) {
       "deadline, Nack), op deadline 50 ms.");
   bench::table_header({"offered%", "offered/s", "goodput/s", "p50", "p99",
                        "failed", "shed", "nacks"});
+  report.meta("world.sim", "deterministic simulator, 3 nodes");
   report.metric("saturation_ops_s", kSaturationOpsS);
   report.metric("op_deadline_us", kOpDeadline);
   report.metric("client_queue_limit", 64);
@@ -171,6 +201,20 @@ void sim_sweep(bench::JsonReport& report) {
                   static_cast<double>(p.expired_in_queue));
     report.metric(k + "retry_budget_exhausted",
                   static_cast<double>(p.budget_exhausted));
+    report.metric(k + "slow_dossiers", static_cast<double>(p.slow_dossiers));
+    report.metric(k + "dossier_spans", static_cast<double>(p.dossier_spans));
+    report.metric(k + "dossier_queue_depth",
+                  static_cast<double>(p.dossier_queue_depth));
+
+    // Past the knee the flight recorder must have fired; show the newest
+    // dossier (span tree + queue depths) the 2x point produced.
+    if (p.pct == 200) {
+      std::printf("\n2x slow-op dossiers (scraped from node 1): %llu\n",
+                  static_cast<unsigned long long>(p.slow_dossiers));
+      if (!p.newest_dossier_json.empty()) {
+        std::printf("newest: %s\n", p.newest_dossier_json.c_str());
+      }
+    }
   }
 }
 
@@ -249,6 +293,7 @@ void tcp_spot_check(bench::JsonReport& report) {
   bench::cell(shed);
   bench::cell(nacks);
   bench::endrow();
+  report.meta("world.tcp", "real sockets, 2 nodes");
   report.metric("tcp.offered_ops_s", kTcpRate);
   report.metric("tcp.issued", static_cast<double>(stats.issued.load()));
   report.metric("tcp.ok", static_cast<double>(stats.ok.load()));

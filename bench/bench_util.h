@@ -7,6 +7,7 @@
 #pragma once
 
 #include <cstdio>
+#include <ctime>
 #include <functional>
 #include <string>
 #include <utility>
@@ -14,6 +15,15 @@
 
 #include "core/client.h"
 #include "core/tcp_world.h"
+
+// Build provenance compiled in by the top-level CMakeLists; the fallbacks
+// keep the header usable outside that build (e.g. a one-off compile).
+#ifndef KHZ_GIT_SHA
+#define KHZ_GIT_SHA "unknown"
+#endif
+#ifndef KHZ_BUILD_TYPE
+#define KHZ_BUILD_TYPE "unknown"
+#endif
 
 namespace khz::bench {
 
@@ -117,6 +127,13 @@ class JsonReport {
     if (enabled_) metrics_.emplace_back(key, value);
   }
 
+  /// Run metadata emitted as a string under the sidecar's "meta" object,
+  /// next to the automatic provenance (git sha, build type, timestamp).
+  /// Benches use it for things the build can't know, e.g. the world kind.
+  void meta(const std::string& key, const std::string& value) {
+    if (enabled_) meta_.emplace_back(key, value);
+  }
+
   /// Writes BENCH_<name>.json (idempotent; also called by the destructor).
   void finish() {
     if (!enabled_ || written_) return;
@@ -127,7 +144,15 @@ class JsonReport {
       std::fprintf(stderr, "JsonReport: cannot open %s\n", path.c_str());
       return;
     }
-    std::fprintf(f, "{\n  \"bench\": \"%s\",\n  \"metrics\": {", name_.c_str());
+    std::fprintf(f, "{\n  \"bench\": \"%s\",\n  \"meta\": {", name_.c_str());
+    std::fprintf(f, "\n    \"git_sha\": \"%s\",", KHZ_GIT_SHA);
+    std::fprintf(f, "\n    \"build_type\": \"%s\",", KHZ_BUILD_TYPE);
+    std::fprintf(f, "\n    \"timestamp\": %lld",
+                 static_cast<long long>(std::time(nullptr)));
+    for (const auto& [k, v] : meta_) {
+      std::fprintf(f, ",\n    \"%s\": \"%s\"", k.c_str(), v.c_str());
+    }
+    std::fprintf(f, "\n  },\n  \"metrics\": {");
     for (std::size_t i = 0; i < metrics_.size(); ++i) {
       std::fprintf(f, "%s\n    \"%s\": %.6g", i == 0 ? "" : ",",
                    metrics_[i].first.c_str(), metrics_[i].second);
@@ -142,6 +167,7 @@ class JsonReport {
   std::string name_;
   bool enabled_ = false;
   bool written_ = false;
+  std::vector<std::pair<std::string, std::string>> meta_;
   std::vector<std::pair<std::string, double>> metrics_;
 };
 

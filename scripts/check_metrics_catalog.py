@@ -1,0 +1,93 @@
+#!/usr/bin/env python3
+"""Lint the metric catalogue in docs/observability.md against src/.
+
+The catalogue's first column holds fnmatch globs over full instrument
+names. This script extracts every literal registration —
+counter("...") / gauge("...") / histogram("...") — from src/ and checks
+both directions:
+
+  * every registered instrument matches at least one catalogue glob
+    (no undocumented metrics), and
+  * every catalogue glob matches at least one registered instrument
+    (no stale catalogue rows).
+
+Only literal string names are checked: names assembled at runtime (e.g.
+the per-LockMode "op.lock.<mode>_us" family) are registered through a
+literal prefix elsewhere or covered by a glob that also matches a
+literal sibling. Exit status: 0 when the catalogue is exact, 1 otherwise.
+"""
+
+import fnmatch
+import re
+import sys
+from pathlib import Path
+
+ROOT = Path(__file__).resolve().parent.parent
+DOC = ROOT / "docs" / "observability.md"
+CATALOG_HEADING = "## Metric catalogue"
+
+REGISTRATION_RE = re.compile(r'\b(?:counter|gauge|histogram)\("([^"]+)"\)')
+GLOB_RE = re.compile(r"`([^`]+)`")
+
+
+def source_names() -> dict[str, list[str]]:
+    """instrument name -> files registering it, for every literal in src/."""
+    names: dict[str, list[str]] = {}
+    for path in sorted((ROOT / "src").rglob("*.cc")) + sorted(
+        (ROOT / "src").rglob("*.h")
+    ):
+        for name in REGISTRATION_RE.findall(path.read_text()):
+            names.setdefault(name, []).append(str(path.relative_to(ROOT)))
+    return names
+
+
+def catalog_globs() -> list[str]:
+    """Backticked globs from the first column of the catalogue table."""
+    text = DOC.read_text()
+    if CATALOG_HEADING not in text:
+        sys.exit(f"{DOC}: missing '{CATALOG_HEADING}' section")
+    section = text.split(CATALOG_HEADING, 1)[1].split("\n## ", 1)[0]
+    globs: list[str] = []
+    for line in section.splitlines():
+        if not line.startswith("|"):
+            continue
+        first_cell = line.split("|")[1]
+        if set(first_cell.strip()) <= {"-", " "} or "name" == first_cell.strip():
+            continue  # header / separator rows
+        globs.extend(GLOB_RE.findall(first_cell))
+    return globs
+
+
+def main() -> int:
+    names = source_names()
+    globs = catalog_globs()
+    if not names or not globs:
+        print("check_metrics_catalog: found nothing to check", file=sys.stderr)
+        return 1
+
+    failures = []
+    for name, files in sorted(names.items()):
+        if not any(fnmatch.fnmatchcase(name, g) for g in globs):
+            failures.append(
+                f"undocumented instrument '{name}' (registered in "
+                f"{files[0]}): add it to the catalogue in {DOC.name}"
+            )
+    for g in globs:
+        if not any(fnmatch.fnmatchcase(name, g) for name in names):
+            failures.append(
+                f"stale catalogue glob '{g}' in {DOC.name}: matches no "
+                "registration in src/"
+            )
+
+    for f in failures:
+        print(f"check_metrics_catalog: {f}", file=sys.stderr)
+    if not failures:
+        print(
+            f"check_metrics_catalog: {len(names)} instruments covered by "
+            f"{len(globs)} catalogue globs"
+        )
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -28,9 +28,9 @@ AdmissionController::AdmissionController(Host& host, AdmissionConfig config,
   ins_.shed_total = &metrics.counter("admission.shed");
   ins_.nacks_sent = &metrics.counter("admission.nacks_sent");
   ins_.expired_in_queue = &metrics.counter("admission.expired_in_queue");
-  ins_.depth_protocol = &metrics.counter("admission.depth.protocol");
-  ins_.depth_client = &metrics.counter("admission.depth.client");
-  ins_.depth_replication = &metrics.counter("admission.depth.replication");
+  ins_.depth_protocol = &metrics.gauge("admission.depth.protocol");
+  ins_.depth_client = &metrics.gauge("admission.depth.client");
+  ins_.depth_replication = &metrics.gauge("admission.depth.replication");
   ins_.queue_us = &metrics.histogram("admission.queue_us");
 }
 
@@ -44,6 +44,10 @@ OpClass AdmissionController::classify(net::MsgType t) {
     case MsgType::kPageFetchReq:
     case MsgType::kPageBatchFetchReq:
     case MsgType::kPageBatchFetchResp:
+    // Telemetry scrapes ride the protocol class on purpose: the whole point
+    // of scraping is to observe a node in trouble, so the scrape must drain
+    // ahead of the backed-up client queue it is trying to measure.
+    case MsgType::kStatsReq:
       return OpClass::kProtocol;
 
     // Copyset maintenance: one-way pushes that must never sit on the
@@ -98,9 +102,10 @@ std::size_t AdmissionController::depth(OpClass c) const {
 }
 
 void AdmissionController::update_depth_gauges() {
-  ins_.depth_protocol->set(protocol_.size());
-  ins_.depth_client->set(client_.size());
-  ins_.depth_replication->set(replication_.size());
+  ins_.depth_protocol->set(static_cast<std::int64_t>(protocol_.size()));
+  ins_.depth_client->set(static_cast<std::int64_t>(client_.size()));
+  ins_.depth_replication->set(
+      static_cast<std::int64_t>(replication_.size()));
 }
 
 bool AdmissionController::offer(net::Message& msg) {

@@ -151,10 +151,10 @@ class AdmissionController {
     obs::Counter* shed_total = nullptr;
     obs::Counter* nacks_sent = nullptr;
     obs::Counter* expired_in_queue = nullptr;
-    /// Gauges (Counter::set): current depth per class.
-    obs::Counter* depth_protocol = nullptr;
-    obs::Counter* depth_client = nullptr;
-    obs::Counter* depth_replication = nullptr;
+    /// Current depth per class (first-class gauges: levels, not rates).
+    obs::Gauge* depth_protocol = nullptr;
+    obs::Gauge* depth_client = nullptr;
+    obs::Gauge* depth_replication = nullptr;
     obs::Histogram* queue_us = nullptr;
   } ins_;
 };

@@ -40,6 +40,7 @@ bool is_response(MsgType t) {
     // Backpressure replies are rpc_id-correlated like responses; the
     // engine turns them into backoff + candidate rotation.
     case MsgType::kNack:
+    case MsgType::kStatsResp:
       return true;
     default:
       return false;
@@ -93,6 +94,8 @@ Node::Node(NodeConfig config, net::Transport& transport)
                                                           config_.disk_pages)),
       regions_(1024),
       tracer_(config_.id),
+      flight_(config_.flight_recorder_capacity),
+      series_(config_.stats_series_capacity),
       engine_(*this, make_policy(config_), metrics_),
       resolver_(*this, engine_, metrics_),
       meta_(storage_, config_.id, [this] { return snapshot_state(); }),
@@ -129,6 +132,12 @@ Node::Node(NodeConfig config, net::Transport& transport)
       &metrics_.histogram("resolve.cluster_walk_us");
   ins_.lock_pages = &metrics_.histogram("op.lock.pages");
   ins_.lock_window = &metrics_.histogram("op.lock.window_occupancy");
+  ins_.scrapes_served = &metrics_.counter("telemetry.scrapes_served");
+  ins_.samples = &metrics_.counter("telemetry.samples");
+  ins_.slow_ops = &metrics_.counter("node.slow_ops");
+  ins_.rpc_attempts = &metrics_.counter("rpc.attempts");
+  ins_.rpc_steered = &metrics_.counter("rpc.steered");
+  ins_.getattr_us = &metrics_.histogram("op.getattr_us");
   members_.insert(config_.id);
   for (NodeId p : config_.peers) members_.insert(p);
   storage_.set_evict_hook([this](const GlobalAddress& page,
@@ -148,6 +157,10 @@ void Node::stop() {
   if (ping_timer_ != 0) {
     transport_.cancel(ping_timer_);
     ping_timer_ = 0;
+  }
+  if (sample_timer_ != 0) {
+    transport_.cancel(sample_timer_);
+    sample_timer_ = 0;
   }
 }
 
@@ -207,6 +220,12 @@ void Node::start() {
   if (config_.ping_interval > 0) {
     ping_timer_ =
         transport_.schedule(config_.ping_interval, [this] { ping_tick(); });
+  }
+  if (config_.stats_sample_interval > 0) {
+    // Baseline for the first delta; ticks re-arm themselves.
+    last_sample_ = metrics_.snapshot();
+    sample_timer_ = transport_.schedule(config_.stats_sample_interval,
+                                        [this] { sample_tick(); });
   }
 }
 
@@ -599,6 +618,7 @@ void Node::handle_request(const Message& msg) {
     case MsgType::kGetAttrReq: return on_attr_req(msg, /*set=*/false);
     case MsgType::kSetAttrReq: return on_attr_req(msg, /*set=*/true);
     case MsgType::kLocateReq: return on_locate_req(msg);
+    case MsgType::kStatsReq: return on_stats_req(msg);
     case MsgType::kReplicaPush: return on_replica_push(msg);
     case MsgType::kReplicaDrop: return on_replica_drop(msg);
     case MsgType::kObjInvokeReq: {
@@ -655,6 +675,149 @@ void Node::app_rpc(NodeId dst, net::MsgType type, Bytes payload,
 void Node::app_respond(const net::Message& req, net::MsgType type,
                        Bytes payload) {
   respond(req, type, std::move(payload));
+}
+
+// ---------------------------------------------------------------------------
+// Telemetry plane: stats scraping, self-sampling, slow-op flight recorder
+// (docs/observability.md)
+// ---------------------------------------------------------------------------
+
+void Node::on_stats_req(const Message& m) {
+  Decoder req(m.payload);
+  const std::uint8_t flags = req.u8();
+  ins_.scrapes_served->inc();
+
+  Encoder e;
+  e.u8(static_cast<std::uint8_t>(ErrorCode::kOk));
+  e.u32(config_.id);
+  e.u64(static_cast<std::uint64_t>(now()));
+  e.u8(flags);
+  metrics_.snapshot().encode(e);
+  if ((flags & kScrapeSeries) != 0) {
+    e.u64(series_.dropped());
+    const auto samples = series_.samples();
+    e.u32(static_cast<std::uint32_t>(samples.size()));
+    for (const auto& s : samples) {
+      e.u64(static_cast<std::uint64_t>(s.at));
+      s.delta.encode(e);
+    }
+  }
+  if ((flags & kScrapeDossiers) != 0) {
+    e.u64(flight_.dropped());
+    const auto ds = flight_.dossiers();
+    e.u32(static_cast<std::uint32_t>(ds.size()));
+    for (const auto& od : ds) od.encode(e);
+  }
+  respond(m, MsgType::kStatsResp, std::move(e).take());
+}
+
+void Node::scrape_stats(NodeId peer, std::uint8_t flags, ScrapeCb cb) {
+  Encoder e;
+  e.u8(flags);
+  // Issued untraced on purpose: the scrape must not pollute the span ring
+  // it is about to export (the engine stamps the ambient context on every
+  // attempt it sends).
+  obs::ScopedTraceContext untraced(tracer_, {});
+  engine_.call({peer}, MsgType::kStatsReq, std::move(e).take(),
+               [cb = std::move(cb)](bool ok, Decoder& d) {
+                 if (!ok) {
+                   cb(ErrorCode::kTimeout);
+                   return;
+                 }
+                 RemoteStats rs;
+                 const ErrorCode ec = decode_stats_payload(d, rs);
+                 if (ec != ErrorCode::kOk) {
+                   cb(ec);
+                   return;
+                 }
+                 cb(std::move(rs));
+               });
+}
+
+ErrorCode Node::decode_stats_payload(Decoder& d, RemoteStats& out) {
+  const auto status = static_cast<ErrorCode>(d.u8());
+  if (status != ErrorCode::kOk) return status;
+  out.node = d.u32();
+  out.at = static_cast<Micros>(d.u64());
+  const std::uint8_t got = d.u8();
+  out.snapshot = obs::MetricsSnapshot::decode(d);
+  if ((got & kScrapeSeries) != 0) {
+    out.series_dropped = d.u64();
+    const std::uint32_t n = d.u32();
+    for (std::uint32_t i = 0; i < n && d.ok(); ++i) {
+      obs::MetricsSample s;
+      s.at = static_cast<Micros>(d.u64());
+      s.delta = obs::MetricsSnapshot::decode(d);
+      out.series.push_back(std::move(s));
+    }
+  }
+  if ((got & kScrapeDossiers) != 0) {
+    out.dossiers_dropped = d.u64();
+    const std::uint32_t n = d.u32();
+    for (std::uint32_t i = 0; i < n && d.ok(); ++i) {
+      out.dossiers.push_back(obs::OpDossier::decode(d));
+    }
+  }
+  return d.ok() ? ErrorCode::kOk : ErrorCode::kCorrupt;
+}
+
+void Node::sample_tick() {
+  ins_.samples->inc();
+  obs::MetricsSnapshot cur = metrics_.snapshot();
+  obs::MetricsSample s;
+  s.at = now();
+  s.delta = cur.diff(last_sample_);
+  last_sample_ = std::move(cur);
+  series_.push(std::move(s));
+  sample_timer_ = transport_.schedule(config_.stats_sample_interval,
+                                      [this] { sample_tick(); });
+}
+
+Node::OpWatch Node::watch_op() const {
+  OpWatch w;
+  w.t0 = now();
+  w.deadline = engine_.ambient_deadline();
+  w.attempts0 = ins_.rpc_attempts->value();
+  w.steered0 = ins_.rpc_steered->value();
+  return w;
+}
+
+void Node::maybe_record_slow_op(const char* op, const OpWatch& w,
+                                std::uint64_t trace_id) {
+  const bool abs_on = config_.slow_op_threshold_us > 0;
+  const bool frac_on = config_.slow_op_deadline_fraction > 0.0 &&
+                       w.deadline > static_cast<std::uint64_t>(w.t0);
+  if (!abs_on && !frac_on) return;
+  const Micros end = now();
+  const auto elapsed = static_cast<std::uint64_t>(end - w.t0);
+  bool slow =
+      abs_on &&
+      elapsed >= static_cast<std::uint64_t>(config_.slow_op_threshold_us);
+  if (!slow && frac_on) {
+    const auto budget = static_cast<double>(w.deadline - w.t0);
+    slow = static_cast<double>(elapsed) >=
+           config_.slow_op_deadline_fraction * budget;
+  }
+  if (!slow) return;
+  ins_.slow_ops->inc();
+  obs::OpDossier d;
+  d.op = op;
+  d.node = config_.id;
+  d.trace_id = trace_id;
+  d.start = w.t0;
+  d.end = end;
+  d.deadline = w.deadline;
+  d.rpc_attempts = ins_.rpc_attempts->value() - w.attempts0;
+  d.rpc_steered = ins_.rpc_steered->value() - w.steered0;
+  d.depth_protocol = admission_.depth(OpClass::kProtocol);
+  d.depth_client = admission_.depth(OpClass::kClient);
+  d.depth_replication = admission_.depth(OpClass::kReplication);
+  if (trace_id != 0) {
+    for (auto& s : tracer_.finished_spans()) {
+      if (s.trace_id == trace_id) d.spans.push_back(std::move(s));
+    }
+  }
+  flight_.record(std::move(d));
 }
 
 // ---------------------------------------------------------------------------

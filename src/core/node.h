@@ -42,6 +42,7 @@
 #include "core/resolver.h"
 #include "core/rpc_engine.h"
 #include "net/transport.h"
+#include "obs/flight_recorder.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "storage/hierarchy.h"
@@ -92,6 +93,20 @@ struct NodeConfig {
   /// default: sim tests journal thousands of records and only need
   /// crash-of-the-process durability.
   bool sync_metadata = false;
+
+  /// Telemetry plane (docs/observability.md). Slow-op flight recorder: a
+  /// client op is "slow" when its latency exceeds slow_op_threshold_us
+  /// (absolute, 0 = off) or slow_op_deadline_fraction of the deadline
+  /// budget it started with (0 = off). Either trigger cuts a dossier into
+  /// the bounded dossier ring.
+  Micros slow_op_threshold_us = 0;
+  double slow_op_deadline_fraction = 0.0;
+  std::size_t flight_recorder_capacity = 32;
+  /// Self-sampler: every interval the node diffs its registry against the
+  /// previous sample and appends the delta to the time-series ring
+  /// (0 = sampler off).
+  Micros stats_sample_interval = 0;
+  std::size_t stats_series_capacity = 64;
 
   std::uint64_t seed = 42;
   std::uint32_t principal = 0;  // identity for ACL checks
@@ -210,6 +225,37 @@ class Node final : public consistency::CmHost,
   /// the paper's single-cluster prototype shares).
   void leave(StatusCb cb);
 
+  // --- telemetry scraping (docs/observability.md) -----------------------
+  /// kStatsReq flag bits: which optional sections the responder appends
+  /// after the registry snapshot (the snapshot itself always ships).
+  static constexpr std::uint8_t kScrapeSeries = 1u << 0;
+  static constexpr std::uint8_t kScrapeDossiers = 1u << 1;
+
+  /// A peer's telemetry as decoded from one kStatsResp.
+  struct RemoteStats {
+    NodeId node = kNoNode;
+    /// The responder's clock when the snapshot was cut.
+    Micros at = 0;
+    obs::MetricsSnapshot snapshot;
+    std::vector<obs::MetricsSample> series;      // kScrapeSeries
+    std::uint64_t series_dropped = 0;            // kScrapeSeries
+    std::vector<obs::OpDossier> dossiers;        // kScrapeDossiers
+    std::uint64_t dossiers_dropped = 0;          // kScrapeDossiers
+  };
+  using ScrapeCb = std::function<void(Result<RemoteStats>)>;
+
+  /// Fetches `peer`'s full registry (plus the sections in `flags`) over
+  /// the wire. Works against self too (the request loops through the
+  /// scheduler like any self-send). Issued untraced on purpose — scraping
+  /// must not pollute the span rings it exports.
+  void scrape_stats(NodeId peer, std::uint8_t flags, ScrapeCb cb);
+
+  /// Decodes a kStatsResp payload. Returns kOk and fills `out` on success,
+  /// the carried error status if the responder reported one, kCorrupt if
+  /// the payload fails to parse. Static so external scrapers (khz_stats)
+  /// that are not Nodes share the one wire-format reader.
+  static ErrorCode decode_stats_payload(Decoder& d, RemoteStats& out);
+
   // --- introspection ----------------------------------------------------
   /// This node's id (stable for the node's lifetime; reused on restart).
   [[nodiscard]] NodeId id() const { return config_.id; }
@@ -248,6 +294,11 @@ class Node final : public consistency::CmHost,
   [[nodiscard]] AddressMap* address_map() { return map_.get(); }
   /// Liveness view (up/down verdicts) maintained by the failure detector.
   [[nodiscard]] ClusterState& cluster_state() { return cluster_; }
+  /// Slow-op dossier ring (docs/observability.md); bounded, drop-counted.
+  [[nodiscard]] obs::FlightRecorder& flight_recorder() { return flight_; }
+  /// Self-sampled metric-delta time series (empty unless
+  /// stats_sample_interval > 0).
+  [[nodiscard]] obs::TimeSeriesRing& stats_series() { return series_; }
 
   /// Pending background (release-side) retry operations.
   [[nodiscard]] std::size_t background_queue_depth() const {
@@ -416,6 +467,28 @@ class Node final : public consistency::CmHost,
   void mark_node_down(NodeId node);
   void mark_node_up(NodeId node);
 
+  // Telemetry plane (docs/observability.md).
+  void on_stats_req(const net::Message& m);
+  /// Self-sampler tick: diffs the registry against the previous sample and
+  /// appends the delta to the time-series ring.
+  void sample_tick();
+  /// Captured at client-op start; compared at completion to decide whether
+  /// the op was slow enough to deserve a dossier. attempts0/steered0 are the
+  /// engine's cumulative counters at t0, so the dossier carries per-op
+  /// deltas (single-threaded node: no other op mutates them mid-flight).
+  struct OpWatch {
+    Micros t0 = 0;
+    std::uint64_t deadline = 0;
+    std::uint64_t attempts0 = 0;
+    std::uint64_t steered0 = 0;
+  };
+  [[nodiscard]] OpWatch watch_op() const;
+  /// Cuts a dossier into the flight recorder when the op crossed either
+  /// slow-op trigger. Must run after the op's root span ends (the dossier
+  /// harvests the span tree from the trace ring by trace_id).
+  void maybe_record_slow_op(const char* op, const OpWatch& w,
+                            std::uint64_t trace_id);
+
   // Home fail-over (docs/recovery.md): when the failure detector declares
   // a region's home dead, the surviving copy-set member with the highest
   // node id promotes itself to home, re-registers hints/map entries, and
@@ -480,6 +553,13 @@ class Node final : public consistency::CmHost,
   // never takes the registry's name-lookup mutex.
   obs::MetricsRegistry metrics_;
   obs::Tracer tracer_;
+  /// Telemetry plane (docs/observability.md): slow-op dossier ring and the
+  /// self-sampled metric-delta time series, both exported through the
+  /// kStatsReq scrape path.
+  obs::FlightRecorder flight_;
+  obs::TimeSeriesRing series_;
+  /// Registry snapshot at the previous sampler tick (delta baseline).
+  obs::MetricsSnapshot last_sample_;
 
   /// RPC substrate + the subsystems split out of the old god object. All
   /// three see the node only through narrow host interfaces. Declared
@@ -490,6 +570,8 @@ class Node final : public consistency::CmHost,
   AdmissionController admission_;
   /// Failure-detector loop timer; cancelled by stop().
   std::uint64_t ping_timer_ = 0;
+  /// Self-sampler loop timer; cancelled by stop().
+  std::uint64_t sample_timer_ = 0;
 
   struct Instruments {
     obs::Counter* reserves = nullptr;
@@ -521,6 +603,16 @@ class Node final : public consistency::CmHost,
     /// sampled at each issue (how much of the pipeline is actually used).
     obs::Histogram* lock_pages = nullptr;
     obs::Histogram* lock_window = nullptr;
+    /// Telemetry plane.
+    obs::Counter* scrapes_served = nullptr;
+    obs::Counter* samples = nullptr;
+    obs::Counter* slow_ops = nullptr;
+    /// The engine's own rpc.attempts / rpc.steered instruments (same
+    /// Counter objects via registry name lookup); read by the slow-op
+    /// watch to attribute per-op retry/steer deltas.
+    obs::Counter* rpc_attempts = nullptr;
+    obs::Counter* rpc_steered = nullptr;
+    obs::Histogram* getattr_us = nullptr;
   } ins_;
   [[nodiscard]] obs::Histogram* lock_hist(consistency::LockMode mode);
 

@@ -131,9 +131,12 @@ void Node::reserve(std::uint64_t size, const RegionAttrs& raw_attrs,
   const Micros t0 = now();
   const obs::TraceContext span = tracer_.begin_span("op:reserve");
   obs::ScopedTraceContext scope(tracer_, span);
-  cb = [this, t0, span, cb = std::move(cb)](Result<GlobalAddress> r) {
+  const OpWatch watch = watch_op();
+  cb = [this, t0, watch, span, cb = std::move(cb)](Result<GlobalAddress> r) {
     if (r.ok()) ins_.reserve_us->record(now() - t0);
     tracer_.end_span(span);
+    // After end_span: the dossier harvests the finished span tree.
+    maybe_record_slow_op("reserve", watch, span.trace_id);
     cb(std::move(r));
   };
   if (size == 0 || !valid_page_size(raw_attrs.page_size)) {
@@ -349,10 +352,12 @@ void Node::lock(const AddressRange& range, LockMode mode, LockCb cb) {
   const Micros t0 = now();
   const obs::TraceContext span = tracer_.begin_span("op:lock");
   obs::ScopedTraceContext scope(tracer_, span);
-  cb = [this, t0, h = lock_hist(mode), span,
+  const OpWatch watch = watch_op();
+  cb = [this, t0, watch, h = lock_hist(mode), span,
         cb = std::move(cb)](Result<LockContext> r) {
     if (r.ok()) h->record(now() - t0);
     tracer_.end_span(span);
+    maybe_record_slow_op("lock", watch, span.trace_id);
     cb(std::move(r));
   };
   if (range.size == 0 || mode == LockMode::kNone) {
@@ -622,6 +627,19 @@ Status Node::write(const LockContext& ctx, std::uint64_t offset,
 // ---------------------------------------------------------------------------
 
 void Node::getattr(const GlobalAddress& base, AttrCb cb) {
+  // Root span + latency histogram + slow-op watch, same shape as
+  // reserve()/lock(): getattr is the op the overload bench saturates with,
+  // so its tail is exactly where the flight recorder earns its keep.
+  const Micros t0 = now();
+  const obs::TraceContext span = tracer_.begin_span("op:getattr");
+  obs::ScopedTraceContext scope(tracer_, span);
+  const OpWatch watch = watch_op();
+  cb = [this, t0, watch, span, cb = std::move(cb)](Result<RegionAttrs> r) {
+    if (r.ok()) ins_.getattr_us->record(now() - t0);
+    tracer_.end_span(span);
+    maybe_record_slow_op("getattr", watch, span.trace_id);
+    cb(std::move(r));
+  };
   resolver_.resolve(base, [this, base, cb = std::move(cb)](
                     Result<RegionDescriptor> r) mutable {
     if (!r) {

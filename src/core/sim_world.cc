@@ -28,6 +28,11 @@ NodeConfig make_config(const SimWorldOptions& opts, NodeId id,
   cfg.admission_replication_queue = opts.admission_replication_queue;
   cfg.admission_service_us = opts.admission_service_us;
   cfg.sync_metadata = opts.sync_metadata;
+  cfg.slow_op_threshold_us = opts.slow_op_threshold_us;
+  cfg.slow_op_deadline_fraction = opts.slow_op_deadline_fraction;
+  cfg.flight_recorder_capacity = opts.flight_recorder_capacity;
+  cfg.stats_sample_interval = opts.stats_sample_interval;
+  cfg.stats_series_capacity = opts.stats_series_capacity;
   cfg.seed = opts.seed;
   return cfg;
 }
@@ -204,6 +209,16 @@ Status SimWorld::replicate_to(NodeId n, const GlobalAddress& base,
   return out.value_or(ErrorCode::kTimeout);
 }
 
+Result<Node::RemoteStats> SimWorld::scrape(NodeId n, NodeId peer,
+                                           std::uint8_t flags) {
+  std::optional<Result<Node::RemoteStats>> out;
+  node(n).scrape_stats(peer, flags, [&](Result<Node::RemoteStats> r) {
+    out = std::move(r);
+  });
+  pump_until([&] { return out.has_value(); });
+  return out.value_or(Result<Node::RemoteStats>{ErrorCode::kTimeout});
+}
+
 // ---------------------------------------------------------------------------
 // Composites
 // ---------------------------------------------------------------------------
@@ -269,6 +284,50 @@ std::string SimWorld::metrics_text(NodeId n) {
 std::string SimWorld::metrics_json(NodeId n) {
   sync_net_metrics(n);
   return node(n).metrics().dump_json();
+}
+
+std::string SimWorld::cluster_metrics_json() {
+  NodeId scraper = kNoNode;
+  for (const auto& n : nodes_) {
+    if (n) {
+      scraper = n->id();
+      break;
+    }
+  }
+  if (scraper == kNoNode) return "{\"cluster\":{},\"nodes\":{}}";
+  // The simulator counts traffic globally, not per endpoint. Mirror the
+  // net.* counters into the scraper node and zero any stale mirror a prior
+  // metrics_text/json call left on another node, so the rollup counts the
+  // wire exactly once.
+  for (const auto& n : nodes_) {
+    if (!n) continue;
+    if (n->id() == scraper) {
+      sync_net_metrics(scraper);
+    } else {
+      auto& reg = n->metrics();
+      reg.counter("net.messages_sent").set(0);
+      reg.counter("net.messages_delivered").set(0);
+      reg.counter("net.messages_dropped").set(0);
+      reg.counter("net.messages_duplicated").set(0);
+      reg.counter("net.bytes_sent").set(0);
+    }
+  }
+  obs::MetricsSnapshot cluster;
+  std::string nodes_json = "{";
+  bool first = true;
+  for (const auto& n : nodes_) {
+    if (!n) continue;
+    auto rs = scrape(scraper, n->id(), 0);
+    if (!rs.ok()) continue;
+    cluster.merge(rs.value().snapshot);
+    if (!first) nodes_json += ',';
+    first = false;
+    nodes_json += '"' + std::to_string(n->id()) +
+                  "\":" + rs.value().snapshot.to_json();
+  }
+  nodes_json += '}';
+  return "{\"cluster\":" + cluster.to_json() + ",\"nodes\":" + nodes_json +
+         '}';
 }
 
 }  // namespace khz::core

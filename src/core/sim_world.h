@@ -38,6 +38,14 @@ struct SimWorldOptions {
   Micros admission_service_us = 0;
   /// fdatasync the metadata journal on commit (power-loss durability).
   bool sync_metadata = false;
+  /// Telemetry knobs, forwarded verbatim to every NodeConfig (see
+  /// docs/observability.md). Defaults: flight recorder armed but never
+  /// triggered, self-sampler off.
+  Micros slow_op_threshold_us = 0;
+  double slow_op_deadline_fraction = 0.0;
+  std::size_t flight_recorder_capacity = 32;
+  Micros stats_sample_interval = 0;
+  std::size_t stats_series_capacity = 64;
   std::uint64_t seed = 1;
 };
 
@@ -110,6 +118,10 @@ class SimWorld {
   Result<std::vector<NodeId>> locate(NodeId n, const GlobalAddress& addr);
   Status migrate(NodeId n, const GlobalAddress& base, NodeId new_home);
   Status replicate_to(NodeId n, const GlobalAddress& base, NodeId target);
+  /// Blocking remote-stats scrape: node `n` fetches `peer`'s registry (plus
+  /// the sections in `flags`) over the simulated wire.
+  Result<Node::RemoteStats> scrape(NodeId n, NodeId peer,
+                                   std::uint8_t flags = 0);
 
   // --- composite conveniences -------------------------------------------
   /// reserve + allocate in one step.
@@ -130,6 +142,13 @@ class SimWorld {
   /// globally, not per endpoint).
   [[nodiscard]] std::string metrics_text(NodeId n);
   [[nodiscard]] std::string metrics_json(NodeId n);
+  /// Scrapes every live node over the wire and emits one cluster-wide
+  /// rollup (counters/gauges summed, histograms merged bucket-wise) plus
+  /// the per-node breakdown:
+  ///   {"cluster":{...},"nodes":{"0":{...},...}}
+  /// The deployment-global net.* counters are attributed to exactly one
+  /// node so the rollup counts them once.
+  [[nodiscard]] std::string cluster_metrics_json();
 
  private:
   void sync_net_metrics(NodeId n);

@@ -32,6 +32,11 @@ TcpWorld::TcpWorld(TcpWorldOptions opts) : bus_(opts.base_port) {
     cfg.admission_replication_queue = opts.admission_replication_queue;
     cfg.admission_service_us = opts.admission_service_us;
     cfg.sync_metadata = opts.sync_metadata;
+    cfg.slow_op_threshold_us = opts.slow_op_threshold_us;
+    cfg.slow_op_deadline_fraction = opts.slow_op_deadline_fraction;
+    cfg.flight_recorder_capacity = opts.flight_recorder_capacity;
+    cfg.stats_sample_interval = opts.stats_sample_interval;
+    cfg.stats_series_capacity = opts.stats_series_capacity;
     cfg.seed = opts.seed;
     nodes_.push_back(std::make_unique<Node>(std::move(cfg), *transports_[i]));
   }
@@ -74,7 +79,7 @@ std::string TcpWorld::trace_json() {
   return obs::chrome_trace_json(spans);
 }
 
-obs::MetricsSnapshot TcpWorld::merged_snapshot(NodeId id) {
+void TcpWorld::mirror_wire_counters(NodeId id) {
   auto& reg = node(id).metrics();
   const net::TransportStats s = transports_.at(id)->stats();
   reg.counter("tcp.messages_sent").set(s.messages_sent);
@@ -86,8 +91,11 @@ obs::MetricsSnapshot TcpWorld::merged_snapshot(NodeId id) {
   reg.counter("tcp.reconnects").set(s.reconnects);
   reg.counter("tcp.connect_failures").set(s.connect_failures);
   reg.counter("tcp.peak_queued_bytes").set(s.peak_queued_bytes);
+}
 
-  obs::MetricsSnapshot snap = reg.snapshot();
+obs::MetricsSnapshot TcpWorld::merged_snapshot(NodeId id) {
+  mirror_wire_counters(id);
+  obs::MetricsSnapshot snap = node(id).metrics().snapshot();
   const obs::MetricsSnapshot wire = transports_.at(id)->metrics().snapshot();
   for (const auto& [name, value] : wire.counters) snap.counters[name] = value;
   for (const auto& [name, hist] : wire.histograms) {
@@ -102,6 +110,55 @@ std::string TcpWorld::metrics_text(NodeId id) {
 
 std::string TcpWorld::metrics_json(NodeId id) {
   return merged_snapshot(id).to_json();
+}
+
+Result<Node::RemoteStats> TcpWorld::scrape(NodeId via, NodeId peer,
+                                           std::uint8_t flags) {
+  struct State {
+    std::mutex mu;
+    std::condition_variable cv;
+    std::optional<Result<Node::RemoteStats>> result;
+  };
+  auto state = std::make_shared<State>();
+  transports_.at(via)->run_on_executor([&] {
+    nodes_.at(via)->scrape_stats(
+        peer, flags, [state](Result<Node::RemoteStats> r) {
+          std::lock_guard lk(state->mu);
+          state->result = std::move(r);
+          state->cv.notify_one();
+        });
+  });
+  std::unique_lock lk(state->mu);
+  state->cv.wait(lk, [&] { return state->result.has_value(); });
+  return std::move(*state->result);
+}
+
+std::string TcpWorld::cluster_metrics_json() {
+  // Mirror every endpoint's wire counters first so the over-the-wire
+  // snapshots carry tcp.*.
+  for (std::size_t i = 0; i < nodes_.size(); ++i) {
+    mirror_wire_counters(static_cast<NodeId>(i));
+  }
+  obs::MetricsSnapshot cluster;
+  std::string nodes_json = "{";
+  bool first = true;
+  for (std::size_t i = 0; i < nodes_.size(); ++i) {
+    const auto id = static_cast<NodeId>(i);
+    auto rs = scrape(/*via=*/0, id, 0);
+    if (!rs.ok()) continue;
+    obs::MetricsSnapshot snap = std::move(rs.value().snapshot);
+    // Fold in the transport's own instruments (tcp.send_queue_us etc.),
+    // which live in the endpoint's registry, not the node's, so the
+    // per-node objects match metrics_json(id).
+    snap.merge(transports_.at(id)->metrics().snapshot());
+    cluster.merge(snap);
+    if (!first) nodes_json += ',';
+    first = false;
+    nodes_json += '"' + std::to_string(id) + "\":" + snap.to_json();
+  }
+  nodes_json += '}';
+  return "{\"cluster\":" + cluster.to_json() + ",\"nodes\":" + nodes_json +
+         '}';
 }
 
 TcpWorld::~TcpWorld() {

@@ -37,6 +37,13 @@ struct TcpWorldOptions {
   Micros admission_service_us = 0;
   /// fdatasync the metadata journal on commit (power-loss durability).
   bool sync_metadata = false;
+  /// Telemetry knobs, forwarded to every NodeConfig (see
+  /// docs/observability.md).
+  Micros slow_op_threshold_us = 0;
+  double slow_op_deadline_fraction = 0.0;
+  std::size_t flight_recorder_capacity = 32;
+  Micros stats_sample_interval = 0;
+  std::size_t stats_series_capacity = 64;
   std::uint64_t seed = 1;
 };
 
@@ -72,7 +79,24 @@ class TcpWorld {
   [[nodiscard]] std::string metrics_text(NodeId id);
   [[nodiscard]] std::string metrics_json(NodeId id);
 
+  /// Blocking remote-stats scrape: node `via` fetches `peer`'s registry
+  /// (plus the sections in `flags`) over real TCP. Issued on `via`'s
+  /// executor; the calling thread blocks until the response arrives.
+  Result<Node::RemoteStats> scrape(NodeId via, NodeId peer,
+                                   std::uint8_t flags = 0);
+
+  /// Scrapes every node over the wire and emits one cluster-wide rollup
+  /// (counters/gauges summed, histograms merged bucket-wise) plus the
+  /// per-node breakdown: {"cluster":{...},"nodes":{"0":{...},...}}. Each
+  /// endpoint's tcp.* wire counters are mirrored into its node registry
+  /// first, and the transport's own instruments are folded into both
+  /// sides, so the per-node objects match metrics_json(id).
+  [[nodiscard]] std::string cluster_metrics_json();
+
  private:
+  /// Mirrors the endpoint's TransportStats into the node registry's tcp.*
+  /// counters (Counter::set is atomic — safe from any thread).
+  void mirror_wire_counters(NodeId id);
   [[nodiscard]] obs::MetricsSnapshot merged_snapshot(NodeId id);
 
   net::TcpBus bus_;

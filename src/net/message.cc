@@ -51,6 +51,8 @@ std::string_view to_string(MsgType t) {
     case MsgType::kReplicateToReq: return "ReplicateToReq";
     case MsgType::kReplicateToResp: return "ReplicateToResp";
     case MsgType::kNack: return "Nack";
+    case MsgType::kStatsReq: return "StatsReq";
+    case MsgType::kStatsResp: return "StatsResp";
   }
   return "?";
 }

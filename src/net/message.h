@@ -100,6 +100,16 @@ enum class MsgType : std::uint16_t {
   // payload carries a u8 ErrorCode (kOverloaded). The issuing engine backs
   // off and rotates candidates instead of waiting out an attempt timeout.
   kNack,
+
+  // Telemetry scraping (docs/observability.md): any node (or an external
+  // khz_stats endpoint) fetches a peer's full metrics registry — counter/
+  // gauge values and raw histogram buckets, optionally the time-series ring
+  // and slow-op dossiers (request payload: u8 flags). Untraced
+  // protocol-class traffic: scrapes must drain ahead of a backed-up client
+  // queue (observing an overloaded node is exactly when scraping matters)
+  // without polluting the trace rings they export.
+  kStatsReq,
+  kStatsResp,  // u8 status, u32 node, u64 now, u8 flags, sections per flag
 };
 
 [[nodiscard]] std::string_view to_string(MsgType t);

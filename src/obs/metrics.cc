@@ -65,12 +65,54 @@ HistogramSnapshot HistogramSnapshot::diff(
   return d;
 }
 
+void HistogramSnapshot::merge(const HistogramSnapshot& other) {
+  count += other.count;
+  sum += other.sum;
+  max = std::max(max, other.max);
+  for (std::size_t i = 0; i < kHistogramBuckets; ++i) {
+    buckets[i] += other.buckets[i];
+  }
+}
+
+void HistogramSnapshot::encode(Encoder& e) const {
+  e.u64(count);
+  e.u64(sum);
+  e.u64(max);
+  std::uint8_t nonzero = 0;
+  for (std::size_t i = 0; i < kHistogramBuckets; ++i) {
+    if (buckets[i] != 0) ++nonzero;
+  }
+  e.u8(nonzero);
+  for (std::size_t i = 0; i < kHistogramBuckets; ++i) {
+    if (buckets[i] == 0) continue;
+    e.u8(static_cast<std::uint8_t>(i));
+    e.u64(buckets[i]);
+  }
+}
+
+HistogramSnapshot HistogramSnapshot::decode(Decoder& d) {
+  HistogramSnapshot s;
+  s.count = d.u64();
+  s.sum = d.u64();
+  s.max = d.u64();
+  const std::uint8_t n = d.u8();
+  for (std::uint8_t i = 0; i < n && d.ok(); ++i) {
+    const std::uint8_t idx = d.u8();
+    const std::uint64_t c = d.u64();
+    if (idx < kHistogramBuckets) s.buckets[idx] = c;
+  }
+  return s;
+}
+
 MetricsSnapshot MetricsSnapshot::diff(const MetricsSnapshot& earlier) const {
   MetricsSnapshot d;
   for (const auto& [name, v] : counters) {
     auto it = earlier.counters.find(name);
     d.counters[name] = v - (it == earlier.counters.end() ? 0 : it->second);
   }
+  // Gauges are instantaneous levels; "what changed this interval" is the
+  // level itself, not a subtraction.
+  d.gauges = gauges;
   for (const auto& [name, h] : histograms) {
     auto it = earlier.histograms.find(name);
     d.histograms[name] =
@@ -79,12 +121,61 @@ MetricsSnapshot MetricsSnapshot::diff(const MetricsSnapshot& earlier) const {
   return d;
 }
 
+void MetricsSnapshot::merge(const MetricsSnapshot& other) {
+  for (const auto& [name, v] : other.counters) counters[name] += v;
+  for (const auto& [name, v] : other.gauges) gauges[name] += v;
+  for (const auto& [name, h] : other.histograms) histograms[name].merge(h);
+}
+
+void MetricsSnapshot::encode(Encoder& e) const {
+  e.u32(static_cast<std::uint32_t>(counters.size()));
+  for (const auto& [name, v] : counters) {
+    e.str(name);
+    e.u64(v);
+  }
+  e.u32(static_cast<std::uint32_t>(gauges.size()));
+  for (const auto& [name, v] : gauges) {
+    e.str(name);
+    e.i64(v);
+  }
+  e.u32(static_cast<std::uint32_t>(histograms.size()));
+  for (const auto& [name, h] : histograms) {
+    e.str(name);
+    h.encode(e);
+  }
+}
+
+MetricsSnapshot MetricsSnapshot::decode(Decoder& d) {
+  MetricsSnapshot s;
+  const std::uint32_t nc = d.u32();
+  for (std::uint32_t i = 0; i < nc && d.ok(); ++i) {
+    std::string name = d.str();
+    s.counters[std::move(name)] = d.u64();
+  }
+  const std::uint32_t ng = d.u32();
+  for (std::uint32_t i = 0; i < ng && d.ok(); ++i) {
+    std::string name = d.str();
+    s.gauges[std::move(name)] = d.i64();
+  }
+  const std::uint32_t nh = d.u32();
+  for (std::uint32_t i = 0; i < nh && d.ok(); ++i) {
+    std::string name = d.str();
+    s.histograms[std::move(name)] = HistogramSnapshot::decode(d);
+  }
+  return s;
+}
+
 std::string MetricsSnapshot::to_text() const {
   std::string out;
   char line[256];
   for (const auto& [name, v] : counters) {
     std::snprintf(line, sizeof(line), "%-40s %llu\n", name.c_str(),
                   static_cast<unsigned long long>(v));
+    out += line;
+  }
+  for (const auto& [name, v] : gauges) {
+    std::snprintf(line, sizeof(line), "%-40s %lld (gauge)\n", name.c_str(),
+                  static_cast<long long>(v));
     out += line;
   }
   for (const auto& [name, h] : histograms) {
@@ -131,6 +222,15 @@ std::string MetricsSnapshot::to_json() const {
                   static_cast<unsigned long long>(v));
     out += buf;
   }
+  out += "},\"gauges\":{";
+  first = true;
+  for (const auto& [name, v] : gauges) {
+    if (!first) out += ',';
+    first = false;
+    append_json_string(out, name);
+    std::snprintf(buf, sizeof(buf), ":%lld", static_cast<long long>(v));
+    out += buf;
+  }
   out += "},\"histograms\":{";
   first = true;
   for (const auto& [name, h] : histograms) {
@@ -162,6 +262,18 @@ Counter& MetricsRegistry::counter(std::string_view name) {
   return it->second;
 }
 
+Gauge& MetricsRegistry::gauge(std::string_view name) {
+  std::lock_guard lk(mu_);
+  auto it = gauges_.find(name);
+  if (it == gauges_.end()) {
+    it = gauges_.emplace(std::piecewise_construct,
+                         std::forward_as_tuple(name),
+                         std::forward_as_tuple())
+             .first;
+  }
+  return it->second;
+}
+
 Histogram& MetricsRegistry::histogram(std::string_view name) {
   std::lock_guard lk(mu_);
   auto it = histograms_.find(name);
@@ -178,6 +290,7 @@ MetricsSnapshot MetricsRegistry::snapshot() const {
   std::lock_guard lk(mu_);
   MetricsSnapshot s;
   for (const auto& [name, c] : counters_) s.counters[name] = c.value();
+  for (const auto& [name, g] : gauges_) s.gauges[name] = g.value();
   for (const auto& [name, h] : histograms_) s.histograms[name] = h.snapshot();
   return s;
 }
