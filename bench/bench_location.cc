@@ -68,7 +68,7 @@ void run(const std::string& link_name, const net::LinkProfile& link) {
     if (!base.ok()) std::abort();
     const AddressRange region{base.value(), 4096};
     world.pump_for(1'000'000);  // map registration lands
-    world.node(0).cluster_state() = ClusterState{};
+    world.node(0).cluster_state().clear();
     const auto p = measure(world, 3, region);
     cell(std::string("3: map tree walk")); cell(us(p.latency));
     cell(p.messages); endrow();
@@ -82,7 +82,7 @@ void run(const std::string& link_name, const net::LinkProfile& link) {
     if (!base.ok()) std::abort();
     const AddressRange region{base.value(), 4096};
     world.pump_for(1'000'000);
-    world.node(0).cluster_state() = ClusterState{};
+    world.node(0).cluster_state().clear();
     if (!world.node(0).address_map()->erase(base.value()).ok()) std::abort();
     const auto p = measure(world, 3, region);
     cell(std::string("4: cluster walk")); cell(us(p.latency));

@@ -11,12 +11,25 @@ core — the CmHost bridge exists precisely so protocols never see Node)
 and fails the build. Parses quoted includes only: system/third-party
 headers in angle brackets are not layering edges.
 
-Exit status: 0 when the DAG holds, 1 otherwise.
+The lane primitives follow the same DAG: `common/lane.h` (lane tags,
+lane_of hashing) sits at the bottom so net/ and core/ both use it, and
+`core/lane_set.h` (per-lane telemetry) rides on obs like any other core
+header.
+
+Also enforces the src/core translation-unit size cap: node.cc was split
+into one-subsystem TUs (ops / queries / handlers / migrate / failover /
+telemetry / meta) and no src/core/*.cc may regress past MAX_CORE_TU_LINES
+lines — growth belongs in a new focused TU, not back into a god file.
+
+Exit status: 0 when the DAG holds and the cap is respected, 1 otherwise.
 """
 
 import re
 import sys
 from pathlib import Path
+
+# Hard ceiling for any single translation unit under src/core/.
+MAX_CORE_TU_LINES = 800
 
 # layer -> layers it may include (itself is always allowed).
 ALLOWED = {
@@ -59,12 +72,23 @@ def main() -> int:
                 f"{rel}:{lineno}: layer '{layer}' may not include "
                 f"'{target}/' ({line.strip()})"
             )
+    for path in sorted((src / "core").glob("*.cc")):
+        lines = len(path.read_text(encoding="utf-8").splitlines())
+        if lines > MAX_CORE_TU_LINES:
+            violations.append(
+                f"{path.relative_to(src.parent)}: {lines} lines exceeds the "
+                f"{MAX_CORE_TU_LINES}-line src/core TU cap — split a "
+                f"subsystem into its own TU"
+            )
     if violations:
         print("include-DAG violations:")
         for v in violations:
             print(f"  {v}")
         return 1
-    print(f"layering OK ({len(ALLOWED)} layers, no back-edges)")
+    print(
+        f"layering OK ({len(ALLOWED)} layers, no back-edges; "
+        f"src/core TUs within {MAX_CORE_TU_LINES} lines)"
+    )
     return 0
 
 

@@ -1,0 +1,72 @@
+// Execution lanes: the node-sharding primitives (see docs/architecture.md,
+// threading model).
+//
+// A node partitions its region / consistency-manager / page-directory state
+// by region hash across N single-writer lanes. Each lane is one executor
+// context (a real thread under TcpTransport, a logical tag under the
+// discrete-event simulator); all state owned by a lane is only ever touched
+// while running on that lane, which preserves the historical
+// no-data-races-per-region invariant without per-region locks.
+//
+// This header holds the pieces every layer shares: the current-lane TLS,
+// the RAII scope transports use while dispatching onto a lane, and the
+// region-key -> lane hash. It lives in common/ (the bottom of the include
+// DAG) so net/, storage/, obs/ and core/ can all route by it.
+#pragma once
+
+#include <cstdint>
+
+namespace khz {
+
+/// Upper bound on lanes per node (config values are clamped to this).
+inline constexpr unsigned kMaxLanes = 16;
+
+namespace detail {
+inline thread_local unsigned t_current_lane = 0;
+}  // namespace detail
+
+/// The lane the calling context is executing on. Defaults to 0 for threads
+/// that never entered a LaneScope (external callers, the I/O thread before
+/// demux, test main threads).
+[[nodiscard]] inline unsigned current_lane() {
+  return detail::t_current_lane;
+}
+
+/// RAII lane marker. Transports open one around every handler / timer
+/// dispatch so lane-owned state accessors resolve to the right shard; lane
+/// executor threads open one for their whole lifetime.
+class LaneScope {
+ public:
+  explicit LaneScope(unsigned lane)
+      : prev_(detail::t_current_lane) {
+    detail::t_current_lane = lane;
+  }
+  ~LaneScope() { detail::t_current_lane = prev_; }
+
+  LaneScope(const LaneScope&) = delete;
+  LaneScope& operator=(const LaneScope&) = delete;
+
+ private:
+  unsigned prev_;
+};
+
+/// splitmix64: cheap, well-mixed 64-bit hash. Region base addresses are
+/// strided allocations (low bits mostly zero), so lane selection needs a
+/// real mixer, not a modulo.
+[[nodiscard]] inline std::uint64_t lane_hash(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+/// Which lane owns routing key `key` on a node with `lanes` lanes. Key 0 is
+/// the control-plane key (membership, map, gossip, unkeyed traffic) and is
+/// pinned to lane 0 — which also pins the well-known map region (base
+/// address 0) to the lane that owns the manager role's state.
+[[nodiscard]] inline unsigned lane_of(std::uint64_t key, unsigned lanes) {
+  if (lanes <= 1 || key == 0) return 0;
+  return static_cast<unsigned>(lane_hash(key) % lanes);
+}
+
+}  // namespace khz

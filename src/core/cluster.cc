@@ -4,12 +4,14 @@ namespace khz::core {
 
 void ClusterState::publish(const GlobalAddress& base, std::uint64_t size,
                            NodeId node) {
+  std::lock_guard lk(mu_);
   Hint& h = hints_[base];
   h.size = size;
   h.nodes.insert(node);
 }
 
 void ClusterState::retract(const GlobalAddress& base, NodeId node) {
+  std::lock_guard lk(mu_);
   auto it = hints_.find(base);
   if (it == hints_.end()) return;
   it->second.nodes.erase(node);
@@ -17,6 +19,7 @@ void ClusterState::retract(const GlobalAddress& base, NodeId node) {
 }
 
 std::vector<NodeId> ClusterState::hint(const GlobalAddress& addr) const {
+  std::lock_guard lk(mu_);
   auto it = hints_.upper_bound(addr);
   if (it == hints_.begin()) return {};
   --it;
@@ -26,16 +29,19 @@ std::vector<NodeId> ClusterState::hint(const GlobalAddress& addr) const {
 }
 
 void ClusterState::report_free_space(NodeId node, std::uint64_t pool_bytes) {
+  std::lock_guard lk(mu_);
   free_space_[node] = pool_bytes;
 }
 
 std::uint64_t ClusterState::free_space_of(NodeId node) const {
+  std::lock_guard lk(mu_);
   auto it = free_space_.find(node);
   return it == free_space_.end() ? 0 : it->second;
 }
 
 std::optional<NodeId> ClusterState::best_pool_node(
     std::uint64_t min_bytes) const {
+  std::lock_guard lk(mu_);
   std::optional<NodeId> best;
   std::uint64_t best_size = min_bytes;
   for (const auto& [node, size] : free_space_) {

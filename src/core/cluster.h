@@ -13,6 +13,7 @@
 #pragma once
 
 #include <map>
+#include <mutex>
 #include <optional>
 #include <set>
 #include <vector>
@@ -38,13 +39,28 @@ class ClusterState {
   [[nodiscard]] std::optional<NodeId> best_pool_node(
       std::uint64_t min_bytes) const;
 
-  [[nodiscard]] std::size_t hint_count() const { return hints_.size(); }
+  [[nodiscard]] std::size_t hint_count() const {
+    std::lock_guard lk(mu_);
+    return hints_.size();
+  }
+
+  /// Drops all hint and free-space state (tests simulate a manager whose
+  /// hint cache was lost).
+  void clear() {
+    std::lock_guard lk(mu_);
+    hints_.clear();
+    free_space_.clear();
+  }
 
  private:
   struct Hint {
     std::uint64_t size = 0;
     std::set<NodeId> nodes;
   };
+  /// Hint state is read/written from every execution lane of the manager
+  /// node (publishes arrive region-routed; queries arrive control-routed),
+  /// so it synchronizes internally.
+  mutable std::mutex mu_;
   std::map<GlobalAddress, Hint> hints_;  // keyed by region base
   std::map<NodeId, std::uint64_t> free_space_;
 };

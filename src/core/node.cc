@@ -16,37 +16,6 @@ using storage::PageState;
 
 namespace {
 
-bool is_response(MsgType t) {
-  switch (t) {
-    case MsgType::kJoinResp:
-    case MsgType::kReserveResp:
-    case MsgType::kUnreserveResp:
-    case MsgType::kSpaceResp:
-    case MsgType::kDescLookupResp:
-    case MsgType::kHintQueryResp:
-    case MsgType::kClusterWalkResp:
-    case MsgType::kAllocResp:
-    case MsgType::kFreeResp:
-    case MsgType::kGetAttrResp:
-    case MsgType::kSetAttrResp:
-    case MsgType::kPageFetchResp:
-    case MsgType::kMapMutateResp:
-    case MsgType::kLocateResp:
-    case MsgType::kObjInvokeResp:
-    case MsgType::kMigrateResp:
-    case MsgType::kMigrateDataResp:
-    case MsgType::kReplicateToResp:
-    case MsgType::kPong:
-    // Backpressure replies are rpc_id-correlated like responses; the
-    // engine turns them into backoff + candidate rotation.
-    case MsgType::kNack:
-    case MsgType::kStatsResp:
-      return true;
-    default:
-      return false;
-  }
-}
-
 /// Span names like "rpc:DescLookupReq" / "rx:Cm".
 std::string span_name(const char* kind, MsgType t) {
   std::string out(kind);
@@ -86,26 +55,84 @@ AdmissionConfig make_admission(const NodeConfig& c) {
 Node::Node(NodeConfig config, net::Transport& transport)
     : config_(std::move(config)),
       transport_(transport),
-      rng_(config_.seed + config_.id * 7919),
-      storage_(config_.ram_pages,
-               config_.disk_dir.empty()
-                   ? nullptr
-                   : std::make_unique<storage::DiskStore>(config_.disk_dir,
-                                                          config_.disk_pages)),
+      lanes_(std::clamp(config_.lanes, 1u, kMaxLanes)),
+      rngs_([&] {
+        // Lane 0 seeds exactly like the legacy single-lane node; further
+        // lanes perturb by lane index so they draw independent streams.
+        std::vector<Rng> v;
+        for (unsigned l = 0; l < lanes_; ++l) {
+          v.emplace_back(config_.seed + config_.id * 7919 +
+                         l * 0x9e3779b9ULL);
+        }
+        return v;
+      }()),
+      disk_(config_.disk_dir.empty()
+                ? nullptr
+                : std::make_shared<storage::DiskStore>(config_.disk_dir,
+                                                       config_.disk_pages)),
+      storages_([&] {
+        // One RAM level per lane over the shared disk store. lanes=1
+        // degenerates to the legacy full-size cache.
+        const std::size_t ram =
+            lanes_ > 1 ? std::max<std::size_t>(1, config_.ram_pages / lanes_)
+                       : config_.ram_pages;
+        std::vector<std::unique_ptr<storage::StorageHierarchy>> v;
+        for (unsigned l = 0; l < lanes_; ++l) {
+          v.push_back(std::make_unique<storage::StorageHierarchy>(ram, disk_));
+        }
+        return v;
+      }()),
+      pages_v_([&] {
+        std::vector<std::unique_ptr<storage::PageDirectory>> v;
+        for (unsigned l = 0; l < lanes_; ++l) {
+          v.push_back(std::make_unique<storage::PageDirectory>());
+        }
+        return v;
+      }()),
       regions_(1024),
       tracer_(config_.id),
       flight_(config_.flight_recorder_capacity),
       series_(config_.stats_series_capacity),
-      engine_(*this, make_policy(config_), metrics_),
-      resolver_(*this, engine_, metrics_),
-      meta_(storage_, config_.id, [this] { return snapshot_state(); }),
-      admission_(*this, make_admission(config_), metrics_) {
+      engines_([&] {
+        std::vector<std::unique_ptr<RpcEngine>> v;
+        for (unsigned l = 0; l < lanes_; ++l) {
+          v.push_back(std::make_unique<RpcEngine>(*this, make_policy(config_),
+                                                  metrics_));
+          // Lane-strided rpc ids: id % lanes recovers the issuing lane, so
+          // responses demux onto the right lane without shared state.
+          // lanes=1 yields the legacy 1,2,3… sequence.
+          v.back()->configure_ids(l + lanes_, lanes_);
+        }
+        return v;
+      }()),
+      resolvers_([&] {
+        std::vector<std::unique_ptr<Resolver>> v;
+        for (unsigned l = 0; l < lanes_; ++l) {
+          v.push_back(
+              std::make_unique<Resolver>(*this, *engines_[l], metrics_));
+        }
+        return v;
+      }()),
+      meta_(*storages_[0], config_.id, [this] { return snapshot_state(); }),
+      admissions_([&] {
+        std::vector<std::unique_ptr<AdmissionController>> v;
+        for (unsigned l = 0; l < lanes_; ++l) {
+          v.push_back(std::make_unique<AdmissionController>(
+              *this, make_admission(config_), metrics_));
+        }
+        return v;
+      }()) {
   consistency::register_builtin_protocols();
-  if (config_.sync_metadata && storage_.disk() != nullptr) {
-    storage_.disk()->journal().set_sync_on_commit(true);
+  cms_v_.resize(lanes_);
+  active_locks_v_.resize(lanes_);
+  for (unsigned l = 0; l < lanes_; ++l) next_lock_ids_.push_back(l + lanes_);
+  if (config_.sync_metadata && disk_ != nullptr) {
+    disk_->journal().set_sync_on_commit(true);
   }
+  transport_.configure_lanes(lanes_);
   tracer_.set_clock(&transport_.clock());
   regions_.bind_metrics(metrics_);
+  lane_stats_.bind(metrics_, lanes_);
   ins_.reserves = &metrics_.counter("node.reserves");
   ins_.locks_granted = &metrics_.counter("node.locks_granted");
   ins_.locks_failed = &metrics_.counter("node.locks_failed");
@@ -140,20 +167,24 @@ Node::Node(NodeConfig config, net::Transport& transport)
   ins_.getattr_us = &metrics_.histogram("op.getattr_us");
   members_.insert(config_.id);
   for (NodeId p : config_.peers) members_.insert(p);
-  storage_.set_evict_hook([this](const GlobalAddress& page,
-                                 const Bytes& data) {
-    return evict_hook(page, data);
-  });
+  for (auto& s : storages_) {
+    s->set_evict_hook(
+        [this](const GlobalAddress& page, const Bytes& data) {
+          return evict_hook(page, data);
+        });
+  }
   transport_.set_handler([this](Message m) { on_message(std::move(m)); });
 }
 
 Node::~Node() { stop(); }
 
 void Node::stop() {
-  // Engine first: it cancels every pending RPC-attempt, backoff and
-  // reliable-send timer, all of which capture `this`.
-  engine_.shutdown();
-  admission_.shutdown();
+  // Engines first: they cancel every pending RPC-attempt, backoff and
+  // reliable-send timer, all of which capture `this`. Callers over a live
+  // multi-lane TCP transport must quiesce the lane executors first
+  // (TcpWorld does); under the simulator everything is one thread.
+  for (auto& e : engines_) e->shutdown();
+  for (auto& a : admissions_) a->shutdown();
   if (ping_timer_ != 0) {
     transport_.cancel(ping_timer_);
     ping_timer_ = 0;
@@ -195,10 +226,14 @@ void Node::start() {
   if (config_.id == config_.genesis) {
     // Bootstrap region 0: the address map lives in Khazana itself
     // (Section 3.1). On restart an already formatted map is recovered from
-    // the persistent store.
+    // the persistent store. Map pages are control-plane (route key 0), so
+    // all of this state is touched from lane 0 only.
     map_store_ = std::make_unique<LocalMapStore>(*this);
     map_ = std::make_unique<AddressMap>(*map_store_);
-    homed_regions_[kMapRegionBase] = map_region_descriptor(config_.genesis);
+    {
+      std::lock_guard lk(state_mu_);
+      homed_regions_[kMapRegionBase] = map_region_descriptor(config_.genesis);
+    }
     if (!map_->formatted()) {
       AddressMap::format(*map_store_);
       (void)map_->insert({kMapRegionBase, kMapRegionSize},
@@ -211,6 +246,7 @@ void Node::start() {
         [this](bool ok, Decoder& d) {
           if (!ok) return;
           const std::uint32_t n = d.u32();
+          std::lock_guard lk(state_mu_);
           for (std::uint32_t i = 0; i < n && d.ok(); ++i) {
             members_.insert(d.u32());
           }
@@ -242,12 +278,13 @@ void Node::send_cm(NodeId peer, ProtocolId protocol, const GlobalAddress& page,
   Message m;
   m.type = MsgType::kCm;
   m.dst = peer;
+  m.route_key = route_key_of(page);
   m.payload = std::move(e).take();
   send_msg(std::move(m));
 }
 
 void Node::send_page_batch(NodeId peer, ProtocolId protocol, bool request,
-                           Bytes payload) {
+                           Bytes payload, std::uint64_t route_key) {
   Encoder e;
   e.u8(static_cast<std::uint8_t>(protocol));
   e.raw(payload);
@@ -255,40 +292,49 @@ void Node::send_page_batch(NodeId peer, ProtocolId protocol, bool request,
   m.type =
       request ? MsgType::kPageBatchFetchReq : MsgType::kPageBatchFetchResp;
   m.dst = peer;
+  m.route_key = route_key;
   m.payload = std::move(e).take();
   send_msg(std::move(m));
 }
 
+std::uint64_t Node::route_key_of(const GlobalAddress& page) {
+  // Map-region pages are control-plane: key 0 confines them to lane 0.
+  if (AddressRange{kMapRegionBase, kMapRegionSize}.contains(page)) return 0;
+  if (auto desc = homed_descriptor(page)) {
+    return region_key(desc->range.base);
+  }
+  if (auto desc = regions_.lookup(page)) {
+    return region_key(desc->range.base);
+  }
+  return 0;
+}
+
 storage::PageInfo& Node::page_info(const GlobalAddress& page) {
-  return pages_.ensure(page);
+  return pages_().ensure(page);
 }
 
 const Bytes* Node::page_data(const GlobalAddress& page) {
-  return storage_.get(page);
+  return storage_().get(page);
 }
 
 void Node::store_page(const GlobalAddress& page, Bytes data) {
-  storage_.put(page, std::move(data));
-  if (pages_.ensure(page).homed_locally) {
+  storage_().put(page, std::move(data));
+  if (pages_().ensure(page).homed_locally) {
     // Write-through for pages this node homes: their latest contents must
     // survive a restart (the page directory's persistent subset,
     // Section 3.4). Journal the version so recovery re-serves the page.
-    (void)storage_.flush(page);
+    (void)storage_().flush(page);
     journal_page(page);
   }
 }
 
-void Node::drop_page(const GlobalAddress& page) { storage_.erase(page); }
+void Node::drop_page(const GlobalAddress& page) { storage_().erase(page); }
 
 NodeId Node::home_of(const GlobalAddress& page) {
   if (AddressRange{kMapRegionBase, kMapRegionSize}.contains(page)) {
     return config_.genesis;
   }
-  auto it = homed_regions_.upper_bound(page);
-  if (it != homed_regions_.begin()) {
-    auto& [base, desc] = *std::prev(it);
-    if (desc.range.contains(page)) return config_.id;
-  }
+  if (homed_descriptor(page)) return config_.id;
   if (auto desc = regions_.lookup(page)) return desc->primary_home();
   // Last resort: the cluster manager can route or Nack; retries recover.
   return config_.cluster_manager;
@@ -298,18 +344,12 @@ bool Node::is_home(const GlobalAddress& page) {
   if (AddressRange{kMapRegionBase, kMapRegionSize}.contains(page)) {
     return config_.id == config_.genesis;
   }
-  auto it = homed_regions_.upper_bound(page);
-  return it != homed_regions_.begin() &&
-         std::prev(it)->second.range.contains(page);
+  return homed_descriptor(page).has_value();
 }
 
 std::vector<NodeId> Node::alternate_homes(const GlobalAddress& page) {
   if (AddressRange{kMapRegionBase, kMapRegionSize}.contains(page)) return {};
-  auto it = homed_regions_.upper_bound(page);
-  if (it != homed_regions_.begin()) {
-    auto& [base, desc] = *std::prev(it);
-    if (desc.range.contains(page)) return desc.alternates();
-  }
+  if (auto desc = homed_descriptor(page)) return desc->alternates();
   if (auto desc = regions_.lookup(page)) return desc->alternates();
   return {};
 }
@@ -318,26 +358,19 @@ std::uint32_t Node::page_size_of(const GlobalAddress& page) {
   if (AddressRange{kMapRegionBase, kMapRegionSize}.contains(page)) {
     return kDefaultPageSize;
   }
-  auto it = homed_regions_.upper_bound(page);
-  if (it != homed_regions_.begin()) {
-    auto& [base, desc] = *std::prev(it);
-    if (desc.range.contains(page)) return desc.attrs.page_size;
-  }
+  if (auto desc = homed_descriptor(page)) return desc->attrs.page_size;
   if (auto desc = regions_.lookup(page)) return desc->attrs.page_size;
   return kDefaultPageSize;
 }
 
 std::uint32_t Node::min_replicas_of(const GlobalAddress& page) {
-  auto it = homed_regions_.upper_bound(page);
-  if (it != homed_regions_.begin()) {
-    auto& [base, desc] = *std::prev(it);
-    if (desc.range.contains(page)) return desc.attrs.min_replicas;
-  }
+  if (auto desc = homed_descriptor(page)) return desc->attrs.min_replicas;
   if (auto desc = regions_.lookup(page)) return desc->attrs.min_replicas;
   return 1;
 }
 
 std::vector<NodeId> Node::membership() {
+  std::lock_guard lk(state_mu_);
   std::vector<NodeId> out;
   for (NodeId n : members_) {
     if (!down_nodes_.contains(n)) out.push_back(n);
@@ -346,6 +379,7 @@ std::vector<NodeId> Node::membership() {
 }
 
 bool Node::write_gated(const GlobalAddress& page) {
+  std::lock_guard lk(state_mu_);
   if (recovering_regions_.empty()) return false;
   auto it = homed_regions_.upper_bound(page);
   if (it == homed_regions_.begin()) return false;
@@ -353,13 +387,14 @@ bool Node::write_gated(const GlobalAddress& page) {
   if (!desc.range.contains(page)) return false;
   if (!recovering_regions_.contains(desc.range.base)) return false;
   // The guarantee is satisfiable only up to the live membership size; a
-  // two-node system with min_replicas=3 must not gate forever.
+  // two-node system with min_replicas=3 must not gate forever. Only the
+  // page's owning lane asks (its CM), so pages_() below is its own shard.
   const auto target = std::min<std::size_t>(desc.attrs.min_replicas,
                                             membership().size());
   const std::uint32_t psz = desc.attrs.page_size;
   for (GlobalAddress p = desc.range.base; p < desc.range.end();
        p = p.plus(psz)) {
-    const auto* info = pages_.find(p);
+    const auto* info = pages_().find(p);
     std::size_t live = 0;
     if (info != nullptr) {
       for (NodeId s : info->sharers) {
@@ -387,12 +422,12 @@ std::uint64_t Node::schedule(Micros delay, std::function<void()> fn) {
 void Node::cancel(std::uint64_t timer_id) { transport_.cancel(timer_id); }
 
 consistency::ConsistencyManager* Node::cm_for(ProtocolId protocol) {
-  auto it = cms_.find(protocol);
-  if (it != cms_.end()) return it->second.get();
+  auto it = cms_().find(protocol);
+  if (it != cms_().end()) return it->second.get();
   auto cm = consistency::ProtocolRegistry::instance().create(protocol, *this);
   if (!cm) return nullptr;
   auto* raw = cm.get();
-  cms_.emplace(protocol, std::move(cm));
+  cms_().emplace(protocol, std::move(cm));
   return raw;
 }
 
@@ -405,25 +440,19 @@ bool Node::evict_hook(const GlobalAddress& page, const Bytes& data) {
   // "it must invoke the consistency protocol associated with the page to
   // update the list of sharers, push any dirty data to remote nodes"
   // (Section 3.4).
-  auto* info = pages_.find(page);
+  auto* info = pages_().find(page);
   if (info == nullptr) return true;  // untracked page: free to drop
   // Map region pages use the release protocol.
   ProtocolId protocol = ProtocolId::kRelease;
   if (!AddressRange{kMapRegionBase, kMapRegionSize}.contains(page)) {
     auto desc = regions_.lookup(page);
-    if (!desc) {
-      auto it = homed_regions_.upper_bound(page);
-      if (it != homed_regions_.begin() &&
-          std::prev(it)->second.range.contains(page)) {
-        desc = std::prev(it)->second;
-      }
-    }
+    if (!desc) desc = homed_descriptor(page);
     if (desc) protocol = desc->attrs.protocol;
   }
   auto* cm = cm_for(protocol);
   if (cm == nullptr) return true;
   const bool allowed = cm->on_evict(page);
-  if (allowed) pages_.erase(page);
+  if (allowed) pages_().erase(page);
   return allowed;
 }
 
@@ -432,10 +461,10 @@ void Node::materialize_region_pages(const RegionDescriptor& desc,
   const std::uint32_t psz = desc.attrs.page_size;
   for (GlobalAddress p = range.base.page_floor(psz); p < range.end();
        p = p.plus(psz)) {
-    auto& info = pages_.ensure(p);
+    auto& info = pages_().ensure(p);
     info.homed_locally = true;
     info.home = config_.id;
-    if (storage_.get(p) == nullptr) {
+    if (storage_().get(p) == nullptr) {
       info.owner = config_.id;
       info.state = PageState::kShared;
       info.sharers.insert(config_.id);
@@ -448,22 +477,29 @@ void Node::materialize_region_pages(const RegionDescriptor& desc,
 void Node::release_region_pages(const RegionDescriptor& desc,
                                 const AddressRange& range) {
   const std::uint32_t psz = desc.attrs.page_size;
+  const std::uint64_t key = region_key(desc.range.base);
   for (GlobalAddress p = range.base.page_floor(psz); p < range.end();
        p = p.plus(psz)) {
-    if (auto* info = pages_.find(p)) {
+    if (auto* info = pages_().find(p)) {
       for (NodeId sharer : info->sharers) {
         if (sharer == config_.id) continue;
         Message m;
         m.type = MsgType::kReplicaDrop;
         m.dst = sharer;
+        m.route_key = key;
         Encoder e;
         e.addr(p);
         m.payload = std::move(e).take();
         send_msg(std::move(m));
       }
     }
-    storage_.erase(p);
-    pages_.erase(p);
+    storage_().erase(p);
+    pages_().erase(p);
+  }
+  std::lock_guard lk(state_mu_);
+  for (GlobalAddress p = range.base.page_floor(psz); p < range.end();
+       p = p.plus(psz)) {
+    journaled_pages_.erase(p);
   }
 }
 
@@ -474,7 +510,7 @@ void Node::release_region_pages(const RegionDescriptor& desc,
 Bytes Node::LocalMapStore::read_page(std::uint32_t index) {
   const GlobalAddress addr = kMapRegionBase.plus(
       static_cast<std::uint64_t>(index) * kDefaultPageSize);
-  if (const Bytes* data = node_.storage_.get(addr)) return *data;
+  if (const Bytes* data = node_.storage_().get(addr)) return *data;
   return Bytes(kDefaultPageSize, 0);
 }
 
@@ -488,7 +524,7 @@ void Node::LocalMapStore::write_page(std::uint32_t index, const Bytes& data) {
     granted = s.ok();
   });
   assert(granted);
-  auto& info = node_.pages_.ensure(addr);
+  auto& info = node_.pages_().ensure(addr);
   info.homed_locally = true;
   info.home = node_.config_.id;
   if (info.owner == kNoNode) info.owner = node_.config_.id;
@@ -503,14 +539,60 @@ void Node::LocalMapStore::write_page(std::uint32_t index, const Bytes& data) {
 void Node::route(Message m) {
   if (m.dst == config_.id) {
     // Self-sends loop back through the scheduler so handlers are never
-    // re-entered from within themselves.
+    // re-entered from within themselves — onto the lane that would have
+    // received the message off the wire, so self-sends and remote sends
+    // land on identical state.
     m.src = config_.id;
-    transport_.schedule(0, [this, m = std::move(m)]() mutable {
+    const unsigned target = net::target_lane(m, lanes_);
+    transport_.schedule_on(target, 0, [this, m = std::move(m)]() mutable {
       on_message(std::move(m));
     });
     return;
   }
   transport_.send(std::move(m));
+}
+
+void Node::post_to_lane(unsigned lane, std::function<void()> fn) {
+  lane_stats_.enqueued(lane);
+  const Micros t0 = now();
+  transport_.post(lane, [this, lane, t0, fn = std::move(fn)] {
+    lane_stats_.dispatched(lane, now() - t0);
+    fn();
+  });
+}
+
+void Node::run_on_region_lane(const GlobalAddress& base,
+                              std::function<void()> fn) {
+  const unsigned target = region_lane(base);
+  if (target == lane()) {
+    fn();
+    return;
+  }
+  // Carry the ambient deadline and trace context across the hop; they
+  // re-open against the TARGET lane's engine/tracer slot inside the post.
+  const Micros dl = engine_().ambient_deadline();
+  const obs::TraceContext ctx = tracer_.current();
+  post_to_lane(target, [this, dl, ctx, fn = std::move(fn)] {
+    RpcEngine::DeadlineScope dscope(engine_(), dl);
+    obs::ScopedTraceContext tscope(tracer_, ctx);
+    fn();
+  });
+}
+
+bool Node::hop_home(const Message& m, const GlobalAddress& addr) {
+  if (lanes_ <= 1) return false;
+  auto desc = homed_descriptor(addr);
+  // Not homed here: the handler's miss path touches only metadata-plane
+  // state (mutex-guarded), which any lane may serve.
+  if (!desc) return false;
+  const unsigned target = region_lane(desc->range.base);
+  if (target == lane()) return false;
+  Message copy = m;
+  copy.route_key = region_key(desc->range.base);
+  post_to_lane(target, [this, copy = std::move(copy)]() mutable {
+    dispatch_request(copy);
+  });
+  return true;
 }
 
 void Node::send_msg(Message m) {
@@ -521,10 +603,10 @@ void Node::send_msg(Message m) {
 }
 
 void Node::on_message(Message msg) {
-  if (down_nodes_.contains(msg.src)) mark_node_up(msg.src);
+  if (is_down(msg.src)) mark_node_up(msg.src);
 
   if (is_response(msg.type)) {
-    engine_.on_response(msg);
+    engine_().on_response(msg);
     return;
   }
 
@@ -540,14 +622,14 @@ void Node::on_message(Message msg) {
   // per-class queues (shedding with kNack backpressure under overload) and
   // dispatch from the drain pump. Bypass classes — and everything when
   // admission is off — keep the synchronous path.
-  if (admission_.offer(msg)) return;
+  if (admission_().offer(msg)) return;
   dispatch_request(msg);
 }
 
 void Node::dispatch_request(const Message& msg) {
   // Nested RPCs issued while serving this request inherit what remains of
   // the caller's budget.
-  RpcEngine::DeadlineScope dscope(engine_, msg.deadline);
+  RpcEngine::DeadlineScope dscope(engine_(), msg.deadline);
 
   // Server side of a hop: everything this request triggers is parented to
   // the caller's wire context. Untraced messages stay untraced.
@@ -584,6 +666,22 @@ void Node::handle_request(const Message& msg) {
       Decoder d(msg.payload);
       const auto protocol = static_cast<ProtocolId>(d.u8());
       const GlobalAddress page = d.addr();
+      if (lanes_ > 1) {
+        // Safety net: the local resolution of the page's region is
+        // authoritative (the sender's key may be stale or 0 when it had no
+        // descriptor); fall back to the wire key when we know nothing.
+        std::uint64_t key = route_key_of(page);
+        if (key == 0) key = msg.route_key;
+        const unsigned target = lane_of(key, lanes_);
+        if (target != lane()) {
+          Message copy = msg;
+          copy.route_key = key;
+          post_to_lane(target, [this, copy = std::move(copy)]() mutable {
+            dispatch_request(copy);
+          });
+          return;
+        }
+      }
       if (auto* cm = cm_for(protocol)) cm->on_message(msg.src, page, d);
       return;
     }
@@ -629,15 +727,31 @@ void Node::handle_request(const Message& msg) {
     case MsgType::kReplicateToReq: return on_replicate_to_req(msg);
     case MsgType::kMigrateData: return on_migrate_data(msg);
     case MsgType::kLeave: {
-      members_.erase(msg.src);
-      down_nodes_.erase(msg.src);
-      missed_pongs_.erase(msg.src);
-      for (auto& [_, cm] : cms_) cm->on_node_down(msg.src);
+      {
+        std::lock_guard lk(state_mu_);
+        members_.erase(msg.src);
+        down_nodes_.erase(msg.src);
+        missed_pongs_.erase(msg.src);
+      }
+      // Every lane's CMs clean up protocol state for the departed peer, on
+      // their own lane. The calling lane (0: kLeave is control-plane) runs
+      // inline so lanes=1 keeps the legacy synchronous behavior.
+      const NodeId who = msg.src;
+      for (unsigned l = 0; l < lanes_; ++l) {
+        if (l == lane()) {
+          for (auto& [_, cm] : cms_v_[l]) cm->on_node_down(who);
+        } else {
+          post_to_lane(l, [this, who, l] {
+            for (auto& [_, cm] : cms_v_[l]) cm->on_node_down(who);
+          });
+        }
+      }
       return;
     }
     case MsgType::kNodeListGossip: {
       Decoder d(msg.payload);
       const std::uint32_t n = d.u32();
+      std::lock_guard lk(state_mu_);
       for (std::uint32_t i = 0; i < n && d.ok(); ++i) members_.insert(d.u32());
       return;
     }
@@ -654,7 +768,7 @@ void Node::rpc(NodeId dst, MsgType type, Bytes payload, RespHandler handler) {
   RpcEngine::CallOptions opts;
   opts.max_attempts = 1;
   opts.ignore_down = true;
-  engine_.call({dst}, type, std::move(payload), std::move(handler),
+  engine_().call({dst}, type, std::move(payload), std::move(handler),
                std::move(opts));
 }
 
@@ -663,6 +777,9 @@ void Node::respond(const Message& req, MsgType type, Bytes payload) {
   m.type = type;
   m.dst = req.src;
   m.rpc_id = req.rpc_id;
+  // Echo the request's routing key: responses demux by rpc_id, but one-way
+  // reply types (batch grants) still need the region key on the wire.
+  m.route_key = req.route_key;
   m.payload = std::move(payload);
   send_msg(std::move(m));
 }
@@ -677,225 +794,5 @@ void Node::app_respond(const net::Message& req, net::MsgType type,
   respond(req, type, std::move(payload));
 }
 
-// ---------------------------------------------------------------------------
-// Telemetry plane: stats scraping, self-sampling, slow-op flight recorder
-// (docs/observability.md)
-// ---------------------------------------------------------------------------
-
-void Node::on_stats_req(const Message& m) {
-  Decoder req(m.payload);
-  const std::uint8_t flags = req.u8();
-  ins_.scrapes_served->inc();
-
-  Encoder e;
-  e.u8(static_cast<std::uint8_t>(ErrorCode::kOk));
-  e.u32(config_.id);
-  e.u64(static_cast<std::uint64_t>(now()));
-  e.u8(flags);
-  metrics_.snapshot().encode(e);
-  if ((flags & kScrapeSeries) != 0) {
-    e.u64(series_.dropped());
-    const auto samples = series_.samples();
-    e.u32(static_cast<std::uint32_t>(samples.size()));
-    for (const auto& s : samples) {
-      e.u64(static_cast<std::uint64_t>(s.at));
-      s.delta.encode(e);
-    }
-  }
-  if ((flags & kScrapeDossiers) != 0) {
-    e.u64(flight_.dropped());
-    const auto ds = flight_.dossiers();
-    e.u32(static_cast<std::uint32_t>(ds.size()));
-    for (const auto& od : ds) od.encode(e);
-  }
-  respond(m, MsgType::kStatsResp, std::move(e).take());
-}
-
-void Node::scrape_stats(NodeId peer, std::uint8_t flags, ScrapeCb cb) {
-  Encoder e;
-  e.u8(flags);
-  // Issued untraced on purpose: the scrape must not pollute the span ring
-  // it is about to export (the engine stamps the ambient context on every
-  // attempt it sends).
-  obs::ScopedTraceContext untraced(tracer_, {});
-  engine_.call({peer}, MsgType::kStatsReq, std::move(e).take(),
-               [cb = std::move(cb)](bool ok, Decoder& d) {
-                 if (!ok) {
-                   cb(ErrorCode::kTimeout);
-                   return;
-                 }
-                 RemoteStats rs;
-                 const ErrorCode ec = decode_stats_payload(d, rs);
-                 if (ec != ErrorCode::kOk) {
-                   cb(ec);
-                   return;
-                 }
-                 cb(std::move(rs));
-               });
-}
-
-ErrorCode Node::decode_stats_payload(Decoder& d, RemoteStats& out) {
-  const auto status = static_cast<ErrorCode>(d.u8());
-  if (status != ErrorCode::kOk) return status;
-  out.node = d.u32();
-  out.at = static_cast<Micros>(d.u64());
-  const std::uint8_t got = d.u8();
-  out.snapshot = obs::MetricsSnapshot::decode(d);
-  if ((got & kScrapeSeries) != 0) {
-    out.series_dropped = d.u64();
-    const std::uint32_t n = d.u32();
-    for (std::uint32_t i = 0; i < n && d.ok(); ++i) {
-      obs::MetricsSample s;
-      s.at = static_cast<Micros>(d.u64());
-      s.delta = obs::MetricsSnapshot::decode(d);
-      out.series.push_back(std::move(s));
-    }
-  }
-  if ((got & kScrapeDossiers) != 0) {
-    out.dossiers_dropped = d.u64();
-    const std::uint32_t n = d.u32();
-    for (std::uint32_t i = 0; i < n && d.ok(); ++i) {
-      out.dossiers.push_back(obs::OpDossier::decode(d));
-    }
-  }
-  return d.ok() ? ErrorCode::kOk : ErrorCode::kCorrupt;
-}
-
-void Node::sample_tick() {
-  ins_.samples->inc();
-  obs::MetricsSnapshot cur = metrics_.snapshot();
-  obs::MetricsSample s;
-  s.at = now();
-  s.delta = cur.diff(last_sample_);
-  last_sample_ = std::move(cur);
-  series_.push(std::move(s));
-  sample_timer_ = transport_.schedule(config_.stats_sample_interval,
-                                      [this] { sample_tick(); });
-}
-
-Node::OpWatch Node::watch_op() const {
-  OpWatch w;
-  w.t0 = now();
-  w.deadline = engine_.ambient_deadline();
-  w.attempts0 = ins_.rpc_attempts->value();
-  w.steered0 = ins_.rpc_steered->value();
-  return w;
-}
-
-void Node::maybe_record_slow_op(const char* op, const OpWatch& w,
-                                std::uint64_t trace_id) {
-  const bool abs_on = config_.slow_op_threshold_us > 0;
-  const bool frac_on = config_.slow_op_deadline_fraction > 0.0 &&
-                       w.deadline > static_cast<std::uint64_t>(w.t0);
-  if (!abs_on && !frac_on) return;
-  const Micros end = now();
-  const auto elapsed = static_cast<std::uint64_t>(end - w.t0);
-  bool slow =
-      abs_on &&
-      elapsed >= static_cast<std::uint64_t>(config_.slow_op_threshold_us);
-  if (!slow && frac_on) {
-    const auto budget = static_cast<double>(w.deadline - w.t0);
-    slow = static_cast<double>(elapsed) >=
-           config_.slow_op_deadline_fraction * budget;
-  }
-  if (!slow) return;
-  ins_.slow_ops->inc();
-  obs::OpDossier d;
-  d.op = op;
-  d.node = config_.id;
-  d.trace_id = trace_id;
-  d.start = w.t0;
-  d.end = end;
-  d.deadline = w.deadline;
-  d.rpc_attempts = ins_.rpc_attempts->value() - w.attempts0;
-  d.rpc_steered = ins_.rpc_steered->value() - w.steered0;
-  d.depth_protocol = admission_.depth(OpClass::kProtocol);
-  d.depth_client = admission_.depth(OpClass::kClient);
-  d.depth_replication = admission_.depth(OpClass::kReplication);
-  if (trace_id != 0) {
-    for (auto& s : tracer_.finished_spans()) {
-      if (s.trace_id == trace_id) d.spans.push_back(std::move(s));
-    }
-  }
-  flight_.record(std::move(d));
-}
-
-// ---------------------------------------------------------------------------
-// Resolver::Host glue + metadata persistence glue
-// ---------------------------------------------------------------------------
-
-std::optional<RegionDescriptor> Node::homed_descriptor(
-    const GlobalAddress& addr) {
-  auto it = homed_regions_.upper_bound(addr);
-  if (it != homed_regions_.begin()) {
-    const auto& [base, desc] = *std::prev(it);
-    if (desc.range.contains(addr)) return desc;
-  }
-  return std::nullopt;
-}
-
-void Node::fetch_map_page(std::uint32_t index,
-                          std::function<void(Result<Bytes>)> cb) {
-  if (map_ != nullptr) {
-    cb(map_store_->read_page(index));
-    return;
-  }
-  const GlobalAddress addr = kMapRegionBase.plus(
-      static_cast<std::uint64_t>(index) * kDefaultPageSize);
-  auto* cm = cm_for(ProtocolId::kRelease);
-  cm->acquire(addr, LockMode::kRead, [this, addr, cb = std::move(cb)](
-                                         Status s) mutable {
-    if (!s.ok()) {
-      cb(s.error());
-      return;
-    }
-    const Bytes* data = storage_.get(addr);
-    Bytes copy = data != nullptr ? *data : Bytes(kDefaultPageSize, 0);
-    cm_for(ProtocolId::kRelease)->release(addr, LockMode::kRead, false);
-    cb(std::move(copy));
-  });
-}
-
-MetaLog::Snapshot Node::snapshot_state() {
-  MetaLog::Snapshot snap;
-  snap.granted_bytes = granted_bytes_;
-  snap.pool = pool_;
-  snap.regions = homed_regions_;
-  for (const auto& p : pages_.homed_pages()) {
-    const auto* info = pages_.find(p);
-    snap.page_versions[p] = info != nullptr ? info->version : 0;
-  }
-  return snap;
-}
-
-void Node::journal_page(const GlobalAddress& page) {
-  const auto* info = pages_.find(page);
-  meta_.record_page(page, info != nullptr ? info->version : 0);
-}
-
-void Node::recover_meta() {
-  auto* disk = storage_.disk();
-  if (disk == nullptr) return;
-  MetaLog::Snapshot snap = meta_.recover();
-
-  // Install the recovered state.
-  granted_bytes_ = snap.granted_bytes;
-  pool_ = std::move(snap.pool);
-  for (const auto& [base, desc] : snap.regions) {
-    homed_regions_[base] = desc;
-    regions_.insert(desc);
-  }
-  for (const auto& [p, v] : snap.page_versions) {
-    auto& info = pages_.ensure(p);
-    info.homed_locally = true;
-    info.home = config_.id;
-    info.owner = config_.id;
-    info.version = v;
-    // Volatile copies elsewhere died with the crash from this node's point
-    // of view; the copyset restarts at just us.
-    info.state = disk->contains(p) ? PageState::kShared : PageState::kInvalid;
-    info.sharers = {config_.id};
-  }
-}
 
 }  // namespace khz::core

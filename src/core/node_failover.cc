@@ -16,17 +16,31 @@ using storage::PageState;
 // ---------------------------------------------------------------------------
 
 void Node::ping_tick() {
-  for (NodeId n : members_) {
-    if (n == config_.id) continue;
+  std::vector<NodeId> peers;
+  {
+    std::lock_guard<std::recursive_mutex> g(state_mu_);
+    for (NodeId n : members_) {
+      if (n != config_.id) peers.push_back(n);
+    }
+  }
+  for (NodeId n : peers) {
     rpc(n, MsgType::kPing, {}, [this, n](bool ok, Decoder&) {
       if (ok) {
-        missed_pongs_[n] = 0;
-        if (down_nodes_.contains(n)) mark_node_up(n);
+        bool was_down = false;
+        {
+          std::lock_guard<std::recursive_mutex> g(state_mu_);
+          missed_pongs_[n] = 0;
+          was_down = down_nodes_.contains(n);
+        }
+        if (was_down) mark_node_up(n);
         return;
       }
-      if (++missed_pongs_[n] >= 3 && !down_nodes_.contains(n)) {
-        mark_node_down(n);
+      bool newly_down = false;
+      {
+        std::lock_guard<std::recursive_mutex> g(state_mu_);
+        newly_down = ++missed_pongs_[n] >= 3 && !down_nodes_.contains(n);
       }
+      if (newly_down) mark_node_down(n);
     });
   }
   ping_timer_ =
@@ -35,19 +49,43 @@ void Node::ping_tick() {
 
 void Node::mark_node_down(NodeId node) {
   KHZ_INFO("node %u: peer %u presumed down", config_.id, node);
-  down_nodes_.insert(node);
+  {
+    std::lock_guard<std::recursive_mutex> g(state_mu_);
+    down_nodes_.insert(node);
+  }
   // Promote before the protocol cleanup: the CMs' on_node_down reclaims
   // ownership for homed pages, and promotion may have just made this node
   // the home of regions the dead peer owned.
   maybe_promote_regions(node);
-  for (auto& [_, cm] : cms_) cm->on_node_down(node);
+  // Per-lane protocol cleanup: each lane's CMs scrub their own page shard.
+  // Inline on the calling lane (so lanes=1 keeps the legacy synchronous
+  // order), posted to the others.
+  for (unsigned l = 0; l < lanes_; ++l) {
+    if (l == lane()) {
+      for (auto& [_, cm] : cms_v_[l]) cm->on_node_down(node);
+    } else {
+      post_to_lane(l, [this, l, node] {
+        for (auto& [_, cm] : cms_v_[l]) cm->on_node_down(node);
+      });
+    }
+  }
 }
 
 void Node::mark_node_up(NodeId node) {
-  down_nodes_.erase(node);
-  missed_pongs_[node] = 0;
-  // Reliable sends to this peer paused while it was down; resume them.
-  engine_.on_node_up(node);
+  {
+    std::lock_guard<std::recursive_mutex> g(state_mu_);
+    down_nodes_.erase(node);
+    missed_pongs_[node] = 0;
+  }
+  // Reliable sends to this peer paused while it was down; every lane's
+  // engine resumes its own queue.
+  for (unsigned l = 0; l < lanes_; ++l) {
+    if (l == lane()) {
+      engines_[l]->on_node_up(node);
+    } else {
+      post_to_lane(l, [this, l, node] { engines_[l]->on_node_up(node); });
+    }
+  }
 }
 
 // ---------------------------------------------------------------------------
@@ -60,6 +98,11 @@ void Node::maybe_promote_regions(NodeId dead) {
   // ("highest surviving node id in home_nodes") is deterministic, and every
   // surviving node applies it to the same list — so they all converge on
   // the same heir, and only the heir promotes itself.
+  std::set<NodeId> down;
+  {
+    std::lock_guard<std::recursive_mutex> g(state_mu_);
+    down = down_nodes_;
+  }
   for (RegionDescriptor desc : regions_.snapshot()) {
     if (desc.primary_home() != dead) continue;
     if (AddressRange{kMapRegionBase, kMapRegionSize}.contains(
@@ -68,7 +111,7 @@ void Node::maybe_promote_regions(NodeId dead) {
     }
     NodeId heir = kNoNode;
     for (NodeId n : desc.home_nodes) {
-      if (n == dead || down_nodes_.contains(n)) continue;
+      if (n == dead || down.contains(n)) continue;
       if (heir == kNoNode || n > heir) heir = n;
     }
     if (heir == kNoNode) continue;  // no surviving copy-set member
@@ -84,31 +127,40 @@ void Node::maybe_promote_regions(NodeId dead) {
     desc.home_nodes.insert(desc.home_nodes.begin(), heir);
     regions_.insert(desc);
 
-    if (heir == config_.id) promote_region(desc, dead);
+    if (heir == config_.id) {
+      // Promotion installs page state into the region's shard; run there.
+      run_on_region_lane(desc.range.base,
+                         [this, desc, dead] { promote_region(desc, dead); });
+    }
   }
 }
 
 void Node::promote_region(RegionDescriptor desc, NodeId dead) {
-  if (homed_regions_.contains(desc.range.base)) return;  // already home
+  std::set<NodeId> down;
+  {
+    std::lock_guard<std::recursive_mutex> g(state_mu_);
+    if (homed_regions_.contains(desc.range.base)) return;  // already home
+    desc.allocated = true;  // replicas only exist for allocated pages
+    homed_regions_[desc.range.base] = desc;
+    meta_.record_region(desc);
+    down = down_nodes_;
+  }
   KHZ_INFO("node %u: promoting to home of region %016llx_%016llx (home %u "
            "presumed dead)",
            config_.id, static_cast<unsigned long long>(desc.range.base.hi),
            static_cast<unsigned long long>(desc.range.base.lo), dead);
-  desc.allocated = true;  // replicas only exist for allocated pages
-  homed_regions_[desc.range.base] = desc;
   regions_.insert(desc);
-  meta_.record_region(desc);
   metrics_.counter("node.promotions").inc();
 
   const std::uint32_t psz = desc.attrs.page_size;
   for (GlobalAddress p = desc.range.base; p < desc.range.end();
        p = p.plus(psz)) {
-    auto& info = pages_.ensure(p);
+    auto& info = pages_().ensure(p);
     info.homed_locally = true;
     info.home = config_.id;
     info.sharers.erase(dead);
     const bool have_copy =
-        info.state != PageState::kInvalid && storage_.get(p) != nullptr;
+        info.state != PageState::kInvalid && storage_().get(p) != nullptr;
     if (have_copy) {
       info.sharers.insert(config_.id);
       if (info.owner == dead || info.owner == kNoNode ||
@@ -120,13 +172,13 @@ void Node::promote_region(RegionDescriptor desc, NodeId dead) {
       // cache was repointed by its own maybe_promote_regions — and hand
       // ownership back here with the newest bytes.
       if (info.state == PageState::kExclusive) info.state = PageState::kShared;
-      (void)storage_.flush(p);
+      (void)storage_().flush(p);
       journal_page(p);
     } else {
       if (info.owner == dead) info.owner = kNoNode;
       NodeId live_holder = kNoNode;
       for (NodeId s : info.sharers) {
-        if (s != config_.id && !down_nodes_.contains(s)) live_holder = s;
+        if (s != config_.id && !down.contains(s)) live_holder = s;
       }
       if (info.owner == kNoNode && live_holder != kNoNode) {
         info.owner = live_holder;  // protocol fetches from there on demand
@@ -154,13 +206,16 @@ void Node::promote_region(RegionDescriptor desc, NodeId dead) {
   map_req.range(desc.range);
   map_req.u32(static_cast<std::uint32_t>(desc.home_nodes.size()));
   for (NodeId h : desc.home_nodes) map_req.u32(h);
-  engine_.send_reliable(config_.genesis, MsgType::kMapMutateReq,
+  engine_().send_reliable(config_.genesis, MsgType::kMapMutateReq,
                 std::move(map_req).take());
 
   // Honor min_replicas before accepting new writes: gate write grants
   // (write_gated) and kick replica maintenance to rebuild the copyset.
   if (desc.attrs.min_replicas > 1) {
-    recovering_regions_.insert(desc.range.base);
+    {
+      std::lock_guard<std::recursive_mutex> g(state_mu_);
+      recovering_regions_.insert(desc.range.base);
+    }
     for (GlobalAddress p = desc.range.base; p < desc.range.end();
          p = p.plus(psz)) {
       note_copyset_change(p);

@@ -18,7 +18,6 @@ using storage::PageState;
 namespace {
 constexpr std::uint8_t kStatusOk = 0;
 std::uint8_t to_wire(ErrorCode e) { return static_cast<std::uint8_t>(e); }
-ErrorCode from_wire(std::uint8_t b) { return static_cast<ErrorCode>(b); }
 
 Bytes status_payload(ErrorCode e) {
   Encoder enc;
@@ -32,17 +31,22 @@ Bytes status_payload(ErrorCode e) {
 // ---------------------------------------------------------------------------
 
 void Node::on_join_req(const Message& m) {
-  members_.insert(m.src);
+  std::set<NodeId> snapshot;
+  {
+    std::lock_guard<std::recursive_mutex> g(state_mu_);
+    members_.insert(m.src);
+    snapshot = members_;
+  }
   Encoder e;
-  e.u32(static_cast<std::uint32_t>(members_.size()));
-  for (NodeId n : members_) e.u32(n);
+  e.u32(static_cast<std::uint32_t>(snapshot.size()));
+  for (NodeId n : snapshot) e.u32(n);
   respond(m, MsgType::kJoinResp, std::move(e).take());
   // Gossip the updated membership so existing nodes learn of the joiner.
-  for (NodeId n : members_) {
+  for (NodeId n : snapshot) {
     if (n == config_.id || n == m.src) continue;
     Encoder g;
-    g.u32(static_cast<std::uint32_t>(members_.size()));
-    for (NodeId x : members_) g.u32(x);
+    g.u32(static_cast<std::uint32_t>(snapshot.size()));
+    for (NodeId x : snapshot) g.u32(x);
     Message gm;
     gm.type = MsgType::kNodeListGossip;
     gm.dst = n;
@@ -72,24 +76,32 @@ void Node::on_reserve_req(const Message& m) {
 void Node::on_unreserve_req(const Message& m) {
   Decoder d(m.payload);
   const GlobalAddress base = d.addr();
-  auto it = homed_regions_.find(base);
-  if (it == homed_regions_.end()) {
-    // Not (or no longer) homed here; ack so the sender stops retrying.
-    respond(m, MsgType::kUnreserveResp, status_payload(ErrorCode::kOk));
-    return;
+  if (hop_home(m, base)) return;  // page teardown runs on the region lane
+  RegionDescriptor desc;
+  {
+    std::lock_guard<std::recursive_mutex> g(state_mu_);
+    auto it = homed_regions_.find(base);
+    if (it == homed_regions_.end()) {
+      // Not (or no longer) homed here; ack so the sender stops retrying.
+      respond(m, MsgType::kUnreserveResp, status_payload(ErrorCode::kOk));
+      return;
+    }
+    desc = it->second;
   }
-  const RegionDescriptor desc = it->second;
   release_region_pages(desc, desc.range);
-  homed_regions_.erase(it);
+  {
+    std::lock_guard<std::recursive_mutex> g(state_mu_);
+    homed_regions_.erase(base);
+    pool_.push_back(desc.range);
+    meta_.record_region_erase(base);
+    meta_.record_pool(granted_bytes_, pool_);
+  }
   regions_.invalidate(base);
-  pool_.push_back(desc.range);
-  meta_.record_region_erase(base);
-  meta_.record_pool(granted_bytes_, pool_);
   Encoder map_req;
   map_req.u8(2);  // erase
   map_req.range(desc.range);
   map_req.u32(0);
-  engine_.send_reliable(config_.genesis, MsgType::kMapMutateReq,
+  engine_().send_reliable(config_.genesis, MsgType::kMapMutateReq,
                 std::move(map_req).take());
   respond(m, MsgType::kUnreserveResp, status_payload(ErrorCode::kOk));
 }
@@ -128,11 +140,14 @@ void Node::on_space_req(const Message& m) {
       std::find(ms.begin(), ms.end(), config_.id) - ms.begin());
   const std::uint64_t granted =
       std::max<std::uint64_t>(want, kPoolChunkSize);
-  const GlobalAddress base =
-      kFirstClientAddress.plus(my_index * kManagerSlab + granted_bytes_);
-  granted_bytes_ += granted;
+  GlobalAddress base;
+  {
+    std::lock_guard<std::recursive_mutex> g(state_mu_);
+    base = kFirstClientAddress.plus(my_index * kManagerSlab + granted_bytes_);
+    granted_bytes_ += granted;
+    meta_.record_pool(granted_bytes_, pool_);
+  }
   cluster_.report_free_space(m.src, granted);
-  meta_.record_pool(granted_bytes_, pool_);
   Encoder e;
   e.u8(kStatusOk);
   e.addr(base);
@@ -172,18 +187,15 @@ void Node::on_map_mutate_req(const Message& m) {
 // ---------------------------------------------------------------------------
 
 void Node::on_desc_lookup_req(const Message& m) {
+  // Metadata-only: any lane may serve it from under the state lock.
   Decoder d(m.payload);
   const GlobalAddress addr = d.addr();
-  auto it = homed_regions_.upper_bound(addr);
-  if (it != homed_regions_.begin()) {
-    const auto& [base, desc] = *std::prev(it);
-    if (desc.range.contains(addr)) {
-      Encoder e;
-      e.u8(kStatusOk);
-      desc.encode(e);
-      respond(m, MsgType::kDescLookupResp, std::move(e).take());
-      return;
-    }
+  if (auto desc = homed_descriptor(addr)) {
+    Encoder e;
+    e.u8(kStatusOk);
+    desc->encode(e);
+    respond(m, MsgType::kDescLookupResp, std::move(e).take());
+    return;
   }
   respond(m, MsgType::kDescLookupResp, status_payload(ErrorCode::kNotFound));
 }
@@ -218,11 +230,9 @@ void Node::on_cluster_walk_req(const Message& m) {
   Decoder d(m.payload);
   const GlobalAddress addr = d.addr();
   Encoder e;
-  auto it = homed_regions_.upper_bound(addr);
-  if (it != homed_regions_.begin() &&
-      std::prev(it)->second.range.contains(addr)) {
+  if (auto homed = homed_descriptor(addr)) {
     e.boolean(true);
-    std::prev(it)->second.encode(e);
+    homed->encode(e);
   } else if (auto cached = regions_.lookup(addr)) {
     e.boolean(true);
     cached->encode(e);
@@ -235,16 +245,15 @@ void Node::on_cluster_walk_req(const Message& m) {
 void Node::on_locate_req(const Message& m) {
   Decoder d(m.payload);
   const GlobalAddress addr = d.addr();
-  auto it = homed_regions_.upper_bound(addr);
-  if (it == homed_regions_.begin() ||
-      !std::prev(it)->second.range.contains(addr)) {
+  if (hop_home(m, addr)) return;  // reads the region lane's page directory
+  const auto desc = homed_descriptor(addr);
+  if (!desc) {
     respond(m, MsgType::kLocateResp, status_payload(ErrorCode::kNotFound));
     return;
   }
-  const RegionDescriptor& desc = std::prev(it)->second;
-  const GlobalAddress page = desc.page_of(addr);
+  const GlobalAddress page = desc->page_of(addr);
   std::set<NodeId> holders;
-  if (auto* info = pages_.find(page)) {
+  if (auto* info = pages_().find(page)) {
     holders = info->sharers;
     if (info->owner != kNoNode) holders.insert(info->owner);
   }
@@ -262,6 +271,8 @@ void Node::on_locate_req(const Message& m) {
 void Node::on_alloc_req(const Message& m) {
   Decoder d(m.payload);
   const AddressRange range = d.range();
+  if (hop_home(m, range.base)) return;  // fills the region lane's shard
+  std::lock_guard<std::recursive_mutex> g(state_mu_);
   auto it = homed_regions_.upper_bound(range.base);
   if (it == homed_regions_.begin() ||
       !std::prev(it)->second.range.contains_range(range)) {
@@ -279,10 +290,10 @@ void Node::on_alloc_req(const Message& m) {
 void Node::on_free_req(const Message& m) {
   Decoder d(m.payload);
   const AddressRange range = d.range();
-  auto it = homed_regions_.upper_bound(range.base);
-  if (it != homed_regions_.begin() &&
-      std::prev(it)->second.range.contains_range(range)) {
-    release_region_pages(std::prev(it)->second, range);
+  if (hop_home(m, range.base)) return;  // tears down the region lane's shard
+  if (auto desc = homed_descriptor(range.base);
+      desc && desc->range.contains_range(range)) {
+    release_region_pages(*desc, range);
   }
   respond(m, MsgType::kFreeResp, status_payload(ErrorCode::kOk));
 }
@@ -292,8 +303,11 @@ void Node::on_free_req(const Message& m) {
 // ---------------------------------------------------------------------------
 
 void Node::on_attr_req(const Message& m, bool set) {
+  // Attribute state is metadata-plane only; serve on any lane under the
+  // state lock (no hop).
   Decoder d(m.payload);
   const GlobalAddress addr = d.addr();
+  std::lock_guard<std::recursive_mutex> g(state_mu_);
   auto it = homed_regions_.upper_bound(addr);
   if (it == homed_regions_.begin() ||
       !std::prev(it)->second.range.contains(addr)) {
@@ -341,6 +355,15 @@ void Node::on_replica_push(const Message& m) {
   RegionDescriptor desc = RegionDescriptor::decode(d);
   const std::uint32_t count = d.u32();
   if (!d.ok()) return;
+  // Pushes arrive via the reliable-send path (route_key 0 → lane 0); the
+  // target lane comes from the descriptor the payload itself carries.
+  if (lanes_ > 1) {
+    const unsigned target = region_lane(desc.range.base);
+    if (target != lane()) {
+      post_to_lane(target, [this, mc = m] { on_replica_push(mc); });
+      return;
+    }
+  }
   regions_.insert(desc);
 
   for (std::uint32_t i = 0; i < count; ++i) {
@@ -350,7 +373,7 @@ void Node::on_replica_push(const Message& m) {
     Bytes data = d.bytes();
     if (!d.ok()) return;
 
-    auto& info = pages_.ensure(page);
+    auto& info = pages_().ensure(page);
 
     if (from_owner && desc.primary_home() == config_.id) {
       // The exclusive owner pushed its dirty data back and demoted itself
@@ -380,22 +403,25 @@ void Node::on_replica_push(const Message& m) {
 void Node::on_replica_drop(const Message& m) {
   Decoder d(m.payload);
   const GlobalAddress page = d.addr();
-  auto* info = pages_.find(page);
+  auto* info = pages_().find(page);
   if (info != nullptr) {
     if (info->locked()) return;
     info->state = PageState::kInvalid;
   }
-  storage_.erase(page);
-  pages_.erase(page);
+  storage_().erase(page);
+  pages_().erase(page);
 }
 
 void Node::maintain_replicas(const GlobalAddress& page) {
   if (AddressRange{kMapRegionBase, kMapRegionSize}.contains(page)) return;
 
-  auto* info = pages_.find(page);
+  auto* info = pages_().find(page);
   if (info == nullptr) return;
 
-  // Home side: top the copyset up to min_replicas.
+  // Home side: top the copyset up to min_replicas. Runs on the region's
+  // owning lane (callers are CM hooks / pushed installs already routed
+  // there); the descriptor mutation below needs the state lock.
+  std::unique_lock<std::recursive_mutex> held(state_mu_);
   auto it = homed_regions_.upper_bound(page);
   if (it != homed_regions_.begin() &&
       std::prev(it)->second.range.contains(page)) {
@@ -403,7 +429,7 @@ void Node::maintain_replicas(const GlobalAddress& page) {
     const std::uint32_t target = desc.attrs.min_replicas;
     if (target <= 1) return;
     if (info->state == PageState::kInvalid) return;  // owner holds the data
-    const Bytes* data = storage_.get(page);
+    const Bytes* data = storage_().get(page);
     if (data == nullptr) return;
     info->sharers.insert(config_.id);
 
@@ -456,12 +482,13 @@ void Node::maintain_replicas(const GlobalAddress& page) {
         map_req.range(desc.range);
         map_req.u32(static_cast<std::uint32_t>(desc.home_nodes.size()));
         for (NodeId h : desc.home_nodes) map_req.u32(h);
-        engine_.send_reliable(config_.genesis, MsgType::kMapMutateReq,
+        engine_().send_reliable(config_.genesis, MsgType::kMapMutateReq,
                       std::move(map_req).take());
       }
     }
     return;
   }
+  held.unlock();
 
   // Owner side: after a dirty release on a region with a replication
   // requirement, ship the data back to the home and demote to a shared
@@ -472,7 +499,7 @@ void Node::maintain_replicas(const GlobalAddress& page) {
     if (target <= 1) return;
     auto desc = regions_.lookup(page);
     if (!desc) return;
-    const Bytes* data = storage_.get(page);
+    const Bytes* data = storage_().get(page);
     if (data == nullptr) return;
     Encoder e;
     desc->encode(e);
@@ -489,278 +516,6 @@ void Node::maintain_replicas(const GlobalAddress& page) {
     info->state = PageState::kShared;
     ins_.replica_pushes->inc();
   }
-}
-
-// ---------------------------------------------------------------------------
-// Region home migration
-// ---------------------------------------------------------------------------
-
-void Node::on_migrate_req(const Message& m) {
-  Decoder d(m.payload);
-  const GlobalAddress base = d.addr();
-  const NodeId new_home = d.u32();
-
-  auto it = homed_regions_.find(base);
-  if (it == homed_regions_.end()) {
-    respond(m, MsgType::kMigrateResp, status_payload(ErrorCode::kNotFound));
-    return;
-  }
-  if (new_home == config_.id) {  // no-op move
-    respond(m, MsgType::kMigrateResp, status_payload(ErrorCode::kOk));
-    return;
-  }
-  RegionDescriptor desc = it->second;
-
-  // Refuse while any page is locked here (migration needs local
-  // quiescence; remote holders are fine — their CREW state rides along).
-  const std::uint32_t psz = desc.attrs.page_size;
-  for (GlobalAddress p = desc.range.base; p < desc.range.end();
-       p = p.plus(psz)) {
-    if (auto* info = pages_.find(p); info != nullptr && info->locked()) {
-      respond(m, MsgType::kMigrateResp,
-              status_payload(ErrorCode::kConflict));
-      return;
-    }
-  }
-
-  // Package the descriptor plus per-page directory state and whatever
-  // current page contents this node holds.
-  desc.home_nodes.erase(
-      std::remove(desc.home_nodes.begin(), desc.home_nodes.end(), new_home),
-      desc.home_nodes.end());
-  desc.home_nodes.insert(desc.home_nodes.begin(), new_home);
-  Encoder e;
-  desc.encode(e);
-  std::vector<GlobalAddress> page_list;
-  for (GlobalAddress p = desc.range.base; p < desc.range.end();
-       p = p.plus(psz)) {
-    if (pages_.find(p) != nullptr) page_list.push_back(p);
-  }
-  e.u32(static_cast<std::uint32_t>(page_list.size()));
-  for (const auto& p : page_list) {
-    const auto* info = pages_.find(p);
-    e.addr(p);
-    e.u64(info->version);
-    e.u32(info->owner == config_.id ? new_home : info->owner);
-    std::set<NodeId> sharers = info->sharers;
-    if (sharers.erase(config_.id) > 0) sharers.insert(new_home);
-    e.u32(static_cast<std::uint32_t>(sharers.size()));
-    for (NodeId s : sharers) e.u32(s);
-    const bool valid_here = info->state != PageState::kInvalid;
-    const Bytes* data = valid_here ? storage_.get(p) : nullptr;
-    e.boolean(data != nullptr);
-    if (data != nullptr) e.bytes(*data);
-  }
-
-  engine_.call({new_home}, MsgType::kMigrateData, std::move(e).take(),
-            [this, m, base, new_home](bool ok, Decoder& resp) {
-              if (!ok || from_wire(resp.u8()) != ErrorCode::kOk) {
-                respond(m, MsgType::kMigrateResp,
-                        status_payload(ErrorCode::kUnreachable));
-                return;
-              }
-              // Hand-off complete: drop authority, keep a fresh cache
-              // entry pointing at the new home, release local page state.
-              auto it2 = homed_regions_.find(base);
-              if (it2 != homed_regions_.end()) {
-                RegionDescriptor moved = it2->second;
-                const std::uint32_t psz2 = moved.attrs.page_size;
-                for (GlobalAddress p = moved.range.base;
-                     p < moved.range.end(); p = p.plus(psz2)) {
-                  storage_.erase(p);
-                  pages_.erase(p);
-                }
-                moved.home_nodes.erase(
-                    std::remove(moved.home_nodes.begin(),
-                                moved.home_nodes.end(), new_home),
-                    moved.home_nodes.end());
-                moved.home_nodes.insert(moved.home_nodes.begin(), new_home);
-                regions_.insert(moved);
-                homed_regions_.erase(it2);
-                meta_.record_region_erase(base);
-
-                // Update the map and the manager's hints.
-                Encoder map_req;
-                map_req.u8(3);  // update_homes
-                map_req.range(moved.range);
-                map_req.u32(
-                    static_cast<std::uint32_t>(moved.home_nodes.size()));
-                for (NodeId h : moved.home_nodes) map_req.u32(h);
-                engine_.send_reliable(config_.genesis, MsgType::kMapMutateReq,
-                              std::move(map_req).take());
-                publish_hint(moved.range, /*retract=*/true);
-              }
-              respond(m, MsgType::kMigrateResp,
-                      status_payload(ErrorCode::kOk));
-            });
-}
-
-void Node::on_migrate_data(const Message& m) {
-  Decoder d(m.payload);
-  RegionDescriptor desc = RegionDescriptor::decode(d);
-  if (!d.ok() || desc.primary_home() != config_.id) {
-    respond(m, MsgType::kMigrateDataResp,
-            status_payload(ErrorCode::kBadArgument));
-    return;
-  }
-  homed_regions_[desc.range.base] = desc;
-  regions_.insert(desc);
-
-  const std::uint32_t npages = d.u32();
-  for (std::uint32_t i = 0; i < npages && d.ok(); ++i) {
-    const GlobalAddress p = d.addr();
-    const Version version = d.u64();
-    const NodeId owner = d.u32();
-    std::set<NodeId> sharers;
-    const std::uint32_t nsharers = d.u32();
-    for (std::uint32_t s = 0; s < nsharers && d.ok(); ++s) {
-      sharers.insert(d.u32());
-    }
-    const bool has_data = d.boolean();
-    Bytes data;
-    if (has_data) data = d.bytes();
-    if (!d.ok()) break;
-
-    auto& info = pages_.ensure(p);
-    info.homed_locally = true;
-    info.home = config_.id;
-    info.version = std::max(info.version, version);
-    info.owner = owner;
-    info.sharers = std::move(sharers);
-    if (has_data) {
-      info.state = PageState::kShared;
-      store_page(p, std::move(data));
-    } else if (info.state == PageState::kInvalid && owner == config_.id) {
-      // We are recorded owner but got no bytes (old home had none):
-      // materialize zeros so reads have something to serve.
-      store_page(p, Bytes(desc.attrs.page_size, 0));
-      info.state = PageState::kShared;
-    }
-  }
-  meta_.record_region(desc);
-
-  // Advertise the new home.
-  publish_hint(desc.range, /*retract=*/false);
-
-  respond(m, MsgType::kMigrateDataResp, status_payload(ErrorCode::kOk));
-}
-
-// ---------------------------------------------------------------------------
-// Client-guided replication (the Section 2 "hooks")
-// ---------------------------------------------------------------------------
-
-void Node::on_replicate_to_req(const Message& m) {
-  Decoder d(m.payload);
-  const GlobalAddress base = d.addr();
-  const NodeId target = d.u32();
-
-  auto it = homed_regions_.find(base);
-  if (it == homed_regions_.end()) {
-    respond(m, MsgType::kReplicateToResp,
-            status_payload(ErrorCode::kNotFound));
-    return;
-  }
-  RegionDescriptor& desc = it->second;
-  if (target == config_.id) {
-    respond(m, MsgType::kReplicateToResp, status_payload(ErrorCode::kOk));
-    return;
-  }
-  // Batch every resident page of the region into as few kReplicaPush
-  // messages as the byte cap allows: bulk replication is where the
-  // multi-page encoding pays off.
-  constexpr std::size_t kPushBytesCap = 1u << 20;
-  const std::uint32_t psz = desc.attrs.page_size;
-  Encoder batch;
-  std::uint32_t batch_n = 0;
-  auto flush = [&] {
-    if (batch_n == 0) return;
-    Encoder e;
-    desc.encode(e);
-    e.u32(batch_n);
-    e.raw(batch.data());
-    Message push;
-    push.type = MsgType::kReplicaPush;
-    push.dst = target;
-    push.payload = std::move(e).take();
-    send_msg(std::move(push));
-    batch = Encoder{};
-    batch_n = 0;
-  };
-  for (GlobalAddress p = desc.range.base; p < desc.range.end();
-       p = p.plus(psz)) {
-    auto* info = pages_.find(p);
-    if (info == nullptr || info->state == PageState::kInvalid) {
-      continue;  // no current copy here (an exclusive owner holds it)
-    }
-    const Bytes* data = storage_.get(p);
-    if (data == nullptr) continue;
-    batch.addr(p);
-    batch.u64(info->version);
-    batch.boolean(false);
-    batch.bytes(*data);
-    ++batch_n;
-    info->sharers.insert(target);
-    // A pushed copy means the page is no longer exclusive here.
-    if (info->state == PageState::kExclusive) {
-      info->state = PageState::kShared;
-    }
-    ins_.replica_pushes->inc();
-    if (batch.size() >= kPushBytesCap) flush();
-  }
-  flush();
-  respond(m, MsgType::kReplicateToResp, status_payload(ErrorCode::kOk));
-}
-
-// ---------------------------------------------------------------------------
-// Graceful departure
-// ---------------------------------------------------------------------------
-
-void Node::leave(StatusCb cb) {
-  if (config_.id == config_.genesis) {
-    cb(ErrorCode::kBadArgument);  // the map authority cannot depart
-    return;
-  }
-  // Round-robin migration targets among the other live members.
-  std::vector<NodeId> targets;
-  for (NodeId n : membership()) {
-    if (n != config_.id) targets.push_back(n);
-  }
-  if (targets.empty()) {
-    cb(ErrorCode::kUnreachable);
-    return;
-  }
-  auto bases = std::make_shared<std::vector<GlobalAddress>>();
-  for (const auto& [base, _] : homed_regions_) bases->push_back(base);
-
-  auto finish = [this, cb]() {
-    for (NodeId n : members_) {
-      if (n == config_.id) continue;
-      Message lm;
-      lm.type = MsgType::kLeave;
-      lm.dst = n;
-      send_msg(std::move(lm));
-    }
-    cb(Status{});
-  };
-
-  // Migrate homed regions one at a time; a failed hand-off aborts the
-  // departure (the operator can retry — data must never be orphaned).
-  auto step = std::make_shared<std::function<void(std::size_t)>>();
-  *step = [this, bases, targets, finish, step, cb](std::size_t i) {
-    if (i >= bases->size()) {
-      finish();
-      return;
-    }
-    const NodeId target = targets[i % targets.size()];
-    migrate((*bases)[i], target, [this, i, step, cb](Status s) {
-      if (!s.ok()) {
-        cb(s);
-        return;
-      }
-      (*step)(i + 1);
-    });
-  };
-  (*step)(0);
 }
 
 }  // namespace khz::core

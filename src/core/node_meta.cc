@@ -1,0 +1,138 @@
+// Resolver::Host glue and metadata persistence glue for core::Node:
+// homed-descriptor lookup, map page fetch (with its lane-0 double hop),
+// meta-log snapshot/journal and crash recovery.
+#include <algorithm>
+#include <cassert>
+
+#include "common/log.h"
+#include "core/node.h"
+
+namespace khz::core {
+
+using consistency::LockContext;
+using consistency::LockMode;
+using consistency::ProtocolId;
+using net::Message;
+using net::MsgType;
+using storage::PageState;
+
+// ---------------------------------------------------------------------------
+// Resolver::Host glue + metadata persistence glue
+// ---------------------------------------------------------------------------
+
+std::optional<RegionDescriptor> Node::homed_descriptor(
+    const GlobalAddress& addr) {
+  std::lock_guard lk(state_mu_);
+  auto it = homed_regions_.upper_bound(addr);
+  if (it != homed_regions_.begin()) {
+    const auto& [base, desc] = *std::prev(it);
+    if (desc.range.contains(addr)) return desc;
+  }
+  return std::nullopt;
+}
+
+void Node::fetch_map_page(std::uint32_t index,
+                          std::function<void(Result<Bytes>)> cb) {
+  // Map pages (and their release CM) are lane-0 state. A resolver walking
+  // from another lane double-hops: do the fetch on lane 0, deliver the
+  // callback back on the asking lane (where the resolve continues).
+  if (lanes_ > 1 && lane() != 0) {
+    const unsigned origin = lane();
+    const Micros dl = engine_().ambient_deadline();
+    const obs::TraceContext ctx = tracer_.current();
+    post_to_lane(0, [this, index, origin, dl, ctx,
+                        cb = std::move(cb)]() mutable {
+      RpcEngine::DeadlineScope dscope(engine_(), dl);
+      obs::ScopedTraceContext tscope(tracer_, ctx);
+      fetch_map_page(index, [this, origin, dl, ctx, cb = std::move(cb)](
+                                Result<Bytes> r) mutable {
+        post_to_lane(origin, [this, dl, ctx, cb = std::move(cb),
+                                 r = std::move(r)]() mutable {
+          RpcEngine::DeadlineScope dscope(engine_(), dl);
+          obs::ScopedTraceContext tscope(tracer_, ctx);
+          cb(std::move(r));
+        });
+      });
+    });
+    return;
+  }
+  if (map_ != nullptr) {
+    cb(map_store_->read_page(index));
+    return;
+  }
+  const GlobalAddress addr = kMapRegionBase.plus(
+      static_cast<std::uint64_t>(index) * kDefaultPageSize);
+  auto* cm = cm_for(ProtocolId::kRelease);
+  cm->acquire(addr, LockMode::kRead, [this, addr, cb = std::move(cb)](
+                                         Status s) mutable {
+    if (!s.ok()) {
+      cb(s.error());
+      return;
+    }
+    const Bytes* data = storage_().get(addr);
+    Bytes copy = data != nullptr ? *data : Bytes(kDefaultPageSize, 0);
+    cm_for(ProtocolId::kRelease)->release(addr, LockMode::kRead, false);
+    cb(std::move(copy));
+  });
+}
+
+MetaLog::Snapshot Node::snapshot_state() {
+  // Called from under a record_*/checkpoint (state_mu_ already held —
+  // recursive). Page versions come from the journaled mirror, never from
+  // another lane's page-directory shard.
+  std::lock_guard lk(state_mu_);
+  MetaLog::Snapshot snap;
+  snap.granted_bytes = granted_bytes_;
+  snap.pool = pool_;
+  snap.regions = homed_regions_;
+  snap.page_versions = journaled_pages_;
+  return snap;
+}
+
+void Node::journal_page(const GlobalAddress& page) {
+  const auto* info = pages_().find(page);
+  const Version v = info != nullptr ? info->version : 0;
+  std::lock_guard lk(state_mu_);
+  journaled_pages_[page] = v;
+  meta_.record_page(page, v);
+}
+
+void Node::recover_meta() {
+  if (disk_ == nullptr) return;
+  MetaLog::Snapshot snap = meta_.recover();
+
+  // Install the recovered state. Runs from start() before any traffic, so
+  // the per-lane shards can be written from here; the lock still brackets
+  // it for the benefit of restarted-while-cluster-lives scenarios.
+  std::lock_guard lk(state_mu_);
+  granted_bytes_ = snap.granted_bytes;
+  pool_ = std::move(snap.pool);
+  for (const auto& [base, desc] : snap.regions) {
+    homed_regions_[base] = desc;
+    regions_.insert(desc);
+  }
+  journaled_pages_ = snap.page_versions;
+  for (const auto& [p, v] : snap.page_versions) {
+    // Each recovered page lands in the shard of the lane that owns its
+    // region, keyed exactly like live routing (map region -> lane 0).
+    unsigned l = 0;
+    if (!AddressRange{kMapRegionBase, kMapRegionSize}.contains(p)) {
+      auto it = homed_regions_.upper_bound(p);
+      if (it != homed_regions_.begin() &&
+          std::prev(it)->second.range.contains(p)) {
+        l = region_lane(std::prev(it)->second.range.base);
+      }
+    }
+    auto& info = pages_v_[l]->ensure(p);
+    info.homed_locally = true;
+    info.home = config_.id;
+    info.owner = config_.id;
+    info.version = v;
+    // Volatile copies elsewhere died with the crash from this node's point
+    // of view; the copyset restarts at just us.
+    info.state = disk_->contains(p) ? PageState::kShared : PageState::kInvalid;
+    info.sharers = {config_.id};
+  }
+}
+
+}  // namespace khz::core

@@ -106,6 +106,7 @@ struct LockOp {
 std::optional<GlobalAddress> Node::carve_from_pool(std::uint64_t size) {
   // `size` is already page-aligned; carve an aligned base so large-page
   // regions start on a page boundary. Alignment slack stays in the pool.
+  std::lock_guard<std::recursive_mutex> g(state_mu_);
   for (std::size_t i = 0; i < pool_.size(); ++i) {
     AddressRange& r = pool_[i];
     const GlobalAddress base = r.base;
@@ -119,6 +120,7 @@ std::optional<GlobalAddress> Node::carve_from_pool(std::uint64_t size) {
 }
 
 std::uint64_t Node::pool_bytes() const {
+  std::lock_guard<std::recursive_mutex> g(state_mu_);
   std::uint64_t total = 0;
   for (const auto& r : pool_) total += r.size;
   return total;
@@ -168,7 +170,7 @@ void Node::reserve(std::uint64_t size, const RegionAttrs& raw_attrs,
   e.u64(chunk);
   // Acquire-side retry policy (attempt count, backoff, steering across the
   // manager set) lives in the engine.
-  engine_.call(managers(), MsgType::kSpaceReq, std::move(e).take(),
+  engine_().call(managers(), MsgType::kSpaceReq, std::move(e).take(),
             [this, aligned, attrs, cb = std::move(cb)](bool ok,
                                                        Decoder& d) mutable {
               if (!ok) {
@@ -182,9 +184,14 @@ void Node::reserve(std::uint64_t size, const RegionAttrs& raw_attrs,
               }
               const GlobalAddress base = d.addr();
               const std::uint64_t granted = d.u64();
-              pool_.push_back({base, granted});
-              meta_.record_pool(granted_bytes_, pool_);
-              if (auto carved = carve_from_pool(aligned)) {
+              std::optional<GlobalAddress> carved;
+              {
+                std::lock_guard<std::recursive_mutex> g(state_mu_);
+                pool_.push_back({base, granted});
+                meta_.record_pool(granted_bytes_, pool_);
+                carved = carve_from_pool(aligned);
+              }
+              if (carved) {
                 finish_reserve({*carved, aligned}, attrs, std::move(cb));
               } else {
                 cb(ErrorCode::kNoSpace);
@@ -198,10 +205,13 @@ void Node::finish_reserve(const AddressRange& range, const RegionAttrs& attrs,
   desc.range = range;
   desc.attrs = attrs;
   desc.home_nodes = {config_.id};
-  homed_regions_[range.base] = desc;
+  {
+    std::lock_guard<std::recursive_mutex> g(state_mu_);
+    homed_regions_[range.base] = desc;
+    meta_.record_region(desc);
+    meta_.record_pool(granted_bytes_, pool_);  // reservation was carved from the pool
+  }
   regions_.insert(desc);
-  meta_.record_region(desc);
-  meta_.record_pool(granted_bytes_, pool_);  // the reservation was carved out of the pool
   ins_.reserves->inc();
 
   // Register the reservation with the address map (background-reliable;
@@ -212,7 +222,7 @@ void Node::finish_reserve(const AddressRange& range, const RegionAttrs& attrs,
   map_req.range(range);
   map_req.u32(1);
   map_req.u32(config_.id);
-  engine_.send_reliable(config_.genesis, MsgType::kMapMutateReq,
+  engine_().send_reliable(config_.genesis, MsgType::kMapMutateReq,
                 std::move(map_req).take());
 
   publish_hint(range, /*retract=*/false);
@@ -221,7 +231,7 @@ void Node::finish_reserve(const AddressRange& range, const RegionAttrs& attrs,
 }
 
 void Node::unreserve(const GlobalAddress& base, StatusCb cb) {
-  resolver_.resolve(base, [this, base, cb = std::move(cb)](
+  resolver_().resolve(base, [this, base, cb = std::move(cb)](
                     Result<RegionDescriptor> r) mutable {
     if (!r) {
       cb(r.error());
@@ -233,27 +243,35 @@ void Node::unreserve(const GlobalAddress& base, StatusCb cb) {
       return;
     }
     if (desc.primary_home() == config_.id) {
-      release_region_pages(desc, desc.range);
-      homed_regions_.erase(base);
-      regions_.invalidate(base);
-      pool_.push_back(desc.range);  // reclaim into the local pool
-      meta_.record_region_erase(base);
-      meta_.record_pool(granted_bytes_, pool_);
-      Encoder map_req;
-      map_req.u8(2);  // erase
-      map_req.range(desc.range);
-      map_req.u32(0);
-      engine_.send_reliable(config_.genesis, MsgType::kMapMutateReq,
-                    std::move(map_req).take());
-      publish_hint(desc.range, /*retract=*/true);
-      cb(Status{});
+      // Page teardown touches the region lane's page directory and storage
+      // shard; hop there before releasing (no-op at lanes=1).
+      run_on_region_lane(desc.range.base, [this, desc, base,
+                                           cb = std::move(cb)]() mutable {
+        release_region_pages(desc, desc.range);
+        {
+          std::lock_guard<std::recursive_mutex> g(state_mu_);
+          homed_regions_.erase(base);
+          pool_.push_back(desc.range);  // reclaim into the local pool
+          meta_.record_region_erase(base);
+          meta_.record_pool(granted_bytes_, pool_);
+        }
+        regions_.invalidate(base);
+        Encoder map_req;
+        map_req.u8(2);  // erase
+        map_req.range(desc.range);
+        map_req.u32(0);
+        engine_().send_reliable(config_.genesis, MsgType::kMapMutateReq,
+                                std::move(map_req).take());
+        publish_hint(desc.range, /*retract=*/true);
+        cb(Status{});
+      });
       return;
     }
     // Remote home: release-type semantics — accept now, deliver reliably
     // in the background (Section 3.5).
     Encoder e;
     e.addr(base);
-    engine_.send_reliable(desc.primary_home(), MsgType::kUnreserveReq,
+    engine_().send_reliable(desc.primary_home(), MsgType::kUnreserveReq,
                   std::move(e).take());
     regions_.invalidate(base);
     cb(Status{});
@@ -269,7 +287,7 @@ void Node::allocate(const AddressRange& range, StatusCb cb) {
     cb(ErrorCode::kBadArgument);
     return;
   }
-  resolver_.resolve(range.base, [this, range, cb = std::move(cb)](
+  resolver_().resolve(range.base, [this, range, cb = std::move(cb)](
                           Result<RegionDescriptor> r) mutable {
     if (!r) {
       cb(r.error());
@@ -285,18 +303,25 @@ void Node::allocate(const AddressRange& range, StatusCb cb) {
       return;
     }
     if (desc.primary_home() == config_.id) {
-      materialize_region_pages(desc, range);
-      auto it = homed_regions_.find(desc.range.base);
-      if (it != homed_regions_.end()) {
-        it->second.allocated = true;
-        meta_.record_region(it->second);
-      }
-      cb(Status{});
+      // Page materialisation fills the region lane's shard; hop first.
+      run_on_region_lane(desc.range.base, [this, desc, range,
+                                           cb = std::move(cb)]() mutable {
+        materialize_region_pages(desc, range);
+        {
+          std::lock_guard<std::recursive_mutex> g(state_mu_);
+          auto it = homed_regions_.find(desc.range.base);
+          if (it != homed_regions_.end()) {
+            it->second.allocated = true;
+            meta_.record_region(it->second);
+          }
+        }
+        cb(Status{});
+      });
       return;
     }
     Encoder e;
     e.range(range);
-    engine_.call(desc.home_nodes, MsgType::kAllocReq, std::move(e).take(),
+    engine_().call(desc.home_nodes, MsgType::kAllocReq, std::move(e).take(),
               [this, base = desc.range.base, cb = std::move(cb)](
                   bool ok, Decoder& d) mutable {
                 if (!ok) {
@@ -318,7 +343,7 @@ void Node::deallocate(const AddressRange& range, StatusCb cb) {
     cb(ErrorCode::kBadArgument);
     return;
   }
-  resolver_.resolve(range.base, [this, range, cb = std::move(cb)](
+  resolver_().resolve(range.base, [this, range, cb = std::move(cb)](
                           Result<RegionDescriptor> r) mutable {
     if (!r) {
       cb(r.error());
@@ -330,13 +355,16 @@ void Node::deallocate(const AddressRange& range, StatusCb cb) {
       return;
     }
     if (desc.primary_home() == config_.id) {
-      release_region_pages(desc, range);
-      cb(Status{});
+      run_on_region_lane(desc.range.base,
+                         [this, desc, range, cb = std::move(cb)]() mutable {
+                           release_region_pages(desc, range);
+                           cb(Status{});
+                         });
       return;
     }
     Encoder e;
     e.range(range);
-    engine_.send_reliable(desc.primary_home(), MsgType::kFreeReq,
+    engine_().send_reliable(desc.primary_home(), MsgType::kFreeReq,
                   std::move(e).take());
     cb(Status{});
   });
@@ -364,7 +392,7 @@ void Node::lock(const AddressRange& range, LockMode mode, LockCb cb) {
     cb(ErrorCode::kBadArgument);
     return;
   }
-  resolver_.resolve(range.base, [this, range, mode, cb = std::move(cb)](
+  resolver_().resolve(range.base, [this, range, mode, cb = std::move(cb)](
                           Result<RegionDescriptor> r) mutable {
     if (!r) {
       ins_.locks_failed->inc();
@@ -381,7 +409,12 @@ void Node::lock(const AddressRange& range, LockMode mode, LockCb cb) {
       return;
     }
     if (desc.allocated) {
-      start_lock_op(desc, range, mode, std::move(cb));
+      // The whole acquisition (prefetch, ordered holds, CM state) runs on
+      // the region's owning lane; the grant callback fires there too.
+      run_on_region_lane(desc.range.base, [this, desc, range, mode,
+                                           cb = std::move(cb)]() mutable {
+        start_lock_op(desc, range, mode, std::move(cb));
+      });
       return;
     }
     // The cached descriptor may predate allocation; fetch a fresh copy
@@ -390,7 +423,7 @@ void Node::lock(const AddressRange& range, LockMode mode, LockCb cb) {
     regions_.invalidate(desc.range.base);
     Encoder e;
     e.addr(range.base);
-    engine_.call(desc.home_nodes, MsgType::kDescLookupReq, std::move(e).take(),
+    engine_().call(desc.home_nodes, MsgType::kDescLookupReq, std::move(e).take(),
               [this, range, mode, cb = std::move(cb)](bool ok,
                                                       Decoder& d) mutable {
                 if (!ok) {
@@ -411,7 +444,11 @@ void Node::lock(const AddressRange& range, LockMode mode, LockCb cb) {
                   cb(ErrorCode::kNotAllocated);
                   return;
                 }
-                start_lock_op(fresh, range, mode, std::move(cb));
+                run_on_region_lane(
+                    fresh.range.base,
+                    [this, fresh, range, mode, cb = std::move(cb)]() mutable {
+                      start_lock_op(fresh, range, mode, std::move(cb));
+                    });
               });
   });
 }
@@ -476,14 +513,17 @@ void Node::lock_prefetch_pump(const std::shared_ptr<LockOp>& op) {
 
 void Node::lock_next_page(std::shared_ptr<LockOp> op) {
   if (op->next == op->pages.size()) {
-    const std::uint64_t id = next_lock_id_++;
+    // Lane-strided ids: id % lanes_ recovers the owning lane, which is how
+    // unlock/read/write route back to this lock's shard.
+    const std::uint64_t id = next_lock_ids_[lane()];
+    next_lock_ids_[lane()] += lanes_;
     ActiveLock al;
     al.ctx = LockContext{id, op->range, op->mode};
     al.protocol = op->desc.attrs.protocol;
     al.pages = op->pages;
     al.page_size = op->desc.attrs.page_size;
-    for (const auto& p : al.pages) storage_.pin(p);
-    active_locks_.emplace(id, std::move(al));
+    for (const auto& p : al.pages) storage_().pin(p);
+    active_locks_().emplace(id, std::move(al));
     ins_.locks_granted->inc();
     op->cb(LockContext{id, op->range, op->mode});
     return;
@@ -521,7 +561,7 @@ void Node::lock_next_page(std::shared_ptr<LockOp> op) {
       op->prefetch_done = 0;
       op->inflight = 0;
       regions_.invalidate(op->range.base);
-      resolver_.resolve(op->range.base, [this, op](Result<RegionDescriptor> r) mutable {
+      resolver_().resolve(op->range.base, [this, op](Result<RegionDescriptor> r) mutable {
         if (!r) {
           ins_.locks_failed->inc();
           op->cb(r.error());
@@ -538,15 +578,22 @@ void Node::lock_next_page(std::shared_ptr<LockOp> op) {
 }
 
 void Node::unlock(const LockContext& ctx) {
-  auto it = active_locks_.find(ctx.id);
-  if (it == active_locks_.end()) return;
+  // Release must run on the lane that granted (its CM and page shard own
+  // the hold state); the strided id encodes that lane.
+  const unsigned target = lock_lane(ctx);
+  if (target != lane()) {
+    post_to_lane(target, [this, ctx] { unlock(ctx); });
+    return;
+  }
+  auto it = active_locks_().find(ctx.id);
+  if (it == active_locks_().end()) return;
   ActiveLock al = std::move(it->second);
-  active_locks_.erase(it);
+  active_locks_().erase(it);
   auto* cm = cm_for(al.protocol);
   for (const auto& p : al.pages) {
-    storage_.unpin(p);
-    if (pages_.ensure(p).homed_locally && al.dirty.contains(p)) {
-      (void)storage_.flush(p);
+    storage_().unpin(p);
+    if (pages_().ensure(p).homed_locally && al.dirty.contains(p)) {
+      (void)storage_().flush(p);
       journal_page(p);
     }
     if (cm != nullptr) cm->release(p, al.ctx.mode, al.dirty.contains(p));
@@ -555,8 +602,13 @@ void Node::unlock(const LockContext& ctx) {
 
 Result<Bytes> Node::read(const LockContext& ctx, std::uint64_t offset,
                          std::uint64_t len) {
-  auto it = active_locks_.find(ctx.id);
-  if (it == active_locks_.end()) return ErrorCode::kBadLock;
+  // Synchronous data access indexes the lock's owning lane directly: in the
+  // sim every lane shares one OS thread, and live TCP clients route
+  // read/write onto the lock's lane before calling in.
+  auto& locks = active_locks_v_[lock_lane(ctx)];
+  storage::StorageHierarchy& st = *storages_[lock_lane(ctx)];
+  auto it = locks.find(ctx.id);
+  if (it == locks.end()) return ErrorCode::kBadLock;
   const ActiveLock& al = it->second;
   if (offset + len > al.ctx.range.size) return ErrorCode::kBadArgument;
   ins_.reads->inc();
@@ -573,7 +625,7 @@ Result<Bytes> Node::read(const LockContext& ctx, std::uint64_t offset,
     const std::uint64_t in_page = page.distance_to(at);
     const std::uint64_t chunk = std::min<std::uint64_t>(len - done,
                                                         psz - in_page);
-    const Bytes* data = storage_.get(page);
+    const Bytes* data = st.get(page);
     if (data == nullptr || data->size() < in_page + chunk) {
       tracer_.end_span(span);
       return ErrorCode::kInternal;  // locked pages must be resident
@@ -589,8 +641,10 @@ Result<Bytes> Node::read(const LockContext& ctx, std::uint64_t offset,
 
 Status Node::write(const LockContext& ctx, std::uint64_t offset,
                    std::span<const std::uint8_t> data) {
-  auto it = active_locks_.find(ctx.id);
-  if (it == active_locks_.end()) return ErrorCode::kBadLock;
+  auto& locks = active_locks_v_[lock_lane(ctx)];
+  storage::StorageHierarchy& st = *storages_[lock_lane(ctx)];
+  auto it = locks.find(ctx.id);
+  if (it == locks.end()) return ErrorCode::kBadLock;
   ActiveLock& al = it->second;
   if (!is_write(al.ctx.mode)) return ErrorCode::kBadLock;
   if (offset + data.size() > al.ctx.range.size) return ErrorCode::kBadArgument;
@@ -607,7 +661,7 @@ Status Node::write(const LockContext& ctx, std::uint64_t offset,
     const std::uint64_t in_page = page.distance_to(at);
     const std::uint64_t chunk =
         std::min<std::uint64_t>(data.size() - done, psz - in_page);
-    Bytes* stored = storage_.get_mutable(page);
+    Bytes* stored = st.get_mutable(page);
     if (stored == nullptr || stored->size() < in_page + chunk) {
       tracer_.end_span(span);
       return ErrorCode::kInternal;
@@ -620,166 +674,6 @@ Status Node::write(const LockContext& ctx, std::uint64_t offset,
   tracer_.end_span(span);
   ins_.write_us->record(now() - t0);
   return {};
-}
-
-// ---------------------------------------------------------------------------
-// Attributes and location queries
-// ---------------------------------------------------------------------------
-
-void Node::getattr(const GlobalAddress& base, AttrCb cb) {
-  // Root span + latency histogram + slow-op watch, same shape as
-  // reserve()/lock(): getattr is the op the overload bench saturates with,
-  // so its tail is exactly where the flight recorder earns its keep.
-  const Micros t0 = now();
-  const obs::TraceContext span = tracer_.begin_span("op:getattr");
-  obs::ScopedTraceContext scope(tracer_, span);
-  const OpWatch watch = watch_op();
-  cb = [this, t0, watch, span, cb = std::move(cb)](Result<RegionAttrs> r) {
-    if (r.ok()) ins_.getattr_us->record(now() - t0);
-    tracer_.end_span(span);
-    maybe_record_slow_op("getattr", watch, span.trace_id);
-    cb(std::move(r));
-  };
-  resolver_.resolve(base, [this, base, cb = std::move(cb)](
-                    Result<RegionDescriptor> r) mutable {
-    if (!r) {
-      cb(r.error());
-      return;
-    }
-    const RegionDescriptor desc = r.value();
-    if (desc.primary_home() == config_.id) {
-      cb(desc.attrs);
-      return;
-    }
-    Encoder e;
-    e.addr(base);
-    engine_.call(desc.home_nodes, MsgType::kGetAttrReq, std::move(e).take(),
-              [cb = std::move(cb)](bool ok, Decoder& d) mutable {
-                if (!ok) {
-                  cb(ErrorCode::kUnreachable);
-                  return;
-                }
-                const ErrorCode err = from_wire(d.u8());
-                if (err != ErrorCode::kOk) {
-                  cb(err);
-                  return;
-                }
-                cb(RegionAttrs::decode(d));
-              });
-  });
-}
-
-void Node::setattr(const GlobalAddress& base, const RegionAttrs& attrs,
-                   StatusCb cb) {
-  resolver_.resolve(base, [this, base, attrs, cb = std::move(cb)](
-                    Result<RegionDescriptor> r) mutable {
-    if (!r) {
-      cb(r.error());
-      return;
-    }
-    const RegionDescriptor desc = r.value();
-    Encoder e;
-    e.addr(base);
-    attrs.encode(e);
-    e.u32(config_.principal);
-    engine_.call(desc.home_nodes, MsgType::kSetAttrReq, std::move(e).take(),
-              [this, base, cb = std::move(cb)](bool ok, Decoder& d) mutable {
-                if (!ok) {
-                  cb(ErrorCode::kUnreachable);
-                  return;
-                }
-                const ErrorCode err = from_wire(d.u8());
-                if (err == ErrorCode::kOk) regions_.invalidate(base);
-                cb(err == ErrorCode::kOk ? Status{} : Status{err});
-              });
-  });
-}
-
-void Node::locate(const GlobalAddress& addr, LocateCb cb) {
-  resolver_.resolve(addr, [this, addr, cb = std::move(cb)](
-                    Result<RegionDescriptor> r) mutable {
-    if (!r) {
-      cb(r.error());
-      return;
-    }
-    const RegionDescriptor desc = r.value();
-    Encoder e;
-    e.addr(addr);
-    engine_.call(desc.home_nodes, MsgType::kLocateReq, std::move(e).take(),
-              [cb = std::move(cb)](bool ok, Decoder& d) mutable {
-                if (!ok) {
-                  cb(ErrorCode::kUnreachable);
-                  return;
-                }
-                const ErrorCode err = from_wire(d.u8());
-                if (err != ErrorCode::kOk) {
-                  cb(err);
-                  return;
-                }
-                std::vector<NodeId> nodes;
-                const std::uint32_t n = d.u32();
-                for (std::uint32_t i = 0; i < n && d.ok(); ++i) {
-                  nodes.push_back(d.u32());
-                }
-                cb(std::move(nodes));
-              });
-  });
-}
-
-void Node::migrate(const GlobalAddress& base, NodeId new_home, StatusCb cb) {
-  resolver_.resolve(base, [this, base, new_home, cb = std::move(cb)](
-                    Result<RegionDescriptor> r) mutable {
-    if (!r) {
-      cb(r.error());
-      return;
-    }
-    const RegionDescriptor desc = r.value();
-    if (desc.range.base != base) {
-      cb(ErrorCode::kBadArgument);
-      return;
-    }
-    if (!desc.attrs.acl.allows(config_.principal, /*write=*/true)) {
-      cb(ErrorCode::kAccessDenied);
-      return;
-    }
-    Encoder e;
-    e.addr(base);
-    e.u32(new_home);
-    engine_.call(desc.home_nodes, MsgType::kMigrateReq, std::move(e).take(),
-              [this, base, cb = std::move(cb)](bool ok, Decoder& d) mutable {
-                if (!ok) {
-                  cb(ErrorCode::kUnreachable);
-                  return;
-                }
-                const ErrorCode err = from_wire(d.u8());
-                if (err == ErrorCode::kOk) regions_.invalidate(base);
-                cb(err == ErrorCode::kOk ? Status{} : Status{err});
-              });
-  });
-}
-
-void Node::replicate_to(const GlobalAddress& base, NodeId target,
-                        StatusCb cb) {
-  resolver_.resolve(base, [this, base, target, cb = std::move(cb)](
-                    Result<RegionDescriptor> r) mutable {
-    if (!r) {
-      cb(r.error());
-      return;
-    }
-    Encoder e;
-    e.addr(base);
-    e.u32(target);
-    engine_.call(r.value().home_nodes, MsgType::kReplicateToReq,
-              std::move(e).take(),
-              [cb = std::move(cb)](bool ok, Decoder& d) mutable {
-                if (!ok) {
-                  cb(ErrorCode::kUnreachable);
-                  return;
-                }
-                const ErrorCode err = from_wire(d.u8());
-                cb(err == ErrorCode::kOk ? Status{} : Status{err});
-              });
-  });
 }
 
 }  // namespace khz::core

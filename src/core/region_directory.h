@@ -10,6 +10,7 @@
 
 #include <list>
 #include <map>
+#include <mutex>
 #include <optional>
 #include <vector>
 
@@ -38,13 +39,19 @@ class RegionDirectory {
   /// LRU order.
   [[nodiscard]] std::vector<RegionDescriptor> snapshot() const;
 
-  [[nodiscard]] std::size_t size() const { return cache_.size(); }
+  [[nodiscard]] std::size_t size() const {
+    std::lock_guard lk(mu_);
+    return cache_.size();
+  }
 
   struct Stats {
     std::uint64_t hits = 0;
     std::uint64_t misses = 0;
   };
-  [[nodiscard]] const Stats& stats() const { return stats_; }
+  [[nodiscard]] Stats stats() const {
+    std::lock_guard lk(mu_);
+    return stats_;
+  }
 
   /// Mirrors hit/miss/eviction counts into the owning node's registry
   /// (region_dir.hits / region_dir.misses / region_dir.evictions).
@@ -57,6 +64,10 @@ class RegionDirectory {
   };
 
   std::size_t capacity_;
+  /// The descriptor cache is shared across a node's execution lanes (any
+  /// lane may resolve any address before hopping), so it synchronizes
+  /// internally. Short critical sections; never held across callbacks.
+  mutable std::mutex mu_;
   std::map<GlobalAddress, Entry> cache_;  // keyed by region base
   std::list<GlobalAddress> lru_;          // front = most recent
   Stats stats_;

@@ -113,7 +113,8 @@ void RpcEngine::start_attempt(std::uint64_t call_id) {
   ++c.attempts_made;
   --c.attempts_left;
 
-  const RpcId rid = next_rpc_id_++;
+  const RpcId rid = next_rpc_id_;
+  next_rpc_id_ += rpc_id_step_;
   rpc_to_call_[rid] = call_id;
   c.issued.push_back(rid);
 

@@ -33,6 +33,7 @@ NodeConfig make_config(const SimWorldOptions& opts, NodeId id,
   cfg.flight_recorder_capacity = opts.flight_recorder_capacity;
   cfg.stats_sample_interval = opts.stats_sample_interval;
   cfg.stats_series_capacity = opts.stats_series_capacity;
+  cfg.lanes = opts.lanes;
   cfg.seed = opts.seed;
   return cfg;
 }

@@ -46,6 +46,10 @@ struct SimWorldOptions {
   std::size_t flight_recorder_capacity = 32;
   Micros stats_sample_interval = 0;
   std::size_t stats_series_capacity = 64;
+  /// Execution lanes per node (docs/architecture.md, threading model).
+  /// Under the simulator lanes are logical tags on the single event loop;
+  /// 1 (the default) is byte-for-byte the legacy single-lane node.
+  unsigned lanes = 1;
   std::uint64_t seed = 1;
 };
 

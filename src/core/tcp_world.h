@@ -44,6 +44,10 @@ struct TcpWorldOptions {
   std::size_t flight_recorder_capacity = 32;
   Micros stats_sample_interval = 0;
   std::size_t stats_series_capacity = 64;
+  /// Executor lanes per node (docs/architecture.md, threading model). Each
+  /// lane is its own executor thread; 1 keeps the legacy single-executor
+  /// node.
+  unsigned lanes = 1;
   std::uint64_t seed = 1;
 };
 
@@ -139,20 +143,22 @@ class TcpClient final : public SyncClient {
     });
   }
   void unlock(const consistency::LockContext& ctx) override {
-    world_.transport(node_).run_on_executor(
-        [&] { world_.node(node_).unlock(ctx); });
+    world_.transport(node_).run_on_lane(
+        lock_lane(ctx), [&] { world_.node(node_).unlock(ctx); });
   }
   Result<Bytes> read(const consistency::LockContext& ctx,
                      std::uint64_t offset, std::uint64_t len) override {
     std::optional<Result<Bytes>> out;
-    world_.transport(node_).run_on_executor(
+    world_.transport(node_).run_on_lane(
+        lock_lane(ctx),
         [&] { out = world_.node(node_).read(ctx, offset, len); });
     return std::move(out).value();
   }
   Status write(const consistency::LockContext& ctx, std::uint64_t offset,
                std::span<const std::uint8_t> data) override {
     std::optional<Status> out;
-    world_.transport(node_).run_on_executor(
+    world_.transport(node_).run_on_lane(
+        lock_lane(ctx),
         [&] { out = world_.node(node_).write(ctx, offset, data); });
     return out.value();
   }
@@ -175,6 +181,13 @@ class TcpClient final : public SyncClient {
   [[nodiscard]] NodeId node_id() const override { return node_; }
 
  private:
+  /// Lock state lives on the lane that minted the lock's id (ids are
+  /// lane-strided), so unlock/read/write must run on that lane's thread.
+  [[nodiscard]] unsigned lock_lane(const consistency::LockContext& ctx) {
+    const unsigned lanes = world_.node(node_).lanes();
+    return lanes <= 1 ? 0u : static_cast<unsigned>(ctx.id % lanes);
+  }
+
   /// Posts `start(done)` to the node executor; blocks until `done(result)`
   /// fires (possibly much later, from a different executor callback).
   template <typename R, typename Start>

@@ -57,6 +57,37 @@ std::string_view to_string(MsgType t) {
   return "?";
 }
 
+bool is_response(MsgType t) {
+  switch (t) {
+    case MsgType::kJoinResp:
+    case MsgType::kReserveResp:
+    case MsgType::kUnreserveResp:
+    case MsgType::kSpaceResp:
+    case MsgType::kDescLookupResp:
+    case MsgType::kHintQueryResp:
+    case MsgType::kClusterWalkResp:
+    case MsgType::kAllocResp:
+    case MsgType::kFreeResp:
+    case MsgType::kGetAttrResp:
+    case MsgType::kSetAttrResp:
+    case MsgType::kPageFetchResp:
+    case MsgType::kMapMutateResp:
+    case MsgType::kLocateResp:
+    case MsgType::kObjInvokeResp:
+    case MsgType::kMigrateResp:
+    case MsgType::kMigrateDataResp:
+    case MsgType::kReplicateToResp:
+    case MsgType::kPong:
+    // Backpressure replies are rpc_id-correlated like responses; the
+    // engine turns them into backoff + candidate rotation.
+    case MsgType::kNack:
+    case MsgType::kStatsResp:
+      return true;
+    default:
+      return false;
+  }
+}
+
 Bytes Message::encode() const {
   Encoder e;
   e.u16(static_cast<std::uint16_t>(type));
@@ -66,6 +97,7 @@ Bytes Message::encode() const {
   e.u64(trace_id);
   e.u64(span_id);
   e.u64(deadline);
+  e.u64(route_key);
   e.bytes(payload);
   return std::move(e).take();
 }
@@ -80,6 +112,7 @@ Bytes Message::encode_framed() const {
   e.u64(trace_id);
   e.u64(span_id);
   e.u64(deadline);
+  e.u64(route_key);
   e.bytes(payload);
   Bytes out = std::move(e).take();
   const auto body_len = static_cast<std::uint32_t>(out.size() - 4);
@@ -98,6 +131,7 @@ bool Message::decode(std::span<const std::uint8_t> wire, Message& out) {
   out.trace_id = d.u64();
   out.span_id = d.u64();
   out.deadline = d.u64();
+  out.route_key = d.u64();
   out.payload = d.bytes();
   return d.at_end();
 }

@@ -40,12 +40,50 @@ TcpTransport::TcpTransport(TcpBus& bus, NodeId id, std::uint16_t port)
       id_(id),
       port_(port),
       send_queue_us_(&metrics_.histogram("tcp.send_queue_us")),
-      writev_frames_(&metrics_.histogram("tcp.writev_frames")) {}
+      writev_frames_(&metrics_.histogram("tcp.writev_frames")) {
+  configure_lanes(1);
+}
+
+void TcpTransport::configure_lanes(unsigned n) {
+  if (running_.load()) return;  // executors already own the lane vector
+  lanes_n_ = n < 1 ? 1 : (n > kMaxLanes ? kMaxLanes : n);
+  lane_exec_.clear();
+  for (unsigned l = 0; l < lanes_n_; ++l) {
+    auto le = std::make_unique<LaneExec>();
+    // Strided ids: id % lanes == owning lane; 1, 2, 3, ... when lanes == 1.
+    le->next_timer_id = l + lanes_n_;
+    lane_exec_.push_back(std::move(le));
+  }
+}
 
 TcpTransport::~TcpTransport() { stop(); }
 
 void TcpTransport::set_handler(Handler handler) {
-  handler_ = std::move(handler);
+  std::vector<Message> backlog;
+  {
+    std::lock_guard lk(handler_mu_);
+    handler_ = std::move(handler);
+    backlog.swap(pre_handler_backlog_);
+  }
+  // Replay anything that arrived before the handler existed, back onto the
+  // owning lanes so dispatch stays single-writer per lane.
+  for (auto& m : backlog) {
+    const unsigned lane = target_lane(m, lanes_n_);
+    enqueue_on(lane, [this, m = std::move(m)]() mutable { dispatch(std::move(m)); });
+  }
+}
+
+void TcpTransport::dispatch(Message msg) {
+  Handler h;
+  {
+    std::lock_guard lk(handler_mu_);
+    if (!handler_) {
+      pre_handler_backlog_.push_back(std::move(msg));
+      return;
+    }
+    h = handler_;
+  }
+  h(std::move(msg));
 }
 
 const Clock& TcpTransport::clock() const { return g_steady_clock; }
@@ -78,7 +116,9 @@ void TcpTransport::start() {
     ::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, listen_fd_, &ev);
   }
   running_.store(true);
-  executor_ = std::thread([this] { executor_loop(); });
+  for (unsigned l = 0; l < lanes_n_; ++l) {
+    lane_exec_[l]->thr = std::thread([this, l] { executor_loop(l); });
+  }
   io_ = std::thread([this] { io_loop(); });
 }
 
@@ -104,8 +144,10 @@ void TcpTransport::stop() {
     ::close(epoll_fd_);
     epoll_fd_ = -1;
   }
-  cv_.notify_all();
-  if (executor_.joinable()) executor_.join();
+  for (auto& le : lane_exec_) le->cv.notify_all();
+  for (auto& le : lane_exec_) {
+    if (le->thr.joinable()) le->thr.join();
+  }
 }
 
 void TcpTransport::wake_io() {
@@ -215,9 +257,11 @@ void TcpTransport::inbound_ready(int fd, std::uint32_t events) {
     Message msg;
     if (Message::decode({conn.buf.data() + off + 4, frame_len}, msg)) {
       ++counters_.messages_received;
-      enqueue([this, m = std::move(msg)]() mutable {
-        if (handler_) handler_(std::move(m));
-      });
+      // Demux the decoded frame straight onto its owning lane: the I/O
+      // thread never runs node logic itself.
+      const unsigned lane = target_lane(msg, lanes_n_);
+      enqueue_on(lane,
+                 [this, m = std::move(msg)]() mutable { dispatch(std::move(m)); });
     } else {
       KHZ_WARN("tcp: node %u dropping undecodable frame", id_);
       ++counters_.frames_dropped;
@@ -453,51 +497,72 @@ void TcpTransport::send(Message msg) {
 }
 
 // ---------------------------------------------------------------------------
-// Executor thread: serialized callbacks + timer heap.
+// Lane executors: serialized callbacks + timer heap, one thread per lane.
 // ---------------------------------------------------------------------------
 
-void TcpTransport::enqueue(std::function<void()> fn) {
+void TcpTransport::enqueue_on(unsigned lane, std::function<void()> fn) {
+  LaneExec& le = *lane_exec_[lane >= lanes_n_ ? 0 : lane];
   {
-    std::lock_guard lk(mu_);
-    work_.push_back(std::move(fn));
+    std::lock_guard lk(le.mu);
+    le.work.push_back(std::move(fn));
   }
-  cv_.notify_one();
+  le.cv.notify_one();
+}
+
+void TcpTransport::post(unsigned lane, std::function<void()> fn) {
+  // A direct enqueue rather than a zero-delay timer: cheaper, and FIFO with
+  // inbound messages already queued on the target lane.
+  enqueue_on(lane, std::move(fn));
 }
 
 std::uint64_t TcpTransport::schedule(Micros delay, std::function<void()> fn) {
-  std::lock_guard lk(mu_);
+  // Timers are lane-affine: the callback fires on the scheduling lane.
+  return schedule_on(current_lane(), delay, std::move(fn));
+}
+
+std::uint64_t TcpTransport::schedule_on(unsigned lane, Micros delay,
+                                        std::function<void()> fn) {
+  LaneExec& le = *lane_exec_[lane >= lanes_n_ ? 0 : lane];
+  std::lock_guard lk(le.mu);
   Timer t;
   t.fire_at = g_steady_clock.now() + delay;
-  const std::uint64_t id = next_timer_id_++;
+  const std::uint64_t id = le.next_timer_id;
+  le.next_timer_id += lanes_n_;
   t.id = id;
   t.fn = std::move(fn);
-  timers_.push_back(std::move(t));
-  std::push_heap(timers_.begin(), timers_.end());
-  cv_.notify_one();
-  // NOT timers_.back().id: push_heap may have moved another timer there.
+  le.timers.push_back(std::move(t));
+  std::push_heap(le.timers.begin(), le.timers.end());
+  le.cv.notify_one();
+  // NOT le.timers.back().id: push_heap may have moved another timer there.
   return id;
 }
 
 void TcpTransport::cancel(std::uint64_t timer_id) {
-  std::lock_guard lk(mu_);
-  for (auto& t : timers_) {
+  // Strided ids make the owning lane recoverable from the id alone.
+  LaneExec& le = *lane_exec_[timer_id % lanes_n_];
+  std::lock_guard lk(le.mu);
+  for (auto& t : le.timers) {
     if (t.id == timer_id && t.fn) {
       t.fn = nullptr;  // fires as a no-op if not compacted first
-      ++timer_tombstones_;
+      ++le.tombstones;
     }
   }
   // Lazy compaction: once tombstones dominate, rebuild the heap without
   // them so long-running schedule/cancel loops don't leak entries.
-  if (timer_tombstones_ * 2 > timers_.size()) {
-    std::erase_if(timers_, [](const Timer& t) { return !t.fn; });
-    std::make_heap(timers_.begin(), timers_.end());
-    timer_tombstones_ = 0;
+  if (le.tombstones * 2 > le.timers.size()) {
+    std::erase_if(le.timers, [](const Timer& t) { return !t.fn; });
+    std::make_heap(le.timers.begin(), le.timers.end());
+    le.tombstones = 0;
   }
 }
 
 std::size_t TcpTransport::pending_timers() const {
-  std::lock_guard lk(mu_);
-  return timers_.size();
+  std::size_t n = 0;
+  for (const auto& le : lane_exec_) {
+    std::lock_guard lk(le->mu);
+    n += le->timers.size();
+  }
+  return n;
 }
 
 TransportStats TcpTransport::stats() const {
@@ -509,10 +574,20 @@ TransportStats TcpTransport::stats() const {
 }
 
 void TcpTransport::run_on_executor(std::function<void()> fn) {
+  run_on_lane(0, std::move(fn));
+}
+
+void TcpTransport::run_on_lane(unsigned lane, std::function<void()> fn) {
+  if (lane >= lanes_n_) lane = 0;
+  LaneExec& le = *lane_exec_[lane];
+  if (le.thr.get_id() == std::this_thread::get_id()) {
+    fn();  // already on the target lane: blocking would self-deadlock
+    return;
+  }
   std::mutex done_mu;
   std::condition_variable done_cv;
   bool done = false;
-  enqueue([&] {
+  enqueue_on(lane, [&] {
     fn();
     std::lock_guard lk(done_mu);
     done = true;
@@ -522,38 +597,42 @@ void TcpTransport::run_on_executor(std::function<void()> fn) {
   done_cv.wait(lk, [&] { return done; });
 }
 
-void TcpTransport::executor_loop() {
+void TcpTransport::executor_loop(unsigned lane) {
   // All node logic runs here; prefix log lines with the node id so the
   // interleaved output of a multi-node process stays attributable.
   set_thread_log_node(id_);
+  // The whole thread lifetime is one LaneScope: every callback it runs
+  // observes current_lane() == lane, so lane-owned shards resolve right.
+  LaneScope scope(lane);
+  LaneExec& le = *lane_exec_[lane];
   while (true) {
     std::function<void()> job;
     {
-      std::unique_lock lk(mu_);
+      std::unique_lock lk(le.mu);
       while (true) {
-        if (!running_.load() && work_.empty()) return;
-        if (!work_.empty()) {
-          job = std::move(work_.front());
-          work_.pop_front();
+        if (!running_.load() && le.work.empty()) return;
+        if (!le.work.empty()) {
+          job = std::move(le.work.front());
+          le.work.pop_front();
           break;
         }
-        if (!timers_.empty()) {
+        if (!le.timers.empty()) {
           const Micros now = g_steady_clock.now();
-          if (timers_.front().fire_at <= now) {
-            std::pop_heap(timers_.begin(), timers_.end());
-            job = std::move(timers_.back().fn);
-            timers_.pop_back();
+          if (le.timers.front().fire_at <= now) {
+            std::pop_heap(le.timers.begin(), le.timers.end());
+            job = std::move(le.timers.back().fn);
+            le.timers.pop_back();
             if (!job) {
-              if (timer_tombstones_ > 0) --timer_tombstones_;
+              if (le.tombstones > 0) --le.tombstones;
               continue;  // cancelled
             }
             break;
           }
-          const Micros wait_us = timers_.front().fire_at - now;
-          cv_.wait_for(lk, std::chrono::microseconds(wait_us));
+          const Micros wait_us = le.timers.front().fire_at - now;
+          le.cv.wait_for(lk, std::chrono::microseconds(wait_us));
           continue;
         }
-        cv_.wait(lk);
+        le.cv.wait(lk);
       }
     }
     job();
@@ -562,9 +641,10 @@ void TcpTransport::executor_loop() {
 
 TcpBus::~TcpBus() { stop_all(); }
 
-TcpTransport& TcpBus::add_node(NodeId id) {
+TcpTransport& TcpBus::add_node(NodeId id, unsigned lanes) {
   auto ep = std::make_unique<TcpTransport>(*this, id, port_of(id));
   auto& ref = *ep;
+  ref.configure_lanes(lanes);
   endpoints_[id] = std::move(ep);  // replaces (and stops) any prior endpoint
   ref.start();
   return ref;

@@ -2,11 +2,14 @@
 //
 // TcpBus hosts one listening socket per node (localhost, distinct ports) and
 // lazily opened client connections between them, with 4-byte-length-prefixed
-// Message frames. Each endpoint owns two threads:
+// Message frames. Each endpoint owns N+1 threads:
 //
-//  * an executor thread on which ALL of its callbacks (inbound messages and
-//    timers) run, preserving the single-threaded execution model that node
-//    logic assumes under the simulator; and
+//  * N lane executor threads (default 1) on which ALL of its callbacks run.
+//    Each decoded inbound frame is demuxed straight onto target_lane(msg)'s
+//    executor — the I/O thread never touches node state — and timers are
+//    lane-affine (a timer fires on the lane that scheduled it). Callbacks on
+//    one lane are serialized, preserving the single-writer execution model
+//    that node logic assumes under the simulator; and
 //  * an I/O thread multiplexing every socket — listener, inbound and
 //    outbound — through one epoll instance. Outbound traffic goes through
 //    per-peer non-blocking write queues, so a slow or dead peer can never
@@ -55,12 +58,22 @@ class TcpTransport final : public Transport {
   void send(Message msg) override;
   void set_handler(Handler handler) override;
   std::uint64_t schedule(Micros delay, std::function<void()> fn) override;
+  std::uint64_t schedule_on(unsigned lane, Micros delay,
+                            std::function<void()> fn) override;
+  void post(unsigned lane, std::function<void()> fn) override;
   void cancel(std::uint64_t timer_id) override;
   [[nodiscard]] const Clock& clock() const override;
+  [[nodiscard]] unsigned lanes() const override { return lanes_n_; }
+  /// Must be called before start(); ignored once the executors are running.
+  void configure_lanes(unsigned n) override;
 
-  /// Runs `fn` on the executor thread and returns once it completed.
+  /// Runs `fn` on lane 0's executor thread and returns once it completed.
   /// Used by synchronous client wrappers to call into node logic safely.
   void run_on_executor(std::function<void()> fn);
+  /// Runs `fn` on `lane`'s executor thread and returns once it completed.
+  /// Runs inline when already called from that lane's thread (re-entrant
+  /// client wrappers would otherwise self-deadlock).
+  void run_on_lane(unsigned lane, std::function<void()> fn);
 
   /// Snapshot of the wire-level counters (thread-safe).
   [[nodiscard]] TransportStats stats() const;
@@ -113,7 +126,23 @@ class TcpTransport final : public Transport {
     Bytes buf;
   };
 
-  void executor_loop();
+  /// One lane's executor: serialized callbacks plus a timer heap, drained by
+  /// a dedicated thread that lives inside a LaneScope for its lifetime.
+  /// Timer ids are lane-strided (first id = lane + lanes, step = lanes) so
+  /// id % lanes recovers the owning lane for cancel(); with one lane this
+  /// degenerates to the historical 1, 2, 3, ... sequence.
+  struct LaneExec {
+    mutable std::mutex mu;
+    std::condition_variable cv;
+    std::deque<std::function<void()>> work;
+    std::vector<Timer> timers;  // heap ordered by fire_at
+    std::size_t tombstones = 0;  // cancelled entries still in timers
+    std::uint64_t next_timer_id = 0;
+    std::thread thr;
+  };
+
+  void executor_loop(unsigned lane);
+  void enqueue_on(unsigned lane, std::function<void()> fn);
   void io_loop();
   void accept_ready();
   void inbound_ready(int fd, std::uint32_t events);
@@ -127,25 +156,30 @@ class TcpTransport final : public Transport {
   [[nodiscard]] int backoff_timeout_ms();     // locks io_mu_
   void close_inbound(int fd);                 // io_mu_ held
   void wake_io();
-  void enqueue(std::function<void()> fn);
+  void dispatch(Message msg);                 // lane executor; locks handler_mu_
 
   TcpBus& bus_;
   NodeId id_;
   std::uint16_t port_;
-  Handler handler_;
+
+  // The inbound handler may be installed after start() (the executors are
+  // already dispatching frames by then), so both the slot and the
+  // not-yet-handled backlog live under their own mutex. Frames that arrive
+  // before set_handler() are parked, then replayed onto their lanes.
+  mutable std::mutex handler_mu_;
+  Handler handler_;                // guarded by handler_mu_
+  std::vector<Message> pre_handler_backlog_;  // guarded by handler_mu_
 
   int listen_fd_ = -1;
   int epoll_fd_ = -1;
   int wake_fd_ = -1;  // eventfd: send()/stop() nudge the I/O thread
   std::atomic<bool> running_{false};
 
-  // Executor state (lock order: io_mu_ before mu_; never the reverse).
-  mutable std::mutex mu_;
-  std::condition_variable cv_;
-  std::deque<std::function<void()>> work_;
-  std::vector<Timer> timers_;  // heap ordered by fire_at
-  std::size_t timer_tombstones_ = 0;  // cancelled entries still in timers_
-  std::uint64_t next_timer_id_ = 1;
+  // Executor state (lock order: io_mu_ before any lane mu; never the
+  // reverse). Fixed after start(): the vector itself is only mutated while
+  // single-threaded.
+  unsigned lanes_n_ = 1;
+  std::vector<std::unique_ptr<LaneExec>> lane_exec_;
 
   // Socket state, shared between send() callers and the I/O thread.
   mutable std::mutex io_mu_;
@@ -161,7 +195,6 @@ class TcpTransport final : public Transport {
   obs::Histogram* send_queue_us_;
   obs::Histogram* writev_frames_;  // frames per sendmsg() gather call
 
-  std::thread executor_;
   std::thread io_;
 };
 
@@ -174,8 +207,9 @@ class TcpBus {
   TcpBus(const TcpBus&) = delete;
   TcpBus& operator=(const TcpBus&) = delete;
 
-  /// Creates and starts the endpoint for `id` on base_port + id.
-  TcpTransport& add_node(NodeId id);
+  /// Creates and starts the endpoint for `id` on base_port + id, with
+  /// `lanes` executor lanes (clamped to [1, kMaxLanes]).
+  TcpTransport& add_node(NodeId id, unsigned lanes = 1);
   /// Stops and destroys the endpoint for `id` (simulates a process kill);
   /// the same id can later be re-added to simulate a restart.
   void remove_node(NodeId id);

@@ -38,7 +38,10 @@ Status DiskStore::put(const GlobalAddress& page, const Bytes& data) {
   out.write(reinterpret_cast<const char*>(data.data()),
             static_cast<std::streamsize>(data.size()));
   if (!out) return ErrorCode::kInternal;
-  if (!existed) ++count_;
+  if (!existed) {
+    std::lock_guard lk(mu_);
+    ++count_;
+  }
   return {};
 }
 
@@ -56,6 +59,7 @@ std::optional<Bytes> DiskStore::get(const GlobalAddress& page) const {
 bool DiskStore::erase(const GlobalAddress& page) {
   std::error_code ec;
   if (fs::remove(page_path(page), ec)) {
+    std::lock_guard lk(mu_);
     if (count_ > 0) --count_;
     return true;
   }

@@ -9,6 +9,7 @@
 
 #include <filesystem>
 #include <memory>
+#include <mutex>
 #include <optional>
 #include <string>
 #include <vector>
@@ -34,8 +35,12 @@ class DiskStore {
   /// Every page present on disk (sorted), for restart recovery.
   [[nodiscard]] std::vector<GlobalAddress> scan() const;
 
-  [[nodiscard]] std::size_t size() const { return count_; }
+  [[nodiscard]] std::size_t size() const {
+    std::lock_guard lk(mu_);
+    return count_;
+  }
   [[nodiscard]] bool full() const {
+    std::lock_guard lk(mu_);
     return capacity_ != 0 && count_ >= capacity_;
   }
 
@@ -56,6 +61,10 @@ class DiskStore {
 
   std::filesystem::path root_;
   std::size_t capacity_;
+  /// Guards count_: one DiskStore may be shared by a multi-lane node's
+  /// per-lane hierarchies. Distinct-page file I/O needs no coordination
+  /// (a page belongs to exactly one lane), only the occupancy counter does.
+  mutable std::mutex mu_;
   std::size_t count_ = 0;
   std::unique_ptr<MetaJournal> journal_;
 };

@@ -3,7 +3,7 @@
 namespace khz::storage {
 
 StorageHierarchy::StorageHierarchy(std::size_t ram_capacity_pages,
-                                   std::unique_ptr<DiskStore> disk)
+                                   std::shared_ptr<DiskStore> disk)
     : ram_(ram_capacity_pages), disk_(std::move(disk)) {}
 
 void StorageHierarchy::put(const GlobalAddress& page, Bytes data) {

@@ -42,8 +42,11 @@ enum class HitLevel { kRam, kDisk, kMiss };
 class StorageHierarchy {
  public:
   /// `disk` may be null (diskless node: victims are dropped via the hook).
+  /// Shared: a multi-lane node runs one hierarchy per lane over a single
+  /// DiskStore (pages are lane-partitioned, so lanes never contend on one
+  /// page; the store's own counters are internally synchronized).
   StorageHierarchy(std::size_t ram_capacity_pages,
-                   std::unique_ptr<DiskStore> disk);
+                   std::shared_ptr<DiskStore> disk);
 
   /// Called before a page is dropped from the node entirely.
   /// Arguments: page address, current contents. Returns whether the drop
@@ -84,7 +87,7 @@ class StorageHierarchy {
   void enforce_capacity();
 
   MemoryStore ram_;
-  std::unique_ptr<DiskStore> disk_;
+  std::shared_ptr<DiskStore> disk_;
   EvictHook evict_hook_;
   HierarchyStats stats_;
 };

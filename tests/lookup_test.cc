@@ -42,7 +42,7 @@ TEST(LookupTest, MapWalkFindsRegionWhenManagerHintMisses) {
   world.pump_for(500'000);  // let the map registration land
 
   // Erase the manager's hint state to force the level-3 tree walk.
-  world.node(0).cluster_state() = ClusterState{};
+  world.node(0).cluster_state().clear();
   ASSERT_TRUE(world.get(2, {base.value(), 4096}).ok());
   EXPECT_GE(world.node(2).stats().resolve_map_walks, 1u);
 }
@@ -56,7 +56,7 @@ TEST(LookupTest, ClusterWalkRecoversWhenMapLags) {
 
   // Simulate a lagging/incomplete map and hint cache: both the manager's
   // hint state and the map entry vanish (e.g. the registration was lost).
-  world.node(0).cluster_state() = ClusterState{};
+  world.node(0).cluster_state().clear();
   ASSERT_TRUE(world.node(0).address_map()->erase(base.value()).ok());
 
   // Node 2's lookup: directory miss, manager-hint miss, map-walk miss —
