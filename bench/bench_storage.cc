@@ -8,9 +8,16 @@
 // where hits landed (RAM / disk / remote) and the mean access latency as
 // W sweeps from "fits in RAM" to "spills to disk" to "mostly remote"
 // (diskless node).
+//
+// Part 2 (docs/storage.md) measures the durable data plane itself in
+// wall-clock time: durable writes/sec with one fdatasync per write versus
+// group commit at several drain intervals, plus recovery time (segment
+// index rebuild + journal replay) as the store grows.
+#include <chrono>
 #include <filesystem>
 
 #include "bench/bench_util.h"
+#include "storage/disk_store.h"
 
 namespace {
 
@@ -83,9 +90,108 @@ Sweep run(std::size_t working_set_pages, bool with_disk) {
   return out;
 }
 
+// ---------------------------------------------------------------------------
+// Durable data plane (wall clock)
+// ---------------------------------------------------------------------------
+
+using Clock = std::chrono::steady_clock;
+
+double seconds_since(Clock::time_point t0) {
+  return std::chrono::duration<double>(Clock::now() - t0).count();
+}
+
+struct DurableSweep {
+  double writes_per_sec;
+  std::uint64_t commits;  // fsync batches issued
+};
+
+// Durable page writes (page append + journal record, recoverable after the
+// run) with group commit drained every `group_commit_us`. 0 means the
+// pre-segment-store discipline: every write is its own fsync batch.
+DurableSweep run_durable(Micros group_commit_us, int writes) {
+  const std::filesystem::path root =
+      std::filesystem::temp_directory_path() /
+      ("khz_bench_durable_" + std::to_string(group_commit_us));
+  std::filesystem::remove_all(root);
+  DurableSweep out{};
+  {
+    storage::DiskStore store(root);
+    store.set_sync_on_commit(true);
+    if (group_commit_us > 0) store.set_group_commit(true);
+    const Bytes page = fill(4096, 0xA5);
+    const Bytes record = fill(64, 0x5A);
+    const auto t0 = Clock::now();
+    auto last_commit = t0;
+    for (int i = 0; i < writes; ++i) {
+      const GlobalAddress addr{1, static_cast<std::uint64_t>(i) * 4096};
+      if (!store.put(addr, page).ok()) std::abort();
+      if (!store.journal().append(record).ok()) std::abort();
+      if (group_commit_us == 0) {
+        if (!store.maybe_commit().ok()) std::abort();  // inline fsync
+        ++out.commits;
+      } else if (seconds_since(last_commit) * 1e6 >=
+                 static_cast<double>(group_commit_us)) {
+        if (!store.commit().ok()) std::abort();  // timer drain
+        last_commit = Clock::now();
+        ++out.commits;
+      }
+    }
+    if (!store.commit().ok()) std::abort();
+    ++out.commits;
+    out.writes_per_sec = writes / seconds_since(t0);
+  }
+  std::filesystem::remove_all(root);
+  return out;
+}
+
+struct RecoveryPoint {
+  double open_ms;       // reopen = segment scan + journal replay
+  double journal_kib;   // journal size driving the replay
+  std::uint64_t pages;  // live pages whose index is rebuilt
+};
+
+// Populate a store with `pages` pages + journal records, close it, and
+// time the reopen (cold index rebuild + full journal replay).
+RecoveryPoint run_recovery(std::uint64_t pages) {
+  const std::filesystem::path root =
+      std::filesystem::temp_directory_path() /
+      ("khz_bench_recover_" + std::to_string(pages));
+  std::filesystem::remove_all(root);
+  RecoveryPoint out{};
+  out.pages = pages;
+  {
+    storage::DiskStore store(root);
+    store.set_sync_on_commit(true);
+    store.set_group_commit(true);
+    const Bytes page = fill(4096, 0x3C);
+    const Bytes record = fill(64, 0xC3);
+    for (std::uint64_t i = 0; i < pages; ++i) {
+      const GlobalAddress addr{2, i * 4096};
+      if (!store.put(addr, page).ok()) std::abort();
+      if (!store.journal().append(record).ok()) std::abort();
+      if (i % 64 == 63 && !store.commit().ok()) std::abort();
+    }
+    if (!store.commit().ok()) std::abort();
+  }
+  out.journal_kib =
+      static_cast<double>(std::filesystem::file_size(root / "meta.journal")) /
+      1024.0;
+  const auto t0 = Clock::now();
+  {
+    storage::DiskStore store(root);
+    if (store.size() != pages) std::abort();
+    std::uint64_t replayed = store.journal().replay([](const Bytes&) {});
+    if (replayed != pages) std::abort();
+  }
+  out.open_ms = seconds_since(t0) * 1e3;
+  std::filesystem::remove_all(root);
+  return out;
+}
+
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bench::JsonReport report("storage", argc, argv);
   title("GOAL-STORE | bench_storage",
         "Storage hierarchy behaviour vs working-set size (Section 3.4).\n"
         "Client node: 64-page RAM cache; 400 uniform accesses.");
@@ -102,6 +208,11 @@ int main() {
     cell(s.remote_fetches);
     cell(us(s.mean_latency));
     endrow();
+    const std::string k = "ws" + std::to_string(w) + "_";
+    report.metric(k + "ram_hits", static_cast<double>(s.ram_hits));
+    report.metric(k + "disk_hits", static_cast<double>(s.disk_hits));
+    report.metric(k + "mean_latency_us",
+                  static_cast<double>(s.mean_latency));
   }
 
   std::printf("\nDiskless node (victims are dropped; misses go remote):\n\n");
@@ -123,5 +234,50 @@ int main() {
       "access is a local hit; past RAM, the disk level absorbs the\n"
       "overflow cheaply; a diskless node must re-fetch victims over the\n"
       "network, which dominates latency — the reason the hierarchy exists.\n");
+
+  std::printf(
+      "\nDurable writes/sec (wall clock, 4 KiB page + journal record per\n"
+      "write; group commit drained every T us, T=0 -> fsync per write):\n\n");
+  table_header({"group commit", "writes", "fsync batches", "writes/sec"});
+  report.meta("durable", "wall-clock DiskStore, 4 KiB pages, ext4 tmpdir");
+  double baseline_wps = 0;
+  double best_wps = 0;
+  for (Micros gc : {Micros{0}, Micros{50}, Micros{200}, Micros{1000},
+                    Micros{5000}}) {
+    const int writes = gc == 0 ? 256 : 4096;
+    const auto s = run_durable(gc, writes);
+    cell(gc == 0 ? std::string("per write") : std::to_string(gc) + " us");
+    cell(static_cast<std::uint64_t>(writes));
+    cell(s.commits);
+    cell(s.writes_per_sec);
+    endrow();
+    if (gc == 0) {
+      baseline_wps = s.writes_per_sec;
+      report.metric("durable_wps_sync_each", s.writes_per_sec);
+    } else {
+      best_wps = std::max(best_wps, s.writes_per_sec);
+      report.metric("durable_wps_gc" + std::to_string(gc) + "us",
+                    s.writes_per_sec);
+    }
+  }
+  const double speedup = baseline_wps > 0 ? best_wps / baseline_wps : 0;
+  std::printf("\ngroup-commit speedup over per-write fsync: %.1fx\n",
+              speedup);
+  report.metric("group_commit_speedup", speedup);
+
+  std::printf(
+      "\nRecovery time vs store size (cold reopen: segment index rebuild\n"
+      "+ full journal replay):\n\n");
+  table_header({"pages", "journal KiB", "reopen ms"});
+  for (std::uint64_t pages : {1024ull, 4096ull, 16384ull}) {
+    const auto r = run_recovery(pages);
+    cell(r.pages);
+    cell(r.journal_kib);
+    cell(r.open_ms);
+    endrow();
+    const std::string k = "recovery_pages" + std::to_string(pages) + "_";
+    report.metric(k + "open_ms", r.open_ms);
+    report.metric(k + "journal_kib", r.journal_kib);
+  }
   return 0;
 }

@@ -68,8 +68,9 @@ Node::Node(NodeConfig config, net::Transport& transport)
       }()),
       disk_(config_.disk_dir.empty()
                 ? nullptr
-                : std::make_shared<storage::DiskStore>(config_.disk_dir,
-                                                       config_.disk_pages)),
+                : std::make_shared<storage::DiskStore>(
+                      config_.disk_dir, config_.disk_pages,
+                      config_.segment_bytes)),
       storages_([&] {
         // One RAM level per lane over the shared disk store. lanes=1
         // degenerates to the legacy full-size cache.
@@ -126,9 +127,7 @@ Node::Node(NodeConfig config, net::Transport& transport)
   cms_v_.resize(lanes_);
   active_locks_v_.resize(lanes_);
   for (unsigned l = 0; l < lanes_; ++l) next_lock_ids_.push_back(l + lanes_);
-  if (config_.sync_metadata && disk_ != nullptr) {
-    disk_->journal().set_sync_on_commit(true);
-  }
+  if (disk_ != nullptr) configure_disk();
   transport_.configure_lanes(lanes_);
   tracer_.set_clock(&transport_.clock());
   regions_.bind_metrics(metrics_);
@@ -193,6 +192,7 @@ void Node::stop() {
     transport_.cancel(sample_timer_);
     sample_timer_ = 0;
   }
+  stop_storage_timers();
 }
 
 NodeStats Node::stats() const {
@@ -263,6 +263,7 @@ void Node::start() {
     sample_timer_ = transport_.schedule(config_.stats_sample_interval,
                                         [this] { sample_tick(); });
   }
+  start_storage_timers();
 }
 
 // ---------------------------------------------------------------------------

@@ -104,6 +104,21 @@ struct NodeConfig {
   /// crash-of-the-process durability.
   bool sync_metadata = false;
 
+  /// Segment-store data plane (docs/storage.md). Target size of one
+  /// append-only segment file in the DiskStore's page log.
+  std::uint64_t segment_bytes = 8ull << 20;
+  /// Group commit (amortizes one fdatasync over a batch of page + journal
+  /// writes). group_commit_us > 0 arms a timer that commits the pending
+  /// batch every tick; group_commit_bytes > 0 additionally commits as soon
+  /// as that many segment bytes are pending. Both zero (the default):
+  /// every durable write commits inline when sync_metadata is set — the
+  /// per-write-fdatasync baseline.
+  Micros group_commit_us = 0;
+  std::uint64_t group_commit_bytes = 0;
+  /// > 0: every interval, checkpoint the metadata journal into a fresh
+  /// snapshot and compact cold segments, on the node's timer rail.
+  Micros checkpoint_interval = 0;
+
   /// Telemetry plane (docs/observability.md). Slow-op flight recorder: a
   /// client op is "slow" when its latency exceeds slow_op_threshold_us
   /// (absolute, 0 = off) or slow_op_deadline_fraction of the deadline
@@ -531,8 +546,23 @@ class Node final : public consistency::CmHost,
   // recover() returns.
   [[nodiscard]] MetaLog::Snapshot snapshot_state();
   void recover_meta();
-  /// Journals the page's current directory version (write-through pages).
+  /// Journals the page's current directory version (write-through pages)
+  /// and runs the disk store's group-commit policy point.
   void journal_page(const GlobalAddress& page);
+
+  // Segment-store data plane (docs/storage.md); all in node_meta.cc.
+  /// Applies the NodeConfig durability knobs to the shared DiskStore
+  /// (sync-on-commit, group commit, metric binding). Constructor-time.
+  void configure_disk();
+  /// Arms the group-commit and checkpoint timers per config (start()).
+  void start_storage_timers();
+  /// Cancels them and drains any pending commit (stop()).
+  void stop_storage_timers();
+  /// Group-commit timer tick: commits the pending batch, re-arms.
+  void commit_tick();
+  /// Checkpoint timer tick: snapshots + truncates the metadata journal and
+  /// compacts cold segments, then re-arms.
+  void checkpoint_tick();
 
   // --- lane plumbing (docs/architecture.md, threading model) ------------
   /// Clamped calling-lane index. External threads (no lane context) and
@@ -687,6 +717,12 @@ class Node final : public consistency::CmHost,
   std::uint64_t ping_timer_ = 0;
   /// Self-sampler loop timer; cancelled by stop().
   std::uint64_t sample_timer_ = 0;
+  /// Group-commit drain timer (config_.group_commit_us); cancelled by
+  /// stop(), which also commits whatever is still pending.
+  std::uint64_t commit_timer_ = 0;
+  /// Checkpoint/compaction timer (config_.checkpoint_interval); cancelled
+  /// by stop().
+  std::uint64_t checkpoint_timer_ = 0;
 
   struct Instruments {
     obs::Counter* reserves = nullptr;

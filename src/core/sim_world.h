@@ -38,6 +38,12 @@ struct SimWorldOptions {
   Micros admission_service_us = 0;
   /// fdatasync the metadata journal on commit (power-loss durability).
   bool sync_metadata = false;
+  /// Segment-store data plane knobs, forwarded verbatim to every
+  /// NodeConfig (docs/storage.md).
+  std::uint64_t segment_bytes = 8ull << 20;
+  Micros group_commit_us = 0;
+  std::uint64_t group_commit_bytes = 0;
+  Micros checkpoint_interval = 0;
   /// Telemetry knobs, forwarded verbatim to every NodeConfig (see
   /// docs/observability.md). Defaults: flight recorder armed but never
   /// triggered, self-sampler off.

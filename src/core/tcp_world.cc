@@ -32,6 +32,10 @@ TcpWorld::TcpWorld(TcpWorldOptions opts) : bus_(opts.base_port) {
     cfg.admission_replication_queue = opts.admission_replication_queue;
     cfg.admission_service_us = opts.admission_service_us;
     cfg.sync_metadata = opts.sync_metadata;
+    cfg.segment_bytes = opts.segment_bytes;
+    cfg.group_commit_us = opts.group_commit_us;
+    cfg.group_commit_bytes = opts.group_commit_bytes;
+    cfg.checkpoint_interval = opts.checkpoint_interval;
     cfg.slow_op_threshold_us = opts.slow_op_threshold_us;
     cfg.slow_op_deadline_fraction = opts.slow_op_deadline_fraction;
     cfg.flight_recorder_capacity = opts.flight_recorder_capacity;

@@ -37,6 +37,12 @@ struct TcpWorldOptions {
   Micros admission_service_us = 0;
   /// fdatasync the metadata journal on commit (power-loss durability).
   bool sync_metadata = false;
+  /// Segment-store data plane knobs, forwarded to every NodeConfig
+  /// (docs/storage.md).
+  std::uint64_t segment_bytes = 8ull << 20;
+  Micros group_commit_us = 0;
+  std::uint64_t group_commit_bytes = 0;
+  Micros checkpoint_interval = 0;
   /// Telemetry knobs, forwarded to every NodeConfig (see
   /// docs/observability.md).
   Micros slow_op_threshold_us = 0;

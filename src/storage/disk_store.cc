@@ -1,6 +1,8 @@
 #include "storage/disk_store.h"
 
-#include <algorithm>
+#include <fcntl.h>
+#include <unistd.h>
+
 #include <cstdio>
 #include <fstream>
 
@@ -10,7 +12,8 @@ namespace khz::storage {
 
 namespace fs = std::filesystem;
 
-DiskStore::DiskStore(fs::path root, std::size_t capacity_pages)
+DiskStore::DiskStore(fs::path root, std::size_t capacity_pages,
+                     std::uint64_t segment_bytes)
     : root_(std::move(root)), capacity_(capacity_pages) {
   std::error_code ec;
   fs::create_directories(root_, ec);
@@ -18,82 +21,123 @@ DiskStore::DiskStore(fs::path root, std::size_t capacity_pages)
     KHZ_ERROR("disk: cannot create %s: %s", root_.c_str(),
               ec.message().c_str());
   }
-  count_ = scan().size();
-  journal_ = std::make_unique<MetaJournal>(root_ / "meta.journal");
-}
-
-fs::path DiskStore::page_path(const GlobalAddress& page) const {
-  char name[40];
-  std::snprintf(name, sizeof(name), "%016llx_%016llx.page",
-                static_cast<unsigned long long>(page.hi),
-                static_cast<unsigned long long>(page.lo));
-  return root_ / name;
-}
-
-Status DiskStore::put(const GlobalAddress& page, const Bytes& data) {
-  const bool existed = contains(page);
-  if (!existed && full()) return ErrorCode::kNoSpace;
-  std::ofstream out(page_path(page), std::ios::binary | std::ios::trunc);
-  if (!out) return ErrorCode::kInternal;
-  out.write(reinterpret_cast<const char*>(data.data()),
-            static_cast<std::streamsize>(data.size()));
-  if (!out) return ErrorCode::kInternal;
-  if (!existed) {
-    std::lock_guard lk(mu_);
-    ++count_;
-  }
-  return {};
-}
-
-std::optional<Bytes> DiskStore::get(const GlobalAddress& page) const {
-  std::ifstream in(page_path(page), std::ios::binary | std::ios::ate);
-  if (!in) return std::nullopt;
-  const auto size = in.tellg();
-  in.seekg(0);
-  Bytes data(static_cast<std::size_t>(size));
-  in.read(reinterpret_cast<char*>(data.data()), size);
-  if (!in) return std::nullopt;
-  return data;
-}
-
-bool DiskStore::erase(const GlobalAddress& page) {
-  std::error_code ec;
-  if (fs::remove(page_path(page), ec)) {
-    std::lock_guard lk(mu_);
-    if (count_ > 0) --count_;
-    return true;
-  }
-  return false;
-}
-
-bool DiskStore::contains(const GlobalAddress& page) const {
-  std::error_code ec;
-  return fs::exists(page_path(page), ec);
-}
-
-std::vector<GlobalAddress> DiskStore::scan() const {
-  std::vector<GlobalAddress> pages;
-  std::error_code ec;
+  SegmentConfig cfg;
+  cfg.segment_bytes = segment_bytes;
+  segments_ = std::make_unique<SegmentStore>(root_ / "segments", cfg);
+  // Migrate any pre-segment-store layout (one "<hi>_<lo>.page" file per
+  // page) into the log, so a node upgraded in place keeps its data.
+  std::size_t migrated = 0;
   for (const auto& entry : fs::directory_iterator(root_, ec)) {
     const std::string name = entry.path().filename().string();
     if (!name.ends_with(".page")) continue;
     unsigned long long hi = 0;
     unsigned long long lo = 0;
-    if (std::sscanf(name.c_str(), "%16llx_%16llx.page", &hi, &lo) == 2) {
-      pages.emplace_back(hi, lo);
+    if (std::sscanf(name.c_str(), "%16llx_%16llx.page", &hi, &lo) != 2) {
+      continue;
+    }
+    std::ifstream in(entry.path(), std::ios::binary | std::ios::ate);
+    if (!in) continue;
+    Bytes data(static_cast<std::size_t>(in.tellg()));
+    in.seekg(0);
+    in.read(reinterpret_cast<char*>(data.data()),
+            static_cast<std::streamsize>(data.size()));
+    if (!in) continue;
+    if (segments_->put(GlobalAddress{hi, lo}, data).ok()) {
+      fs::remove(entry.path(), ec);
+      ++migrated;
     }
   }
-  std::sort(pages.begin(), pages.end());
-  return pages;
+  if (migrated > 0) {
+    (void)segments_->commit();
+    KHZ_INFO("disk: migrated %zu legacy page files into the segment log",
+             migrated);
+  }
+  journal_ = std::make_unique<MetaJournal>(root_ / "meta.journal");
+}
+
+Status DiskStore::put(const GlobalAddress& page, const Bytes& data) {
+  if (!segments_->contains(page) && full()) return ErrorCode::kNoSpace;
+  return segments_->put(page, data);
+}
+
+Status DiskStore::put_batch(std::vector<PageWrite> batch) {
+  if (capacity_ != 0) {
+    std::size_t fresh = 0;
+    for (const PageWrite& w : batch) {
+      if (!segments_->contains(w.addr)) ++fresh;
+    }
+    if (segments_->live_pages() + fresh > capacity_) {
+      return ErrorCode::kNoSpace;
+    }
+  }
+  return segments_->put_batch(std::move(batch));
+}
+
+std::optional<Bytes> DiskStore::get(const GlobalAddress& page) const {
+  return segments_->get(page);
+}
+
+bool DiskStore::erase(const GlobalAddress& page) {
+  return segments_->erase(page);
+}
+
+bool DiskStore::contains(const GlobalAddress& page) const {
+  return segments_->contains(page);
+}
+
+std::vector<GlobalAddress> DiskStore::scan() const {
+  return segments_->scan();
+}
+
+Status DiskStore::commit() {
+  Status s = segments_->commit();
+  if (Status j = journal_->sync(); !j.ok()) s = j;
+  return s;
+}
+
+Status DiskStore::maybe_commit() {
+  if (group_commit_) {
+    if (group_commit_bytes_ > 0 &&
+        segments_->pending_bytes() >= group_commit_bytes_) {
+      return commit();
+    }
+    return {};  // the owner's group-commit timer drains the rest
+  }
+  if (sync_on_commit_) return commit();  // per-write fdatasync baseline
+  return {};
+}
+
+void DiskStore::set_sync_on_commit(bool on) {
+  sync_on_commit_ = on;
+  segments_->set_sync_on_commit(on);
+  journal_->set_sync_on_commit(on);
+}
+
+void DiskStore::set_group_commit(bool on, std::uint64_t bytes_threshold) {
+  group_commit_ = on;
+  group_commit_bytes_ = bytes_threshold;
+  journal_->set_group_commit(on);
 }
 
 Status DiskStore::put_meta(const std::string& name, const Bytes& data) {
-  std::ofstream out(root_ / (name + ".meta"),
-                    std::ios::binary | std::ios::trunc);
-  if (!out) return ErrorCode::kInternal;
-  out.write(reinterpret_cast<const char*>(data.data()),
-            static_cast<std::streamsize>(data.size()));
-  return out ? Status{} : Status{ErrorCode::kInternal};
+  const fs::path path = root_ / (name + ".meta");
+  {
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    if (!out) return ErrorCode::kInternal;
+    out.write(reinterpret_cast<const char*>(data.data()),
+              static_cast<std::streamsize>(data.size()));
+    if (!out) return ErrorCode::kInternal;
+  }
+  if (sync_on_commit_) {
+    // Meta blobs are checkpoint snapshots: they must hit the platter
+    // before the journal they supersede is truncated.
+    const int fd = ::open(path.c_str(), O_WRONLY | O_CLOEXEC);
+    if (fd < 0) return ErrorCode::kInternal;
+    const bool ok = ::fdatasync(fd) == 0;
+    ::close(fd);
+    if (!ok) return ErrorCode::kInternal;
+  }
+  return {};
 }
 
 std::optional<Bytes> DiskStore::get_meta(const std::string& name) const {

@@ -1,15 +1,28 @@
 // Persistent level of the local storage hierarchy.
 //
-// One file per page under a node-specific root directory, named by the hex
-// global address, plus a simple "<name>.meta" sidecar for node-level
-// persistent metadata blobs (the page directory's persistent entries, the
-// node's reserved-pool state). Contents survive node restart, which the
-// crash/recovery tests exercise.
+// Pages live in an append-only SegmentStore (storage/segment_store.h):
+// large segment files fed through a write-behind buffer, durable at group
+// commit. Alongside the page namespace the store keeps "<name>.meta"
+// sidecar files for node-level persistent metadata blobs (the page
+// directory's persistent entries, the node's reserved-pool state) and owns
+// the write-ahead MetaJournal. Contents survive node restart — and, with
+// sync-on-commit enabled, power loss up to the last group commit — which
+// the crash/recovery tests exercise.
+//
+// Durability contract (docs/storage.md):
+//   * put()/erase() append to the segment log write-behind; put_meta()
+//     writes (and, when syncing, fsyncs) its sidecar immediately.
+//   * commit() makes everything appended so far — segment records and
+//     journal records — durable with one fdatasync per dirty file.
+//   * maybe_commit() is the group-commit policy point: under group commit
+//     it commits only past the bytes threshold (the owner's timer drains
+//     the rest); without group commit but with sync-on-commit it commits
+//     inline, which is the per-write-fdatasync baseline the bench measures
+//     against.
 #pragma once
 
 #include <filesystem>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <string>
 #include <vector>
@@ -17,17 +30,26 @@
 #include "common/global_address.h"
 #include "common/result.h"
 #include "common/serialize.h"
+#include "obs/metrics.h"
 #include "storage/meta_journal.h"
+#include "storage/segment_store.h"
 
 namespace khz::storage {
 
 class DiskStore {
  public:
-  /// capacity_pages == 0 means unbounded.
+  /// Opens (creating if needed) the store under `root`. capacity_pages == 0
+  /// means unbounded. Pre-segment-store page files (`*.page`) found under
+  /// the root are migrated into the segment log and removed.
   explicit DiskStore(std::filesystem::path root,
-                     std::size_t capacity_pages = 0);
+                     std::size_t capacity_pages = 0,
+                     std::uint64_t segment_bytes = 8ull << 20);
 
+  /// Appends the page to the segment log (write-behind; see the durability
+  /// contract above). kNoSpace once the page capacity is reached.
   Status put(const GlobalAddress& page, const Bytes& data);
+  /// Batch form: one lock acquisition for a whole victimization batch.
+  Status put_batch(std::vector<PageWrite> batch);
   [[nodiscard]] std::optional<Bytes> get(const GlobalAddress& page) const;
   bool erase(const GlobalAddress& page);
   [[nodiscard]] bool contains(const GlobalAddress& page) const;
@@ -35,16 +57,47 @@ class DiskStore {
   /// Every page present on disk (sorted), for restart recovery.
   [[nodiscard]] std::vector<GlobalAddress> scan() const;
 
-  [[nodiscard]] std::size_t size() const {
-    std::lock_guard lk(mu_);
-    return count_;
-  }
+  [[nodiscard]] std::size_t size() const { return segments_->live_pages(); }
+  /// Page capacity (0 = unbounded). The hierarchy's batched victimization
+  /// uses it to budget a whole batch before appending.
+  [[nodiscard]] std::size_t capacity() const { return capacity_; }
   [[nodiscard]] bool full() const {
-    std::lock_guard lk(mu_);
-    return capacity_ != 0 && count_ >= capacity_;
+    return capacity_ != 0 && segments_->live_pages() >= capacity_;
   }
 
-  /// Named metadata blobs (not part of the page namespace).
+  /// Group commit: one fdatasync over every segment + journal record
+  /// appended since the last commit. The owning node drains on its
+  /// group-commit timer tick and at stop().
+  Status commit();
+  /// Policy point called after each durable append (see header comment).
+  Status maybe_commit();
+  /// Segment-log bytes awaiting commit (the group_commit_bytes input).
+  [[nodiscard]] std::uint64_t pending_bytes() const {
+    return segments_->pending_bytes();
+  }
+
+  /// Enables fdatasync-at-commit for pages, journal and meta sidecars
+  /// (NodeConfig::sync_metadata).
+  void set_sync_on_commit(bool on);
+  /// Enables group commit: appends stop syncing inline and durability is
+  /// deferred to commit()/maybe_commit(). `bytes_threshold` > 0 makes
+  /// maybe_commit() drain once that much segment data is pending; 0 leaves
+  /// draining entirely to the owner's timer.
+  void set_group_commit(bool on, std::uint64_t bytes_threshold = 0);
+  [[nodiscard]] bool group_commit() const { return group_commit_; }
+
+  /// Checkpoint/compaction: rewrites live pages out of cold segments and
+  /// unlinks them. Returns pages rewritten. Runs on the owner's checkpoint
+  /// timer rail, never on a lane hot path.
+  std::size_t compact() { return segments_->compact(); }
+
+  /// Registers the storage.* instruments (docs/observability.md).
+  void bind_metrics(obs::MetricsRegistry& m) { segments_->bind_metrics(m); }
+
+  /// Named metadata blobs (not part of the page namespace). With
+  /// sync-on-commit enabled a put_meta is fsynced before returning: meta
+  /// blobs are checkpoint snapshots, which must be durable before the
+  /// journal they replace is truncated.
   Status put_meta(const std::string& name, const Bytes& data);
   [[nodiscard]] std::optional<Bytes> get_meta(const std::string& name) const;
 
@@ -53,19 +106,18 @@ class DiskStore {
   /// over the last snapshot on restart; see storage/meta_journal.h.
   [[nodiscard]] MetaJournal& journal() { return *journal_; }
 
+  /// The underlying segment store (tests, stats).
+  [[nodiscard]] SegmentStore& segments() { return *segments_; }
+
   [[nodiscard]] const std::filesystem::path& root() const { return root_; }
 
  private:
-  [[nodiscard]] std::filesystem::path page_path(
-      const GlobalAddress& page) const;
-
   std::filesystem::path root_;
   std::size_t capacity_;
-  /// Guards count_: one DiskStore may be shared by a multi-lane node's
-  /// per-lane hierarchies. Distinct-page file I/O needs no coordination
-  /// (a page belongs to exactly one lane), only the occupancy counter does.
-  mutable std::mutex mu_;
-  std::size_t count_ = 0;
+  bool sync_on_commit_ = false;
+  bool group_commit_ = false;
+  std::uint64_t group_commit_bytes_ = 0;
+  std::unique_ptr<SegmentStore> segments_;
   std::unique_ptr<MetaJournal> journal_;
 };
 

@@ -13,22 +13,36 @@ void StorageHierarchy::put(const GlobalAddress& page, Bytes data) {
 
 void StorageHierarchy::enforce_capacity() {
   // Victimize until RAM is back under its capacity or no victim is
-  // eligible (everything pinned / every drop vetoed). Vetoed pages are
-  // pinned for the duration of this round so pick_victim() proposes
-  // someone else; the pins are released before returning.
+  // eligible (everything pinned / every drop vetoed).
+  //
+  // Disk-bound victims are *batched*: each is pinned while selection runs
+  // (so pick_victim() proposes someone else) and the whole set reaches the
+  // segment log in one put_batch — one store-lock acquisition and one
+  // contiguous append run instead of a file write per page. Vetoed pages
+  // are likewise pinned for the round; all pins are released before
+  // returning.
   std::vector<GlobalAddress> vetoed;
-  while (ram_.over_capacity()) {
+  std::vector<PageWrite> to_disk;
+  std::size_t queued_fresh = 0;  // batch members not already on disk
+  const auto over = [&] {
+    return ram_.capacity() != 0 &&
+           ram_.size() - to_disk.size() > ram_.capacity();
+  };
+  const auto disk_has_room = [&] {
+    return disk_ && (disk_->capacity() == 0 ||
+                     disk_->size() + queued_fresh < disk_->capacity());
+  };
+  while (over()) {
     const auto victim = ram_.pick_victim();
     if (!victim) break;  // all pinned: allow temporary over-capacity
     const Bytes* data = ram_.peek(*victim);
     if (data == nullptr) break;
-    if (disk_ && !disk_->full()) {
-      // RAM -> disk victimization.
-      if (disk_->put(*victim, *data).ok()) {
-        stats_.ram_to_disk++;
-        ram_.erase(*victim);
-        continue;
-      }
+    if (disk_has_room()) {
+      // RAM -> disk victimization, deferred into the batch below.
+      if (!disk_->contains(*victim)) ++queued_fresh;
+      to_disk.push_back(PageWrite{*victim, *data});
+      ram_.pin(*victim);
+      continue;
     }
     // Page must leave the node: consult the consistency layer.
     if (!evict_hook_ || evict_hook_(*victim, *data)) {
@@ -40,6 +54,22 @@ void StorageHierarchy::enforce_capacity() {
     stats_.eviction_vetoes++;
     ram_.pin(*victim);
     vetoed.push_back(*victim);
+  }
+  if (!to_disk.empty()) {
+    std::vector<GlobalAddress> addrs;
+    addrs.reserve(to_disk.size());
+    for (const PageWrite& w : to_disk) addrs.push_back(w.addr);
+    if (disk_->put_batch(std::move(to_disk)).ok()) {
+      for (const GlobalAddress& page : addrs) {
+        stats_.ram_to_disk++;
+        ram_.unpin(page);
+        ram_.erase(page);
+      }
+    } else {
+      // Disk refused the batch (raced to full): leave the pages resident
+      // over capacity rather than lose data.
+      for (const GlobalAddress& page : addrs) ram_.unpin(page);
+    }
   }
   for (const auto& page : vetoed) ram_.unpin(page);
 }

@@ -71,6 +71,7 @@ bool MetaJournal::sync_now() {
 }
 
 Status MetaJournal::append(const Bytes& record) {
+  std::lock_guard lock(mu_);
   if (!out_) return ErrorCode::kInternal;
   put_u32(out_, static_cast<std::uint32_t>(record.size()));
   put_u32(out_, fnv1a(record));
@@ -78,9 +79,22 @@ Status MetaJournal::append(const Bytes& record) {
              static_cast<std::streamsize>(record.size()));
   out_.flush();
   if (!out_) return ErrorCode::kInternal;
-  if (sync_on_commit_ && !sync_now()) return ErrorCode::kInternal;
+  if (sync_on_commit_) {
+    if (group_commit_) {
+      dirty_ = true;  // the next sync() covers this record
+    } else if (!sync_now()) {
+      return ErrorCode::kInternal;
+    }
+  }
   ++appended_;
   return {};
+}
+
+Status MetaJournal::sync() {
+  std::lock_guard lock(mu_);
+  if (!sync_on_commit_ || !dirty_) return {};
+  dirty_ = false;
+  return sync_now() ? Status{} : Status{ErrorCode::kInternal};
 }
 
 std::size_t MetaJournal::replay(
@@ -105,12 +119,14 @@ std::size_t MetaJournal::replay(
 }
 
 Status MetaJournal::reset() {
+  std::lock_guard lock(mu_);
   out_.close();
   out_.open(path_, std::ios::binary | std::ios::trunc);
   const bool ok = static_cast<bool>(out_);
   out_.close();
   out_.open(path_, std::ios::binary | std::ios::app);
   appended_ = 0;
+  dirty_ = false;
   return ok && out_ ? Status{} : Status{ErrorCode::kInternal};
 }
 

@@ -17,6 +17,7 @@
 #include <filesystem>
 #include <fstream>
 #include <functional>
+#include <mutex>
 
 #include "common/result.h"
 #include "common/serialize.h"
@@ -33,9 +34,11 @@ class MetaJournal {
   MetaJournal& operator=(const MetaJournal&) = delete;
 
   /// Appends one framed record and flushes it to the OS. With
-  /// sync-on-commit enabled the record is also fdatasync'd to stable
-  /// storage before append() returns, so an acknowledged metadata mutation
-  /// survives power loss, not just a process crash.
+  /// sync-on-commit enabled (and group commit off) the record is also
+  /// fdatasync'd to stable storage before append() returns, so an
+  /// acknowledged metadata mutation survives power loss, not just a
+  /// process crash. Under group commit the fdatasync is deferred to the
+  /// next sync() — one sync covers the whole batch.
   Status append(const Bytes& record);
 
   /// Enables (or disables) fdatasync-on-commit. Off by default: the sim
@@ -44,6 +47,15 @@ class MetaJournal {
   /// Production-profile nodes (NodeConfig::sync_metadata) turn it on.
   void set_sync_on_commit(bool on) { sync_on_commit_ = on; }
   [[nodiscard]] bool sync_on_commit() const { return sync_on_commit_; }
+
+  /// Under group commit append() stops syncing inline; DiskStore::commit()
+  /// calls sync() to fdatasync the accumulated records in one shot.
+  void set_group_commit(bool on) { group_commit_ = on; }
+
+  /// fdatasyncs any records appended since the last sync (no-op unless
+  /// sync-on-commit is enabled and something is pending). The group-commit
+  /// drain point.
+  Status sync();
 
   /// Invokes `cb` for every intact record, oldest first; returns how many
   /// were replayed. Safe to call on a journal that is also open for append
@@ -55,7 +67,10 @@ class MetaJournal {
   Status reset();
 
   /// Records appended since open/reset — the owner's compaction trigger.
-  [[nodiscard]] std::size_t appended() const { return appended_; }
+  [[nodiscard]] std::size_t appended() const {
+    std::lock_guard lock(mu_);
+    return appended_;
+  }
 
   [[nodiscard]] const std::filesystem::path& path() const { return path_; }
 
@@ -66,9 +81,14 @@ class MetaJournal {
   [[nodiscard]] bool sync_now();
 
   std::filesystem::path path_;
+  /// Guards the stream and the dirty flag: lane threads append while the
+  /// owner's group-commit timer syncs.
+  mutable std::mutex mu_;
   std::ofstream out_;
   std::size_t appended_ = 0;
   bool sync_on_commit_ = false;
+  bool group_commit_ = false;
+  bool dirty_ = false;  // records flushed but not yet fdatasync'd
   int sync_fd_ = -1;
 };
 

@@ -29,6 +29,10 @@ enum class PageState : std::uint8_t {
   kExclusive,    // sole writable copy (CREW owner)
 };
 
+/// Everything a node knows about one 4 KiB (or per-region-sized) page.
+/// Entries for locally homed pages are persistent metadata — their
+/// versions are journaled and recovered (see docs/recovery.md); entries
+/// for remote pages are cache state and may be dropped at any time.
 struct PageInfo {
   GlobalAddress addr;
   /// Node that keeps the directory entry for this page (paper: region home).
@@ -50,15 +54,22 @@ struct PageInfo {
   [[nodiscard]] bool locked() const { return read_holds + write_holds > 0; }
 };
 
+/// The page directory proper: `GlobalAddress → PageInfo`. Single-threaded
+/// like the rest of the node core — all access happens on the node's
+/// executor, so there is no internal locking. Returned pointers/references
+/// are invalidated by ensure() / erase() (unordered_map semantics).
 class PageDirectory {
  public:
-  /// Returns the entry, creating a default one if absent.
+  /// Returns the entry, creating a default one (kInvalid, no home) if
+  /// absent.
   PageInfo& ensure(const GlobalAddress& page);
 
   /// Returns the entry or nullptr.
   [[nodiscard]] PageInfo* find(const GlobalAddress& page);
   [[nodiscard]] const PageInfo* find(const GlobalAddress& page) const;
 
+  /// Drops the entry entirely (region freed or cache entry discarded).
+  /// No-op if absent.
   void erase(const GlobalAddress& page);
 
   [[nodiscard]] std::size_t size() const { return entries_.size(); }

@@ -1,0 +1,434 @@
+#include "storage/segment_store.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+
+#include "common/log.h"
+
+namespace khz::storage {
+
+namespace {
+
+constexpr std::uint32_t kMagic = 0x4B5A5347;  // "KZSG"
+constexpr std::uint8_t kKindPut = 1;
+constexpr std::uint8_t kKindTombstone = 2;
+// magic + kind + addr.hi + addr.lo + len + checksum.
+constexpr std::uint64_t kHeaderBytes = 4 + 1 + 8 + 8 + 4 + 4;
+// Pages are small; anything larger in a length field is torn-tail garbage.
+constexpr std::uint32_t kMaxPayloadBytes = 64u << 20;
+
+std::uint32_t fnv1a(const std::uint8_t* data, std::size_t n) {
+  std::uint32_t h = 2166136261u;
+  for (std::size_t i = 0; i < n; ++i) {
+    h ^= data[i];
+    h *= 16777619u;
+  }
+  return h;
+}
+
+/// write(2) until the whole span is on the fd (short writes, EINTR).
+bool write_all(int fd, const std::uint8_t* data, std::size_t n) {
+  while (n > 0) {
+    const ::ssize_t w = ::write(fd, data, n);
+    if (w < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    data += w;
+    n -= static_cast<std::size_t>(w);
+  }
+  return true;
+}
+
+std::uint64_t now_us() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+}  // namespace
+
+SegmentStore::SegmentStore(std::filesystem::path dir, SegmentConfig cfg)
+    : dir_(std::move(dir)), cfg_(cfg) {
+  std::error_code ec;
+  std::filesystem::create_directories(dir_, ec);
+  std::lock_guard lock(mu_);
+  // Rebuild the index: scan every segment in ascending id order so later
+  // records win (newest state), as they would have at append time.
+  std::vector<std::uint64_t> ids;
+  for (const auto& entry : std::filesystem::directory_iterator(dir_, ec)) {
+    if (!entry.is_regular_file() || entry.path().extension() != ".seg") {
+      continue;
+    }
+    try {
+      ids.push_back(std::stoull(entry.path().stem().string(), nullptr, 16));
+    } catch (const std::exception&) {
+      // Not a segment file; leave it alone.
+    }
+  }
+  std::sort(ids.begin(), ids.end());
+  for (std::uint64_t id : ids) {
+    const std::uint64_t intact = scan_segment_locked(id);
+    if (intact < segments_[id].size) {
+      // Torn tail: a crash cut an append short. Drop the garbage so new
+      // appends start from the last intact record.
+      KHZ_WARN("segment %s: truncating torn tail at %llu (was %llu)",
+               seg_path(id).c_str(), static_cast<unsigned long long>(intact),
+               static_cast<unsigned long long>(segments_[id].size));
+      std::filesystem::resize_file(seg_path(id), intact, ec);
+      segments_[id].size = intact;
+    }
+  }
+  open_head_locked(ids.empty() ? 0 : ids.back());
+  update_gauge_locked();
+}
+
+SegmentStore::~SegmentStore() {
+  std::lock_guard lock(mu_);
+  // Flush (no sync): a destroyed store must leave a complete log on the
+  // filesystem — sim-world "crash" destroys the Node, and restart tests
+  // expect pre-crash pages back byte-identically.
+  flush_buffer_locked();
+  for (auto& [id, seg] : segments_) {
+    if (seg.read_fd >= 0) ::close(seg.read_fd);
+  }
+  for (int fd : unsynced_fds_) ::close(fd);
+  if (head_fd_ >= 0) ::close(head_fd_);
+}
+
+std::filesystem::path SegmentStore::seg_path(std::uint64_t id) const {
+  char name[32];
+  std::snprintf(name, sizeof(name), "%016llx.seg",
+                static_cast<unsigned long long>(id));
+  return dir_ / name;
+}
+
+void SegmentStore::open_head_locked(std::uint64_t id) {
+  head_ = id;
+  auto& seg = segments_[id];  // creates the entry for a fresh segment
+  head_fd_ = ::open(seg_path(id).c_str(),
+                    O_WRONLY | O_CREAT | O_APPEND | O_CLOEXEC, 0644);
+  if (head_fd_ < 0) {
+    KHZ_ERROR("segment: cannot open %s for append", seg_path(id).c_str());
+  }
+  head_flushed_ = seg.size;
+}
+
+void SegmentStore::rotate_locked() {
+  flush_buffer_locked();
+  if (head_fd_ >= 0) {
+    if (sync_on_commit_ && head_dirty_) {
+      // The rotated-away file still holds uncommitted records; keep its fd
+      // so the next group commit can fdatasync it.
+      unsynced_fds_.push_back(head_fd_);
+    } else {
+      ::close(head_fd_);
+    }
+  }
+  open_head_locked(head_ + 1);
+  update_gauge_locked();
+}
+
+Status SegmentStore::append_locked(const GlobalAddress& addr,
+                                   const Bytes* data) {
+  if (head_fd_ < 0) return ErrorCode::kInternal;
+  auto& head = segments_[head_];
+  if (head.size >= cfg_.segment_bytes) {
+    rotate_locked();
+    return append_locked(addr, data);
+  }
+  const std::uint32_t len =
+      data ? static_cast<std::uint32_t>(data->size()) : 0;
+  Encoder e(std::move(buffer_));
+  e.u32(kMagic);
+  e.u8(data ? kKindPut : kKindTombstone);
+  e.u64(addr.hi);
+  e.u64(addr.lo);
+  e.u32(len);
+  e.u32(data ? fnv1a(data->data(), data->size()) : fnv1a(nullptr, 0));
+  if (data) e.raw(*data);
+  buffer_ = std::move(e).take();
+
+  auto& seg = segments_[head_];
+  drop_index_locked(addr);
+  if (data) {
+    index_[addr] = Locator{head_, seg.size + kHeaderBytes, len};
+    seg.live_payload += len;
+    ++pending_pages_;
+  }
+  seg.total_payload += len;
+  seg.size += kHeaderBytes + len;
+  pending_bytes_ += kHeaderBytes + len;
+  head_dirty_ = true;
+  if (buffer_.size() >= cfg_.flush_buffer_bytes) flush_buffer_locked();
+  return {};
+}
+
+void SegmentStore::flush_buffer_locked() {
+  if (buffer_.empty()) return;
+  if (head_fd_ >= 0 && write_all(head_fd_, buffer_.data(), buffer_.size())) {
+    head_flushed_ += buffer_.size();
+  } else {
+    KHZ_ERROR("segment: write to %s failed", seg_path(head_).c_str());
+  }
+  buffer_.clear();
+}
+
+void SegmentStore::drop_index_locked(const GlobalAddress& addr) {
+  auto it = index_.find(addr);
+  if (it == index_.end()) return;
+  auto seg = segments_.find(it->second.seg);
+  if (seg != segments_.end()) seg->second.live_payload -= it->second.len;
+  index_.erase(it);
+}
+
+Status SegmentStore::put(const GlobalAddress& addr, const Bytes& data) {
+  std::lock_guard lock(mu_);
+  return append_locked(addr, &data);
+}
+
+Status SegmentStore::put_batch(std::vector<PageWrite> batch) {
+  std::lock_guard lock(mu_);
+  for (const PageWrite& w : batch) {
+    if (Status s = append_locked(w.addr, &w.data); !s.ok()) return s;
+  }
+  return {};
+}
+
+bool SegmentStore::erase(const GlobalAddress& addr) {
+  std::lock_guard lock(mu_);
+  if (!index_.contains(addr)) return false;
+  (void)append_locked(addr, nullptr);
+  return true;
+}
+
+int SegmentStore::reader_locked(std::uint64_t id) {
+  auto it = segments_.find(id);
+  if (it == segments_.end()) return -1;
+  if (it->second.read_fd < 0) {
+    it->second.read_fd =
+        ::open(seg_path(id).c_str(), O_RDONLY | O_CLOEXEC);
+  }
+  return it->second.read_fd;
+}
+
+std::optional<Bytes> SegmentStore::get(const GlobalAddress& addr) {
+  std::lock_guard lock(mu_);
+  auto it = index_.find(addr);
+  if (it == index_.end()) return std::nullopt;
+  const Locator loc = it->second;
+  if (loc.seg == head_ && loc.offset + loc.len > head_flushed_) {
+    // The record is still (partly) in the write-behind buffer; push it to
+    // the file rather than stitching reads across buffer and fd.
+    flush_buffer_locked();
+  }
+  const int fd = reader_locked(loc.seg);
+  if (fd < 0) return std::nullopt;
+  Bytes out(loc.len);
+  std::size_t done = 0;
+  while (done < out.size()) {
+    const ::ssize_t r =
+        ::pread(fd, out.data() + done, out.size() - done,
+                static_cast<::off_t>(loc.offset + done));
+    if (r < 0 && errno == EINTR) continue;
+    if (r <= 0) return std::nullopt;
+    done += static_cast<std::size_t>(r);
+  }
+  return out;
+}
+
+bool SegmentStore::contains(const GlobalAddress& addr) const {
+  std::lock_guard lock(mu_);
+  return index_.contains(addr);
+}
+
+std::size_t SegmentStore::live_pages() const {
+  std::lock_guard lock(mu_);
+  return index_.size();
+}
+
+std::vector<GlobalAddress> SegmentStore::scan() const {
+  std::lock_guard lock(mu_);
+  std::vector<GlobalAddress> out;
+  out.reserve(index_.size());
+  for (const auto& [addr, loc] : index_) out.push_back(addr);
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+std::uint64_t SegmentStore::pending_bytes() const {
+  std::lock_guard lock(mu_);
+  return pending_bytes_;
+}
+
+std::uint64_t SegmentStore::pending_pages() const {
+  std::lock_guard lock(mu_);
+  return pending_pages_;
+}
+
+Status SegmentStore::commit() {
+  std::lock_guard lock(mu_);
+  return commit_locked();
+}
+
+Status SegmentStore::commit_locked() {
+  if (buffer_.empty() && !head_dirty_ && unsynced_fds_.empty()) return {};
+  flush_buffer_locked();
+  if (group_commit_pages_ && pending_pages_ > 0) {
+    group_commit_pages_->record(pending_pages_);
+  }
+  Status status;
+  if (sync_on_commit_) {
+    const std::uint64_t t0 = now_us();
+    for (int fd : unsynced_fds_) {
+      if (::fdatasync(fd) != 0) status = ErrorCode::kInternal;
+      ::close(fd);
+    }
+    unsynced_fds_.clear();
+    if (head_dirty_ && head_fd_ >= 0 && ::fdatasync(head_fd_) != 0) {
+      status = ErrorCode::kInternal;
+    }
+    if (fsync_us_) fsync_us_->record(now_us() - t0);
+  } else {
+    for (int fd : unsynced_fds_) ::close(fd);
+    unsynced_fds_.clear();
+  }
+  head_dirty_ = false;
+  pending_bytes_ = 0;
+  pending_pages_ = 0;
+  return status;
+}
+
+std::uint64_t SegmentStore::scan_segment_locked(std::uint64_t id) {
+  std::ifstream in(seg_path(id), std::ios::binary);
+  Bytes raw;
+  if (in) {
+    in.seekg(0, std::ios::end);
+    raw.resize(static_cast<std::size_t>(in.tellg()));
+    in.seekg(0);
+    in.read(reinterpret_cast<char*>(raw.data()),
+            static_cast<std::streamsize>(raw.size()));
+  }
+  auto& seg = segments_[id];
+  seg.size = raw.size();
+  std::uint64_t pos = 0;
+  while (pos + kHeaderBytes <= raw.size()) {
+    Decoder d(std::span<const std::uint8_t>(raw).subspan(pos, kHeaderBytes));
+    const std::uint32_t magic = d.u32();
+    const std::uint8_t kind = d.u8();
+    GlobalAddress addr;
+    addr.hi = d.u64();
+    addr.lo = d.u64();
+    const std::uint32_t len = d.u32();
+    const std::uint32_t sum = d.u32();
+    if (magic != kMagic || len > kMaxPayloadBytes ||
+        (kind != kKindPut && kind != kKindTombstone) ||
+        pos + kHeaderBytes + len > raw.size() ||
+        fnv1a(raw.data() + pos + kHeaderBytes, len) != sum) {
+      break;  // torn or corrupt: everything from here on is garbage
+    }
+    drop_index_locked(addr);
+    if (kind == kKindPut) {
+      index_[addr] = Locator{id, pos + kHeaderBytes, len};
+      seg.live_payload += len;
+    }
+    seg.total_payload += len;
+    pos += kHeaderBytes + len;
+  }
+  return pos;
+}
+
+std::size_t SegmentStore::compact() {
+  std::lock_guard lock(mu_);
+  flush_buffer_locked();
+  // Cold candidates: every non-head segment less than half live. A fully
+  // dead segment (live == 0) qualifies trivially and is just unlinked.
+  std::vector<std::uint64_t> cold;
+  for (const auto& [id, seg] : segments_) {
+    if (id == head_) continue;
+    if (seg.live_payload * 2 < seg.total_payload || seg.total_payload == 0) {
+      cold.push_back(id);
+    }
+  }
+  if (cold.empty()) return 0;
+  // Copy the survivors into the head segment, newest home for old data.
+  std::size_t rewritten = 0;
+  for (std::uint64_t id : cold) {
+    std::vector<std::pair<GlobalAddress, Locator>> live;
+    for (const auto& [addr, loc] : index_) {
+      if (loc.seg == id) live.emplace_back(addr, loc);
+    }
+    for (const auto& [addr, loc] : live) {
+      const int fd = reader_locked(id);
+      if (fd < 0) continue;
+      Bytes data(loc.len);
+      std::size_t done = 0;
+      bool ok = true;
+      while (done < data.size()) {
+        const ::ssize_t r =
+            ::pread(fd, data.data() + done, data.size() - done,
+                    static_cast<::off_t>(loc.offset + done));
+        if (r < 0 && errno == EINTR) continue;
+        if (r <= 0) {
+          ok = false;
+          break;
+        }
+        done += static_cast<std::size_t>(r);
+      }
+      if (!ok) continue;
+      (void)append_locked(addr, &data);
+      ++rewritten;
+    }
+  }
+  // Commit the copies before unlinking their sources: a crash in between
+  // must always leave at least one committed copy of every page.
+  (void)commit_locked();
+  std::error_code ec;
+  for (std::uint64_t id : cold) {
+    auto it = segments_.find(id);
+    if (it == segments_.end() || id == head_) continue;
+    if (it->second.read_fd >= 0) ::close(it->second.read_fd);
+    std::filesystem::remove(seg_path(id), ec);
+    segments_.erase(it);
+  }
+  if (compaction_pages_ && rewritten > 0) {
+    compaction_pages_->inc(rewritten);
+  }
+  update_gauge_locked();
+  return rewritten;
+}
+
+SegmentStats SegmentStore::stats() const {
+  std::lock_guard lock(mu_);
+  SegmentStats s;
+  s.segments = segments_.size();
+  for (const auto& [id, seg] : segments_) {
+    s.live_bytes += seg.live_payload;
+    s.dead_bytes += seg.total_payload - seg.live_payload;
+  }
+  return s;
+}
+
+void SegmentStore::update_gauge_locked() {
+  if (segments_live_) {
+    segments_live_->set(static_cast<std::int64_t>(segments_.size()));
+  }
+}
+
+void SegmentStore::bind_metrics(obs::MetricsRegistry& m) {
+  std::lock_guard lock(mu_);
+  group_commit_pages_ = &m.histogram("storage.group_commit_pages");
+  fsync_us_ = &m.histogram("storage.fsync_us");
+  segments_live_ = &m.gauge("storage.segments_live");
+  compaction_pages_ = &m.counter("storage.compaction_pages");
+  update_gauge_locked();
+}
+
+}  // namespace khz::storage

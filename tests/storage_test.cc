@@ -1,10 +1,13 @@
-// Unit tests for src/storage: memory store (LRU, pins), disk store
+// Unit tests for src/storage: memory store (LRU, pins), segment store
+// (append log, rotation, torn tails, compaction, group commit), disk store
 // (persistence, scan, metadata blobs), the two-level hierarchy
-// (promotion, victimization, eviction hook), and the page directory.
+// (promotion, batched victimization, eviction hook), and the page
+// directory.
 #include <gtest/gtest.h>
 #include <unistd.h>
 
 #include <filesystem>
+#include <fstream>
 
 #include "storage/hierarchy.h"
 #include "storage/page_directory.h"
@@ -105,6 +108,205 @@ TEST(MemoryStore, GetMutableEditsInPlace) {
 }
 
 // ---------------------------------------------------------------------------
+// SegmentStore
+// ---------------------------------------------------------------------------
+
+// The highest-numbered segment file (the head), where a torn tail lives.
+fs::path head_segment(const fs::path& dir) {
+  fs::path head;
+  for (const auto& entry : fs::directory_iterator(dir)) {
+    if (entry.path().extension() != ".seg") continue;
+    if (head.empty() || entry.path().filename() > head.filename()) {
+      head = entry.path();
+    }
+  }
+  return head;
+}
+
+TEST(SegmentStore, RoundTripAndOverwrite) {
+  TempDir tmp;
+  SegmentStore s(tmp.path());
+  EXPECT_TRUE(s.put({1, 0}, page(1)).ok());
+  EXPECT_TRUE(s.put({1, 4096}, page(2)).ok());
+  EXPECT_TRUE(s.put({1, 0}, page(3)).ok());  // newest wins
+  EXPECT_EQ(s.live_pages(), 2u);
+  auto got = s.get({1, 0});
+  ASSERT_TRUE(got.has_value());
+  EXPECT_EQ((*got)[0], 3);
+  EXPECT_TRUE(s.contains({1, 4096}));
+  EXPECT_FALSE(s.contains({2, 0}));
+}
+
+TEST(SegmentStore, TombstonePersistsAcrossReopen) {
+  TempDir tmp;
+  {
+    SegmentStore s(tmp.path());
+    ASSERT_TRUE(s.put({0, 0}, page(1)).ok());
+    ASSERT_TRUE(s.put({0, 4096}, page(2)).ok());
+    EXPECT_TRUE(s.erase({0, 0}));
+    EXPECT_FALSE(s.erase({0, 0}));  // already gone
+  }
+  SegmentStore s2(tmp.path());
+  EXPECT_FALSE(s2.contains({0, 0}));
+  EXPECT_TRUE(s2.contains({0, 4096}));
+  EXPECT_EQ(s2.live_pages(), 1u);
+}
+
+TEST(SegmentStore, NewestVersionWinsAcrossReopen) {
+  TempDir tmp;
+  {
+    SegmentStore s(tmp.path());
+    ASSERT_TRUE(s.put({0, 0}, page(1)).ok());
+    ASSERT_TRUE(s.put({0, 0}, page(9)).ok());
+  }
+  SegmentStore s2(tmp.path());
+  auto got = s2.get({0, 0});
+  ASSERT_TRUE(got.has_value());
+  EXPECT_EQ((*got)[0], 9);
+  EXPECT_EQ(s2.live_pages(), 1u);
+}
+
+TEST(SegmentStore, RotationBoundsSegmentSize) {
+  TempDir tmp;
+  SegmentConfig cfg;
+  cfg.segment_bytes = 16 << 10;  // ~4 pages per segment
+  SegmentStore s(tmp.path(), cfg);
+  for (int i = 0; i < 32; ++i) {
+    ASSERT_TRUE(
+        s.put({0, static_cast<std::uint64_t>(i) * 4096}, page(i)).ok());
+  }
+  EXPECT_GT(s.stats().segments, 1u);
+  EXPECT_EQ(s.live_pages(), 32u);
+  // Every page still readable after spilling across segments.
+  for (int i = 0; i < 32; ++i) {
+    auto got = s.get({0, static_cast<std::uint64_t>(i) * 4096});
+    ASSERT_TRUE(got.has_value());
+    EXPECT_EQ((*got)[0], static_cast<std::uint8_t>(i));
+  }
+}
+
+TEST(SegmentStore, TornTailIsTruncatedOnReopen) {
+  TempDir tmp;
+  {
+    SegmentStore s(tmp.path());
+    ASSERT_TRUE(s.put({0, 0}, page(1)).ok());
+    ASSERT_TRUE(s.put({0, 4096}, page(2)).ok());
+    ASSERT_TRUE(s.commit().ok());
+  }
+  // A crash mid-append leaves a partial record at the tail: simulate by
+  // appending a truncated header + garbage.
+  const fs::path head = head_segment(tmp.path());
+  const auto intact = fs::file_size(head);
+  {
+    std::ofstream out(head, std::ios::binary | std::ios::app);
+    const Bytes garbage{0x4b, 0x5a, 0x53, 0x47, 0x01, 0xde, 0xad};
+    out.write(reinterpret_cast<const char*>(garbage.data()),
+              static_cast<std::streamsize>(garbage.size()));
+  }
+  SegmentStore s2(tmp.path());
+  EXPECT_EQ(s2.live_pages(), 2u);
+  EXPECT_EQ((*s2.get({0, 0}))[0], 1);
+  EXPECT_EQ((*s2.get({0, 4096}))[0], 2);
+  // The garbage was cut off and appends continue from the intact tail.
+  EXPECT_EQ(fs::file_size(head), intact);
+  ASSERT_TRUE(s2.put({0, 8192}, page(3)).ok());
+  ASSERT_TRUE(s2.commit().ok());
+  SegmentStore s3(tmp.path());
+  EXPECT_EQ(s3.live_pages(), 3u);
+}
+
+TEST(SegmentStore, TornRecordLosesOnlyTheTail) {
+  TempDir tmp;
+  {
+    SegmentStore s(tmp.path());
+    ASSERT_TRUE(s.put({0, 0}, page(1)).ok());
+    ASSERT_TRUE(s.put({0, 4096}, page(2)).ok());
+    ASSERT_TRUE(s.put({0, 8192}, page(3)).ok());
+  }
+  // Cut the last record short, as a crash mid-write(2) would.
+  const fs::path head = head_segment(tmp.path());
+  fs::resize_file(head, fs::file_size(head) - 100);
+  SegmentStore s2(tmp.path());
+  EXPECT_EQ(s2.live_pages(), 2u);
+  EXPECT_TRUE(s2.contains({0, 0}));
+  EXPECT_TRUE(s2.contains({0, 4096}));
+  EXPECT_FALSE(s2.contains({0, 8192}));
+}
+
+TEST(SegmentStore, GroupCommitTracksPendingBatch) {
+  TempDir tmp;
+  SegmentStore s(tmp.path());
+  s.set_sync_on_commit(true);
+  EXPECT_EQ(s.pending_pages(), 0u);
+  ASSERT_TRUE(s.put({0, 0}, page(1)).ok());
+  ASSERT_TRUE(s.put({0, 4096}, page(2)).ok());
+  EXPECT_EQ(s.pending_pages(), 2u);
+  EXPECT_GT(s.pending_bytes(), 2u * 4096);  // payload + record headers
+  ASSERT_TRUE(s.commit().ok());
+  EXPECT_EQ(s.pending_pages(), 0u);
+  EXPECT_EQ(s.pending_bytes(), 0u);
+  ASSERT_TRUE(s.commit().ok());  // empty commit is a no-op
+}
+
+TEST(SegmentStore, PutBatchAppendsAll) {
+  TempDir tmp;
+  SegmentStore s(tmp.path());
+  std::vector<PageWrite> batch;
+  for (int i = 0; i < 8; ++i) {
+    batch.push_back({{0, static_cast<std::uint64_t>(i) * 4096}, page(i)});
+  }
+  ASSERT_TRUE(s.put_batch(std::move(batch)).ok());
+  EXPECT_EQ(s.live_pages(), 8u);
+  EXPECT_EQ(s.pending_pages(), 8u);
+}
+
+TEST(SegmentStore, CompactionRewritesColdSegments) {
+  TempDir tmp;
+  SegmentConfig cfg;
+  cfg.segment_bytes = 16 << 10;
+  SegmentStore s(tmp.path(), cfg);
+  // Overwrite the same 4 pages over and over: old segments end up almost
+  // entirely dead.
+  for (int round = 0; round < 16; ++round) {
+    for (int i = 0; i < 4; ++i) {
+      ASSERT_TRUE(
+          s.put({0, static_cast<std::uint64_t>(i) * 4096}, page(round)).ok());
+    }
+  }
+  const auto before = s.stats();
+  ASSERT_GT(before.segments, 2u);
+  ASSERT_GT(before.dead_bytes, before.live_bytes);
+  const std::size_t rewritten = s.compact();
+  const auto after = s.stats();
+  EXPECT_LT(after.segments, before.segments);
+  EXPECT_LT(after.dead_bytes, before.dead_bytes);
+  EXPECT_LE(rewritten, 4u * before.segments);
+  // Data survives compaction (and a reopen after it).
+  EXPECT_EQ(s.live_pages(), 4u);
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_EQ((*s.get({0, static_cast<std::uint64_t>(i) * 4096}))[0], 15);
+  }
+  SegmentStore s2(tmp.path(), cfg);
+  EXPECT_EQ(s2.live_pages(), 4u);
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_EQ((*s2.get({0, static_cast<std::uint64_t>(i) * 4096}))[0], 15);
+  }
+}
+
+TEST(SegmentStore, ScanIsSortedAndLiveOnly) {
+  TempDir tmp;
+  SegmentStore s(tmp.path());
+  ASSERT_TRUE(s.put({1, 0}, page(0)).ok());
+  ASSERT_TRUE(s.put({0, 4096}, page(0)).ok());
+  ASSERT_TRUE(s.put({0, 0}, page(0)).ok());
+  EXPECT_TRUE(s.erase({0, 4096}));
+  const auto pages = s.scan();
+  ASSERT_EQ(pages.size(), 2u);
+  EXPECT_EQ(pages[0], GlobalAddress(0, 0));
+  EXPECT_EQ(pages[1], GlobalAddress(1, 0));
+}
+
+// ---------------------------------------------------------------------------
 // DiskStore
 // ---------------------------------------------------------------------------
 
@@ -175,6 +377,51 @@ TEST(DiskStore, MetaIsNotAPage) {
   ASSERT_TRUE(d.put_meta("state", Bytes{1}).ok());
   EXPECT_TRUE(d.scan().empty());
   EXPECT_EQ(d.size(), 0u);
+}
+
+TEST(DiskStore, MigratesLegacyPageFiles) {
+  TempDir tmp;
+  // Seed-era layout: one "<hi>_<lo>.page" file per page under the root.
+  fs::create_directories(tmp.path());
+  const auto legacy = [&](const char* name, std::uint8_t fill) {
+    std::ofstream out(tmp.path() / name, std::ios::binary);
+    const Bytes data = page(fill);
+    out.write(reinterpret_cast<const char*>(data.data()),
+              static_cast<std::streamsize>(data.size()));
+  };
+  legacy("0000000000000000_0000000000000000.page", 5);
+  legacy("0000000000000001_0000000000001000.page", 6);
+  DiskStore d(tmp.path());
+  EXPECT_EQ(d.size(), 2u);
+  EXPECT_EQ((*d.get({0, 0}))[0], 5);
+  EXPECT_EQ((*d.get({1, 0x1000}))[0], 6);
+  // The legacy files are gone; the pages live in the segment log now.
+  EXPECT_FALSE(fs::exists(tmp.path() / "0000000000000000_0000000000000000.page"));
+  DiskStore d2(tmp.path());
+  EXPECT_EQ(d2.size(), 2u);
+}
+
+TEST(DiskStore, MaybeCommitHonorsBytesThreshold) {
+  TempDir tmp;
+  DiskStore d(tmp.path());
+  d.set_sync_on_commit(true);
+  d.set_group_commit(true, 3 * 4096);
+  ASSERT_TRUE(d.put({0, 0}, page(1)).ok());
+  ASSERT_TRUE(d.maybe_commit().ok());
+  EXPECT_GT(d.pending_bytes(), 0u);  // below threshold: nothing drained
+  ASSERT_TRUE(d.put({0, 4096}, page(2)).ok());
+  ASSERT_TRUE(d.put({0, 8192}, page(3)).ok());
+  ASSERT_TRUE(d.maybe_commit().ok());
+  EXPECT_EQ(d.pending_bytes(), 0u);  // threshold crossed: batch committed
+}
+
+TEST(DiskStore, MaybeCommitInlineWithoutGroupCommit) {
+  TempDir tmp;
+  DiskStore d(tmp.path());
+  d.set_sync_on_commit(true);  // per-write fdatasync baseline
+  ASSERT_TRUE(d.put({0, 0}, page(1)).ok());
+  ASSERT_TRUE(d.maybe_commit().ok());
+  EXPECT_EQ(d.pending_bytes(), 0u);
 }
 
 // ---------------------------------------------------------------------------
