@@ -3,7 +3,7 @@
 
 Layers, lowest first:
 
-    common  ->  obs  ->  net / storage  ->  consistency  ->  core  ->  kfs / obj
+    common -> obs -> net / storage -> consistency -> location -> core -> kfs / obj
 
 Each layer may include itself and the layers listed for it below; any
 other `#include "layer/..."` is a back-edge (e.g. consistency including
@@ -38,11 +38,17 @@ ALLOWED = {
     "net": {"common", "obs"},
     "storage": {"common", "obs"},
     "consistency": {"common", "obs", "net", "storage"},
-    "core": {"common", "obs", "net", "storage", "consistency"},
+    # The location subsystem (fabric / resolver / address map) sits under
+    # core: it sees protocols (region descriptors carry a ProtocolId) but
+    # never the Node — the Fabric::Host bridge keeps that edge out.
+    "location": {"common", "obs", "net", "storage", "consistency"},
+    "core": {"common", "obs", "net", "storage", "consistency", "location"},
     # The application layers sit on top of core but must stay independent
     # of each other.
-    "kfs": {"common", "obs", "net", "storage", "consistency", "core"},
-    "obj": {"common", "obs", "net", "storage", "consistency", "core"},
+    "kfs": {"common", "obs", "net", "storage", "consistency", "location",
+            "core"},
+    "obj": {"common", "obs", "net", "storage", "consistency", "location",
+            "core"},
 }
 
 INCLUDE_RE = re.compile(r'^\s*#include\s+"([^"/]+)/[^"]+"')

@@ -48,6 +48,9 @@ OpClass AdmissionController::classify(net::MsgType t) {
     // of scraping is to observe a node in trouble, so the scrape must drain
     // ahead of the backed-up client queue it is trying to measure.
     case MsgType::kStatsReq:
+    // Hint anti-entropy keeps location metadata converging under exactly
+    // the overload/churn conditions that back up the client queue.
+    case MsgType::kHintSyncReq:
       return OpClass::kProtocol;
 
     // Copyset maintenance: one-way pushes that must never sit on the

@@ -1,68 +1,9 @@
-// Cluster-manager role state (paper, Section 3.1).
-//
-// "Each cluster has one or more designated cluster managers, nodes
-// responsible for being aware of other cluster locations, caching hint
-// information about regions stored in the local cluster, and representing
-// the local cluster during inter-cluster communication... Each cluster
-// manager maintains hints of the sizes of free address space (total size,
-// maximum free region size, etc) managed by other nodes in its cluster."
-//
-// The current prototype, like the paper's, is single-cluster: one node
-// (configurable, default the genesis node) carries this state. It is pure
-// bookkeeping — all message handling lives in core::Node.
+// Compatibility forwarder: ClusterState moved to the location subsystem
+// (src/location/cluster.h).
 #pragma once
 
-#include <map>
-#include <mutex>
-#include <optional>
-#include <set>
-#include <vector>
-
-#include "common/global_address.h"
-#include "common/types.h"
+#include "location/cluster.h"
 
 namespace khz::core {
-
-class ClusterState {
- public:
-  /// --- location hints: region base -> nodes believed to cache/home it ---
-  void publish(const GlobalAddress& base, std::uint64_t size, NodeId node);
-  void retract(const GlobalAddress& base, NodeId node);
-
-  /// Nodes believed to hold the region containing `addr` (may be stale).
-  [[nodiscard]] std::vector<NodeId> hint(const GlobalAddress& addr) const;
-
-  /// --- free-space hints: node -> unreserved pool size it reported ---
-  void report_free_space(NodeId node, std::uint64_t pool_bytes);
-  [[nodiscard]] std::uint64_t free_space_of(NodeId node) const;
-  /// Node with the largest reported pool, if any reported > min_bytes.
-  [[nodiscard]] std::optional<NodeId> best_pool_node(
-      std::uint64_t min_bytes) const;
-
-  [[nodiscard]] std::size_t hint_count() const {
-    std::lock_guard lk(mu_);
-    return hints_.size();
-  }
-
-  /// Drops all hint and free-space state (tests simulate a manager whose
-  /// hint cache was lost).
-  void clear() {
-    std::lock_guard lk(mu_);
-    hints_.clear();
-    free_space_.clear();
-  }
-
- private:
-  struct Hint {
-    std::uint64_t size = 0;
-    std::set<NodeId> nodes;
-  };
-  /// Hint state is read/written from every execution lane of the manager
-  /// node (publishes arrive region-routed; queries arrive control-routed),
-  /// so it synchronizes internally.
-  mutable std::mutex mu_;
-  std::map<GlobalAddress, Hint> hints_;  // keyed by region base
-  std::map<NodeId, std::uint64_t> free_space_;
-};
-
+using location::ClusterState;
 }  // namespace khz::core

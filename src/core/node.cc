@@ -46,6 +46,17 @@ AdmissionConfig make_admission(const NodeConfig& c) {
   return a;
 }
 
+location::FabricConfig make_fabric(const NodeConfig& c, unsigned lanes) {
+  location::FabricConfig f;
+  f.hint_sync_interval = c.hint_sync_interval;
+  f.refresh_interval = c.refresh_interval;
+  f.refresh_age_us = c.refresh_age_us;
+  f.refresh_hot_accesses = c.refresh_hot_accesses;
+  f.free_space_ttl = c.free_space_ttl;
+  f.lanes = lanes;
+  return f;
+}
+
 }  // namespace
 
 // ---------------------------------------------------------------------------
@@ -90,10 +101,13 @@ Node::Node(NodeConfig config, net::Transport& transport)
         }
         return v;
       }()),
-      regions_(1024),
       tracer_(config_.id),
       flight_(config_.flight_recorder_capacity),
       series_(config_.stats_series_capacity),
+      fabric_(std::make_unique<location::Fabric>(
+          *this, metrics_, make_fabric(config_, lanes_))),
+      regions_(fabric_->regions()),
+      cluster_(fabric_->cluster()),
       engines_([&] {
         std::vector<std::unique_ptr<RpcEngine>> v;
         for (unsigned l = 0; l < lanes_; ++l) {
@@ -103,14 +117,6 @@ Node::Node(NodeConfig config, net::Transport& transport)
           // responses demux onto the right lane without shared state.
           // lanes=1 yields the legacy 1,2,3… sequence.
           v.back()->configure_ids(l + lanes_, lanes_);
-        }
-        return v;
-      }()),
-      resolvers_([&] {
-        std::vector<std::unique_ptr<Resolver>> v;
-        for (unsigned l = 0; l < lanes_; ++l) {
-          v.push_back(
-              std::make_unique<Resolver>(*this, *engines_[l], metrics_));
         }
         return v;
       }()),
@@ -130,7 +136,6 @@ Node::Node(NodeConfig config, net::Transport& transport)
   if (disk_ != nullptr) configure_disk();
   transport_.configure_lanes(lanes_);
   tracer_.set_clock(&transport_.clock());
-  regions_.bind_metrics(metrics_);
   lane_stats_.bind(metrics_, lanes_);
   ins_.reserves = &metrics_.counter("node.reserves");
   ins_.locks_granted = &metrics_.counter("node.locks_granted");
@@ -184,6 +189,7 @@ void Node::stop() {
   // (TcpWorld does); under the simulator everything is one thread.
   for (auto& e : engines_) e->shutdown();
   for (auto& a : admissions_) a->shutdown();
+  if (fabric_) fabric_->stop();
   if (ping_timer_ != 0) {
     transport_.cancel(ping_timer_);
     ping_timer_ = 0;
@@ -264,6 +270,7 @@ void Node::start() {
                                         [this] { sample_tick(); });
   }
   start_storage_timers();
+  fabric_->start();
 }
 
 // ---------------------------------------------------------------------------
@@ -430,107 +437,6 @@ consistency::ConsistencyManager* Node::cm_for(ProtocolId protocol) {
   auto* raw = cm.get();
   cms_().emplace(protocol, std::move(cm));
   return raw;
-}
-
-// ---------------------------------------------------------------------------
-// Storage integration
-// ---------------------------------------------------------------------------
-
-bool Node::evict_hook(const GlobalAddress& page, const Bytes& data) {
-  (void)data;
-  // "it must invoke the consistency protocol associated with the page to
-  // update the list of sharers, push any dirty data to remote nodes"
-  // (Section 3.4).
-  auto* info = pages_().find(page);
-  if (info == nullptr) return true;  // untracked page: free to drop
-  // Map region pages use the release protocol.
-  ProtocolId protocol = ProtocolId::kRelease;
-  if (!AddressRange{kMapRegionBase, kMapRegionSize}.contains(page)) {
-    auto desc = regions_.lookup(page);
-    if (!desc) desc = homed_descriptor(page);
-    if (desc) protocol = desc->attrs.protocol;
-  }
-  auto* cm = cm_for(protocol);
-  if (cm == nullptr) return true;
-  const bool allowed = cm->on_evict(page);
-  if (allowed) pages_().erase(page);
-  return allowed;
-}
-
-void Node::materialize_region_pages(const RegionDescriptor& desc,
-                                    const AddressRange& range) {
-  const std::uint32_t psz = desc.attrs.page_size;
-  for (GlobalAddress p = range.base.page_floor(psz); p < range.end();
-       p = p.plus(psz)) {
-    auto& info = pages_().ensure(p);
-    info.homed_locally = true;
-    info.home = config_.id;
-    if (storage_().get(p) == nullptr) {
-      info.owner = config_.id;
-      info.state = PageState::kShared;
-      info.sharers.insert(config_.id);
-      store_page(p, Bytes(psz, 0));
-    }
-    if (desc.attrs.min_replicas > 1) maintain_replicas(p);
-  }
-}
-
-void Node::release_region_pages(const RegionDescriptor& desc,
-                                const AddressRange& range) {
-  const std::uint32_t psz = desc.attrs.page_size;
-  const std::uint64_t key = region_key(desc.range.base);
-  for (GlobalAddress p = range.base.page_floor(psz); p < range.end();
-       p = p.plus(psz)) {
-    if (auto* info = pages_().find(p)) {
-      for (NodeId sharer : info->sharers) {
-        if (sharer == config_.id) continue;
-        Message m;
-        m.type = MsgType::kReplicaDrop;
-        m.dst = sharer;
-        m.route_key = key;
-        Encoder e;
-        e.addr(p);
-        m.payload = std::move(e).take();
-        send_msg(std::move(m));
-      }
-    }
-    storage_().erase(p);
-    pages_().erase(p);
-  }
-  std::lock_guard lk(state_mu_);
-  for (GlobalAddress p = range.base.page_floor(psz); p < range.end();
-       p = p.plus(psz)) {
-    journaled_pages_.erase(p);
-  }
-}
-
-// ---------------------------------------------------------------------------
-// LocalMapStore: address-map pages live in region 0 of this very store
-// ---------------------------------------------------------------------------
-
-Bytes Node::LocalMapStore::read_page(std::uint32_t index) {
-  const GlobalAddress addr = kMapRegionBase.plus(
-      static_cast<std::uint64_t>(index) * kDefaultPageSize);
-  if (const Bytes* data = node_.storage_().get(addr)) return *data;
-  return Bytes(kDefaultPageSize, 0);
-}
-
-void Node::LocalMapStore::write_page(std::uint32_t index, const Bytes& data) {
-  const GlobalAddress addr = kMapRegionBase.plus(
-      static_cast<std::uint64_t>(index) * kDefaultPageSize);
-  auto* cm = node_.cm_for(ProtocolId::kRelease);
-  // At the map's home node the release protocol grants synchronously.
-  bool granted = false;
-  cm->acquire(addr, LockMode::kWrite, [&granted](Status s) {
-    granted = s.ok();
-  });
-  assert(granted);
-  auto& info = node_.pages_().ensure(addr);
-  info.homed_locally = true;
-  info.home = node_.config_.id;
-  if (info.owner == kNoNode) info.owner = node_.config_.id;
-  node_.store_page(addr, data);
-  cm->release(addr, LockMode::kWrite, /*dirty=*/true);
 }
 
 // ---------------------------------------------------------------------------
@@ -711,6 +617,7 @@ void Node::handle_request(const Message& msg) {
     case MsgType::kDescLookupReq: return on_desc_lookup_req(msg);
     case MsgType::kHintQueryReq: return on_hint_query_req(msg);
     case MsgType::kHintPublish: return on_hint_publish(msg);
+    case MsgType::kHintSyncReq: return on_hint_sync_req(msg);
     case MsgType::kClusterWalkReq: return on_cluster_walk_req(msg);
     case MsgType::kAllocReq: return on_alloc_req(msg);
     case MsgType::kFreeReq: return on_free_req(msg);
@@ -771,6 +678,16 @@ void Node::rpc(NodeId dst, MsgType type, Bytes payload, RespHandler handler) {
   opts.ignore_down = true;
   engine_().call({dst}, type, std::move(payload), std::move(handler),
                std::move(opts));
+}
+
+void Node::call(std::vector<NodeId> candidates, net::MsgType type,
+                Bytes payload, location::Resolver::Host::CallHandler handler,
+                location::Resolver::Host::CallSpec spec) {
+  RpcEngine::CallOptions opts;
+  opts.max_attempts = spec.max_attempts;
+  opts.accept = std::move(spec.accept);
+  engine_().call(std::move(candidates), type, std::move(payload),
+                 std::move(handler), std::move(opts));
 }
 
 void Node::respond(const Message& req, MsgType type, Bytes payload) {

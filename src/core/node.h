@@ -51,6 +51,7 @@
 #include "core/region_directory.h"
 #include "core/resolver.h"
 #include "core/rpc_engine.h"
+#include "location/fabric.h"
 #include "net/transport.h"
 #include "obs/flight_recorder.h"
 #include "obs/metrics.h"
@@ -133,6 +134,27 @@ struct NodeConfig {
   Micros stats_sample_interval = 0;
   std::size_t stats_series_capacity = 64;
 
+  /// Location fabric (docs/location.md). Manager-to-manager hint
+  /// anti-entropy period (0 = off: hints spread only via client misses,
+  /// the pre-fabric behaviour).
+  Micros hint_sync_interval = 0;
+  /// Proactive descriptor refresh: sweep period (0 = off), the descriptor
+  /// age that makes a hot region worth re-fetching (0 = any age), and the
+  /// per-sweep access count that makes a region "hot".
+  Micros refresh_interval = 0;
+  Micros refresh_age_us = 0;
+  std::uint32_t refresh_hot_accesses = 4;
+  /// Free-space offers older than this are ignored by pool placement
+  /// (0 = offers never expire — the legacy behaviour).
+  Micros free_space_ttl = 0;
+  /// Genesis only: run an address-map rebalance pass (split pages above
+  /// half occupancy) every this many map mutations (0 = never).
+  std::uint32_t map_rebalance_every = 0;
+
+  /// Checkpoint-tick compaction budget: at most this many pages rewritten
+  /// per segment-compaction pass (0 = unbounded, the legacy full sweep).
+  std::size_t compaction_pages_per_tick = 0;
+
   std::uint64_t seed = 42;
   std::uint32_t principal = 0;  // identity for ACL checks
 
@@ -166,7 +188,7 @@ struct NodeStats {
 
 class Node final : public consistency::CmHost,
                    public RpcEngine::Host,
-                   public Resolver::Host,
+                   public location::Fabric::Host,
                    public AdmissionController::Host {
  public:
   Node(NodeConfig config, net::Transport& transport);
@@ -312,6 +334,9 @@ class Node final : public consistency::CmHost,
   [[nodiscard]] storage::PageDirectory& page_directory() { return pages_(); }
   /// Lane count this node actually runs with (config clamped).
   [[nodiscard]] unsigned lanes() const { return lanes_; }
+  /// The location fabric: resolver, caches, hint anti-entropy and the
+  /// proactive-refresh pass behind one facade (docs/location.md).
+  [[nodiscard]] location::Fabric& fabric() { return *fabric_; }
   /// LRU cache of recently used region descriptors (location level 1).
   [[nodiscard]] RegionDirectory& region_directory() { return regions_; }
   /// Current cluster membership as this node believes it (includes self).
@@ -407,15 +432,15 @@ class Node final : public consistency::CmHost,
   void dispatch(const net::Message& m) override;
   void nack(const net::Message& m) override;
 
-  // --- Resolver::Host ---------------------------------------------------
+  // --- location::Fabric::Host -------------------------------------------
   [[nodiscard]] NodeId genesis() const override { return config_.genesis; }
   [[nodiscard]] std::optional<RegionDescriptor> homed_descriptor(
       const GlobalAddress& addr) override;
-  [[nodiscard]] RegionDirectory& region_cache() override { return regions_; }
-  [[nodiscard]] std::vector<NodeId> manager_hint(
-      const GlobalAddress& addr) override {
-    return cluster_.hint(addr);
-  }
+  /// One location-plane RPC, backed by the calling lane's engine (the
+  /// fabric's CallSpec maps onto the engine's attempt/steer policy).
+  void call(std::vector<NodeId> candidates, net::MsgType type, Bytes payload,
+            location::Resolver::Host::CallHandler handler,
+            location::Resolver::Host::CallSpec spec) override;
 
  private:
   // -- map page store over region-0 pages (manager side) ------------------
@@ -460,6 +485,7 @@ class Node final : public consistency::CmHost,
   void on_desc_lookup_req(const net::Message& m);
   void on_hint_query_req(const net::Message& m);
   void on_hint_publish(const net::Message& m);
+  void on_hint_sync_req(const net::Message& m);
   void on_cluster_walk_req(const net::Message& m);
   void on_alloc_req(const net::Message& m);
   void on_free_req(const net::Message& m);
@@ -575,7 +601,6 @@ class Node final : public consistency::CmHost,
   // trailing underscore of the members they replaced so call sites read
   // unchanged (engine_() where engine_ once stood).
   [[nodiscard]] RpcEngine& engine_() { return *engines_[lane()]; }
-  [[nodiscard]] Resolver& resolver_() { return *resolvers_[lane()]; }
   [[nodiscard]] AdmissionController& admission_() {
     return *admissions_[lane()];
   }
@@ -633,8 +658,6 @@ class Node final : public consistency::CmHost,
   std::shared_ptr<storage::DiskStore> disk_;
   std::vector<std::unique_ptr<storage::StorageHierarchy>> storages_;
   std::vector<std::unique_ptr<storage::PageDirectory>> pages_v_;
-  RegionDirectory regions_;
-  ClusterState cluster_;
 
   /// Coarse metadata-plane lock: guards homed_regions_, pool_,
   /// granted_bytes_, members_, down_nodes_, missed_pongs_,
@@ -660,6 +683,9 @@ class Node final : public consistency::CmHost,
 
   std::unique_ptr<LocalMapStore> map_store_;
   std::unique_ptr<AddressMap> map_;
+  /// Genesis only: map mutations since start, driving the periodic
+  /// rebalance pass (config_.map_rebalance_every). Lane 0 only.
+  std::uint32_t map_mutations_ = 0;
 
   /// Per-lane consistency managers: lane L's CMs only ever see pages whose
   /// region hashes to L (the address map's release CM lives on lane 0).
@@ -703,12 +729,20 @@ class Node final : public consistency::CmHost,
   /// Registry snapshot at the previous sampler tick (delta baseline).
   obs::MetricsSnapshot last_sample_;
 
+  /// The location fabric: region-directory cache, cluster hint state, the
+  /// resolver, and the anti-entropy / proactive-refresh loops behind one
+  /// facade; the node is its Host. Declared after metrics_ (instruments
+  /// bind at construction). regions_/cluster_ alias its internals so the
+  /// pre-fabric call sites read unchanged.
+  std::unique_ptr<location::Fabric> fabric_;
+  RegionDirectory& regions_;
+  ClusterState& cluster_;
+
   /// RPC substrate + the subsystems split out of the old god object, one
   /// shard per lane. All see the node only through narrow host interfaces.
   /// Declared after metrics_ (their instruments bind at construction);
   /// engines mint lane-strided rpc ids so responses route by id % lanes.
   std::vector<std::unique_ptr<RpcEngine>> engines_;
-  std::vector<std::unique_ptr<Resolver>> resolvers_;
   /// Bound to lane 0's hierarchy (all journal I/O funnels through the
   /// shared DiskStore); every record_*/checkpoint call holds state_mu_.
   MetaLog meta_;

@@ -53,6 +53,10 @@ void Node::mark_node_down(NodeId node) {
     std::lock_guard<std::recursive_mutex> g(state_mu_);
     down_nodes_.insert(node);
   }
+  // Detector verdict reaches the location plane first: tombstone the dead
+  // node out of the hint cache so no lookup is steered at it, and so the
+  // retraction propagates to the other managers on the next sync round.
+  fabric_->on_node_down(node);
   // Promote before the protocol cleanup: the CMs' on_node_down reclaims
   // ownership for homed pages, and promotion may have just made this node
   // the home of regions the dead peer owned.

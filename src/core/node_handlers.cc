@@ -147,7 +147,7 @@ void Node::on_space_req(const Message& m) {
     granted_bytes_ += granted;
     meta_.record_pool(granted_bytes_, pool_);
   }
-  cluster_.report_free_space(m.src, granted);
+  cluster_.report_free_space(m.src, granted, now());
   Encoder e;
   e.u8(kStatusOk);
   e.addr(base);
@@ -179,6 +179,16 @@ void Node::on_map_mutate_req(const Message& m) {
   // success so the sender's retry loop terminates.
   if (s.error() == ErrorCode::kAlreadyReserved && op == 1) s = Status{};
   if (s.error() == ErrorCode::kNotFound && (op == 2 || op == 3)) s = Status{};
+  // Periodic skew repair: insertion only splits at the hard overflow
+  // point, so a skewed reservation pattern piles entries into one hot
+  // page; rebalancing at half occupancy spreads them over more pages.
+  if (s.ok() && config_.map_rebalance_every > 0 &&
+      ++map_mutations_ % config_.map_rebalance_every == 0) {
+    const std::size_t splits = map_->rebalance(AddressMap::kMaxEntries / 2);
+    if (splits > 0) {
+      metrics_.counter("location.map_rebalance_splits").inc(splits);
+    }
+  }
   respond(m, MsgType::kMapMutateResp, status_payload(s.error()));
 }
 
@@ -218,12 +228,19 @@ void Node::on_hint_publish(const Message& m) {
   const NodeId subject = d.u32();
   const std::uint64_t pool = d.u64();
   const bool retract = d.boolean();
+  // Stamped with the local clock: anti-entropy merges newest-wins, and
+  // best_pool_node ages offers against the free-space TTL.
   if (retract) {
-    cluster_.retract(base, subject);
+    cluster_.retract(base, subject, now());
   } else {
-    cluster_.publish(base, size, subject);
+    cluster_.publish(base, size, subject, now());
   }
-  cluster_.report_free_space(m.src, pool);
+  cluster_.report_free_space(m.src, pool, now());
+}
+
+void Node::on_hint_sync_req(const Message& m) {
+  Decoder d(m.payload);
+  respond(m, MsgType::kHintSyncResp, fabric_->handle_hint_sync(m.src, d));
 }
 
 void Node::on_cluster_walk_req(const Message& m) {

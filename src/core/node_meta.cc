@@ -156,7 +156,7 @@ void Node::checkpoint_tick() {
     std::lock_guard lk(state_mu_);
     meta_.checkpoint();
   }
-  (void)disk_->compact();
+  (void)disk_->compact(config_.compaction_pages_per_tick);
   checkpoint_timer_ = transport_.schedule(config_.checkpoint_interval,
                                           [this] { checkpoint_tick(); });
 }

@@ -231,7 +231,7 @@ void Node::finish_reserve(const AddressRange& range, const RegionAttrs& attrs,
 }
 
 void Node::unreserve(const GlobalAddress& base, StatusCb cb) {
-  resolver_().resolve(base, [this, base, cb = std::move(cb)](
+  fabric_->resolve(base, [this, base, cb = std::move(cb)](
                     Result<RegionDescriptor> r) mutable {
     if (!r) {
       cb(r.error());
@@ -287,7 +287,7 @@ void Node::allocate(const AddressRange& range, StatusCb cb) {
     cb(ErrorCode::kBadArgument);
     return;
   }
-  resolver_().resolve(range.base, [this, range, cb = std::move(cb)](
+  fabric_->resolve(range.base, [this, range, cb = std::move(cb)](
                           Result<RegionDescriptor> r) mutable {
     if (!r) {
       cb(r.error());
@@ -343,7 +343,7 @@ void Node::deallocate(const AddressRange& range, StatusCb cb) {
     cb(ErrorCode::kBadArgument);
     return;
   }
-  resolver_().resolve(range.base, [this, range, cb = std::move(cb)](
+  fabric_->resolve(range.base, [this, range, cb = std::move(cb)](
                           Result<RegionDescriptor> r) mutable {
     if (!r) {
       cb(r.error());
@@ -392,7 +392,7 @@ void Node::lock(const AddressRange& range, LockMode mode, LockCb cb) {
     cb(ErrorCode::kBadArgument);
     return;
   }
-  resolver_().resolve(range.base, [this, range, mode, cb = std::move(cb)](
+  fabric_->resolve(range.base, [this, range, mode, cb = std::move(cb)](
                           Result<RegionDescriptor> r) mutable {
     if (!r) {
       ins_.locks_failed->inc();
@@ -561,7 +561,7 @@ void Node::lock_next_page(std::shared_ptr<LockOp> op) {
       op->prefetch_done = 0;
       op->inflight = 0;
       regions_.invalidate(op->range.base);
-      resolver_().resolve(op->range.base, [this, op](Result<RegionDescriptor> r) mutable {
+      fabric_->resolve(op->range.base, [this, op](Result<RegionDescriptor> r) mutable {
         if (!r) {
           ins_.locks_failed->inc();
           op->cb(r.error());

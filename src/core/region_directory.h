@@ -1,79 +1,9 @@
-// Per-node cache of recently used region descriptors (paper, Section 3.2).
-//
-// "To avoid expensive remote lookups, Khazana maintains a cache of recently
-// used region descriptors called the region directory. The region directory
-// is not kept globally consistent, and thus may contain stale data, but
-// this is not a problem... the use of a stale home pointer will simply
-// result in a message being sent to a node that no longer is home to the
-// object."
+// Compatibility forwarder: RegionDirectory moved to the location
+// subsystem (src/location/region_directory.h).
 #pragma once
 
-#include <list>
-#include <map>
-#include <mutex>
-#include <optional>
-#include <vector>
-
-#include "core/region.h"
-#include "obs/metrics.h"
+#include "location/region_directory.h"
 
 namespace khz::core {
-
-class RegionDirectory {
- public:
-  explicit RegionDirectory(std::size_t capacity = 1024)
-      : capacity_(capacity) {}
-
-  /// Descriptor of the region containing `addr`, if cached.
-  [[nodiscard]] std::optional<RegionDescriptor> lookup(
-      const GlobalAddress& addr);
-
-  /// Inserts or refreshes a descriptor (keyed by region base).
-  void insert(const RegionDescriptor& desc);
-
-  /// Drops the cached descriptor covering `addr` (stale-hint recovery).
-  void invalidate(const GlobalAddress& addr);
-
-  /// Every cached descriptor, for whole-cache scans (home fail-over walks
-  /// the cache looking for regions homed on a dead node). Does not touch
-  /// LRU order.
-  [[nodiscard]] std::vector<RegionDescriptor> snapshot() const;
-
-  [[nodiscard]] std::size_t size() const {
-    std::lock_guard lk(mu_);
-    return cache_.size();
-  }
-
-  struct Stats {
-    std::uint64_t hits = 0;
-    std::uint64_t misses = 0;
-  };
-  [[nodiscard]] Stats stats() const {
-    std::lock_guard lk(mu_);
-    return stats_;
-  }
-
-  /// Mirrors hit/miss/eviction counts into the owning node's registry
-  /// (region_dir.hits / region_dir.misses / region_dir.evictions).
-  void bind_metrics(obs::MetricsRegistry& registry);
-
- private:
-  struct Entry {
-    RegionDescriptor desc;
-    std::list<GlobalAddress>::iterator lru_pos;
-  };
-
-  std::size_t capacity_;
-  /// The descriptor cache is shared across a node's execution lanes (any
-  /// lane may resolve any address before hopping), so it synchronizes
-  /// internally. Short critical sections; never held across callbacks.
-  mutable std::mutex mu_;
-  std::map<GlobalAddress, Entry> cache_;  // keyed by region base
-  std::list<GlobalAddress> lru_;          // front = most recent
-  Stats stats_;
-  obs::Counter* hits_ = nullptr;
-  obs::Counter* misses_ = nullptr;
-  obs::Counter* evictions_ = nullptr;
-};
-
+using location::RegionDirectory;
 }  // namespace khz::core

@@ -1,101 +1,10 @@
-// Three-level location lookup (Section 3.2), extracted from Node.
-//
-// "To locate the data associated with a particular global address, Khazana
-// uses a three-tiered lookup scheme": (0) regions homed locally and the
-// well-known map region, (1) the node's region-directory cache of recently
-// used descriptors, (2) the cluster manager's hint cache, (3) a walk of the
-// address-map tree — with a broadcast cluster walk as the stale-map
-// fallback. The Resolver owns levels 1-3 plus descriptor fetching; level 0
-// facts (what is homed here, where the genesis is) come from the narrow
-// Host interface, and all remote traffic goes through the RpcEngine, which
-// supplies retries, candidate steering and deadline budgets.
+// Compatibility forwarder: the Resolver moved to the location subsystem
+// (src/location/resolver.h) behind the location::Fabric facade.
 #pragma once
 
-#include <cstdint>
-#include <functional>
-#include <optional>
-#include <vector>
-
-#include "common/result.h"
-#include "common/types.h"
-#include "core/region.h"
-#include "core/region_directory.h"
-#include "core/rpc_engine.h"
-#include "obs/metrics.h"
+#include "location/resolver.h"
 
 namespace khz::core {
-
-class Resolver {
- public:
-  /// What the lookup path needs from its node. Signatures deliberately
-  /// match the equivalent CmHost methods so Node implements both interfaces
-  /// with single overrides.
-  class Host {
-   public:
-    virtual ~Host() = default;
-    [[nodiscard]] virtual NodeId self() const = 0;
-    [[nodiscard]] virtual NodeId genesis() const = 0;
-    [[nodiscard]] virtual std::vector<NodeId> managers() const = 0;
-    [[nodiscard]] virtual bool is_manager() const = 0;
-    virtual std::vector<NodeId> membership() = 0;
-    [[nodiscard]] virtual Micros now() const = 0;
-    /// The authoritative descriptor if `addr` falls in a region homed on
-    /// this node (lookup level 0).
-    [[nodiscard]] virtual std::optional<RegionDescriptor> homed_descriptor(
-        const GlobalAddress& addr) = 0;
-    /// The node's descriptor cache (lookup level 1); fetched descriptors
-    /// are inserted here.
-    [[nodiscard]] virtual RegionDirectory& region_cache() = 0;
-    /// Manager-side hint-cache lookup (level 2, local fast path). Only
-    /// consulted when is_manager().
-    [[nodiscard]] virtual std::vector<NodeId> manager_hint(
-        const GlobalAddress& addr) = 0;
-    /// Reads one page of the address map (level 3); readers replicate map
-    /// pages through the release protocol.
-    virtual void fetch_map_page(std::uint32_t index,
-                                std::function<void(Result<Bytes>)> cb) = 0;
-  };
-
-  using DescCb = std::function<void(Result<RegionDescriptor>)>;
-
-  Resolver(Host& host, RpcEngine& engine, obs::MetricsRegistry& metrics);
-
-  /// Resolves `addr` to its region descriptor, walking the lookup levels
-  /// in order. The callback fires in node context, possibly synchronously
-  /// (levels 0/1 and the manager's own hint cache are local).
-  void resolve(const GlobalAddress& addr, DescCb cb);
-
- private:
-  // `t0` is when resolve() started; each terminal records into the
-  // histogram of the hit class that actually produced the descriptor
-  // (`hist` threads the pending class through fetch_descriptor, whose
-  // fallback is the cluster walk).
-  void resolve_via_manager(const GlobalAddress& addr, Micros t0, DescCb cb);
-  void resolve_via_map_walk(const GlobalAddress& addr, Micros t0, DescCb cb);
-  void map_walk_step(std::uint32_t page_index, GlobalAddress addr, int depth,
-                     Micros t0, DescCb cb);
-  void resolve_via_cluster_walk(const GlobalAddress& addr, Micros t0,
-                                DescCb cb);
-  /// One engine call across `candidates` (self excluded): the accept
-  /// predicate bounces non-kOk answers so stale hints steer to the next
-  /// candidate; total failure falls back to the cluster walk.
-  void fetch_descriptor(std::vector<NodeId> candidates,
-                        const GlobalAddress& addr, Micros t0,
-                        obs::Histogram* hist, DescCb cb);
-
-  Host& host_;
-  RpcEngine& engine_;
-
-  struct {
-    obs::Counter* cache_hits = nullptr;
-    obs::Counter* manager_hits = nullptr;
-    obs::Counter* map_walks = nullptr;
-    obs::Counter* cluster_walks = nullptr;
-    obs::Histogram* region_dir_us = nullptr;
-    obs::Histogram* manager_hint_us = nullptr;
-    obs::Histogram* map_walk_us = nullptr;
-    obs::Histogram* cluster_walk_us = nullptr;
-  } ins_;
-};
-
+using location::HitClass;
+using location::Resolver;
 }  // namespace khz::core

@@ -37,6 +37,13 @@ NodeConfig make_config(const SimWorldOptions& opts, NodeId id,
   cfg.flight_recorder_capacity = opts.flight_recorder_capacity;
   cfg.stats_sample_interval = opts.stats_sample_interval;
   cfg.stats_series_capacity = opts.stats_series_capacity;
+  cfg.hint_sync_interval = opts.hint_sync_interval;
+  cfg.refresh_interval = opts.refresh_interval;
+  cfg.refresh_age_us = opts.refresh_age_us;
+  cfg.refresh_hot_accesses = opts.refresh_hot_accesses;
+  cfg.free_space_ttl = opts.free_space_ttl;
+  cfg.map_rebalance_every = opts.map_rebalance_every;
+  cfg.compaction_pages_per_tick = opts.compaction_pages_per_tick;
   cfg.lanes = opts.lanes;
   cfg.seed = opts.seed;
   return cfg;

@@ -52,6 +52,17 @@ struct SimWorldOptions {
   std::size_t flight_recorder_capacity = 32;
   Micros stats_sample_interval = 0;
   std::size_t stats_series_capacity = 64;
+  /// Location-fabric knobs, forwarded verbatim to every NodeConfig (see
+  /// docs/location.md). Defaults keep anti-entropy, proactive refresh and
+  /// map rebalancing off — the pre-fabric resolver behaviour.
+  Micros hint_sync_interval = 0;
+  Micros refresh_interval = 0;
+  Micros refresh_age_us = 0;
+  std::uint32_t refresh_hot_accesses = 4;
+  Micros free_space_ttl = 0;
+  std::uint32_t map_rebalance_every = 0;
+  /// Checkpoint-tick compaction budget (0 = unbounded).
+  std::size_t compaction_pages_per_tick = 0;
   /// Execution lanes per node (docs/architecture.md, threading model).
   /// Under the simulator lanes are logical tags on the single event loop;
   /// 1 (the default) is byte-for-byte the legacy single-lane node.

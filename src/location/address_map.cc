@@ -1,9 +1,9 @@
-#include "core/address_map.h"
+#include "location/address_map.h"
 
 #include <algorithm>
 #include <cassert>
 
-namespace khz::core {
+namespace khz::location {
 
 // ---------------------------------------------------------------------------
 // Node (de)serialization. Layout per fixed-size page:
@@ -250,32 +250,112 @@ Status AddressMap::insert(const AddressRange& range,
   std::optional<Split> split;
   const Status s = insert_rec(0, range, homes, split);
   if (!s.ok()) return s;
-  if (split.has_value()) {
-    // Root split: the root must stay at page 0, so push the current root's
-    // content down into a fresh left child and rewrite the root as an
-    // interior node over {left, right}.
-    TreeNode old_root = load(0);
-    const std::uint32_t next_free = old_root.next_free;
-    TreeNode left = old_root;  // copies entries and leaf-ness
-    left.next_free = 0;        // only the root's counter is meaningful
-    TreeNode new_root;
-    new_root.leaf = false;
-    new_root.next_free = next_free;
-    const std::uint32_t left_page = alloc_page();
-    // alloc_page rewrote the root header; recompute and save carefully.
-    new_root.next_free = left_page + 1;
-    save(left_page, left);
-    GlobalAddress left_min{0, 0};
-    if (left.leaf && !left.leaf_entries.empty()) {
-      left_min = left.leaf_entries.front().range.base;
-    } else if (!left.leaf && !left.children.empty()) {
-      left_min = left.children.front().min_base;
-    }
-    new_root.children.push_back({left_min, left_page});
-    new_root.children.push_back({split->right_min, split->right_page});
-    save(0, new_root);
-  }
+  if (split.has_value()) make_root_interior(*split);
   return {};
+}
+
+void AddressMap::make_root_interior(const Split& split) {
+  TreeNode old_root = load(0);
+  TreeNode left = old_root;  // copies entries and leaf-ness
+  left.next_free = 0;        // only the root's counter is meaningful
+  TreeNode new_root;
+  new_root.leaf = false;
+  const std::uint32_t left_page = alloc_page();
+  // alloc_page rewrote the root header; recompute and save carefully.
+  new_root.next_free = left_page + 1;
+  save(left_page, left);
+  GlobalAddress left_min{0, 0};
+  if (left.leaf && !left.leaf_entries.empty()) {
+    left_min = left.leaf_entries.front().range.base;
+  } else if (!left.leaf && !left.children.empty()) {
+    left_min = left.children.front().min_base;
+  }
+  new_root.children.push_back({left_min, left_page});
+  new_root.children.push_back({split.right_min, split.right_page});
+  save(0, new_root);
+}
+
+std::optional<AddressMap::Split> AddressMap::split_page(std::uint32_t index,
+                                                        TreeNode node) {
+  if (node.count() < 2) return std::nullopt;
+  const std::size_t mid = node.count() / 2;
+  TreeNode right;
+  right.leaf = node.leaf;
+  if (node.leaf) {
+    right.leaf_entries.assign(
+        node.leaf_entries.begin() + static_cast<std::ptrdiff_t>(mid),
+        node.leaf_entries.end());
+    node.leaf_entries.resize(mid);
+  } else {
+    right.children.assign(
+        node.children.begin() + static_cast<std::ptrdiff_t>(mid),
+        node.children.end());
+    node.children.resize(mid);
+  }
+  const std::uint32_t right_page = alloc_page();
+  if (index == 0) node.next_free = right_page + 1;
+  save(right_page, right);
+  save(index, node);
+  const GlobalAddress right_min = right.leaf
+                                      ? right.leaf_entries.front().range.base
+                                      : right.children.front().min_base;
+  return Split{right_min, right_page};
+}
+
+std::size_t AddressMap::rebalance(std::size_t max_entries) {
+  max_entries = std::clamp<std::size_t>(max_entries, 4, kMaxEntries);
+  std::size_t splits = 0;
+  // Each round fixes at most one level of skew (a split can push its parent
+  // over the threshold); the tree is depth-bounded, so a few rounds reach
+  // the fixpoint.
+  for (int round = 0; round < 8; ++round) {
+    bool changed = false;
+    if (load(0).count() > max_entries) {
+      if (auto split = split_page(0, load(0))) {
+        make_root_interior(*split);
+        ++splits;
+        changed = true;
+      }
+    }
+    changed = rebalance_children(0, max_entries, splits) || changed;
+    if (!changed) break;
+  }
+  return splits;
+}
+
+bool AddressMap::rebalance_children(std::uint32_t index,
+                                    std::size_t max_entries,
+                                    std::size_t& splits) {
+  TreeNode node = load(index);
+  if (node.leaf) return false;
+  bool changed = false;
+  // Split overfull children while this page has room for the separators;
+  // a full parent waits for the next round (after its own split).
+  for (std::size_t i = 0;
+       i < node.children.size() && node.children.size() < kMaxEntries; ++i) {
+    TreeNode child = load(node.children[i].child);
+    if (child.count() <= max_entries) continue;
+    if (auto split = split_page(node.children[i].child, std::move(child))) {
+      // alloc_page inside split_page rewrote the root header; reload before
+      // inserting the separator so a root-level parent keeps next_free.
+      node = load(index);
+      InteriorEntry ie{split->right_min, split->right_page};
+      auto pos = std::lower_bound(
+          node.children.begin(), node.children.end(), ie,
+          [](const InteriorEntry& a, const InteriorEntry& b) {
+            return a.min_base < b.min_base;
+          });
+      node.children.insert(pos, ie);
+      save(index, node);
+      ++splits;
+      changed = true;
+    }
+  }
+  node = load(index);
+  for (const auto& c : node.children) {
+    changed = rebalance_children(c.child, max_entries, splits) || changed;
+  }
+  return changed;
 }
 
 Status AddressMap::insert_rec(std::uint32_t index, const AddressRange& range,
@@ -417,4 +497,4 @@ Status AddressMap::update_homes(const GlobalAddress& base,
   }
 }
 
-}  // namespace khz::core
+}  // namespace khz::location

@@ -1,0 +1,261 @@
+#include "location/fabric.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/lane.h"
+
+namespace khz::location {
+
+using net::MsgType;
+
+Fabric::Fabric(Host& host, obs::MetricsRegistry& metrics, FabricConfig config)
+    : host_(host),
+      config_(config),
+      regions_(config.region_cache_capacity),
+      cluster_(),
+      resolver_(*this, metrics) {
+  cluster_.set_free_space_ttl(config_.free_space_ttl);
+  const unsigned lanes = std::max(1u, config_.lanes);
+  access_.reserve(lanes);
+  for (unsigned i = 0; i < lanes; ++i) {
+    access_.push_back(std::make_unique<AccessShard>());
+  }
+  regions_.bind_metrics(metrics);
+  ins_.resolves = &metrics.counter("location.resolves");
+  ins_.hits_home = &metrics.counter("location.hits.home");
+  ins_.hits_region_dir = &metrics.counter("location.hits.region_dir");
+  ins_.hits_manager = &metrics.counter("location.hits.manager");
+  ins_.hits_map_walk = &metrics.counter("location.hits.map_walk");
+  ins_.hits_cluster_walk = &metrics.counter("location.hits.cluster_walk");
+  ins_.failures = &metrics.counter("location.failures");
+  ins_.hint_sync_rounds = &metrics.counter("location.hint_sync.rounds");
+  ins_.hint_sync_merged = &metrics.counter("location.hint_sync.merged");
+  ins_.hint_sync_rejected = &metrics.counter("location.hint_sync.rejected");
+  ins_.retractions = &metrics.counter("location.retractions");
+  ins_.refreshes = &metrics.counter("location.refreshes");
+}
+
+void Fabric::start() {
+  if (running_) return;
+  running_ = true;
+  // Only managers hold a hint cache worth exchanging; everyone may refresh.
+  if (config_.hint_sync_interval > 0 && host_.is_manager()) {
+    sync_timer_ =
+        host_.schedule(config_.hint_sync_interval, [this] { hint_sync_tick(); });
+  }
+  if (config_.refresh_interval > 0) {
+    refresh_timer_ =
+        host_.schedule(config_.refresh_interval, [this] { refresh_tick(); });
+  }
+}
+
+void Fabric::stop() {
+  if (!running_) return;
+  running_ = false;
+  if (sync_timer_ != 0) host_.cancel(sync_timer_);
+  if (refresh_timer_ != 0) host_.cancel(refresh_timer_);
+  sync_timer_ = refresh_timer_ = 0;
+}
+
+void Fabric::resolve(const GlobalAddress& addr, Resolver::DescCb cb) {
+  ins_.resolves->inc();
+  resolver_.resolve(addr, [this, cb = std::move(cb)](
+                              Result<RegionDescriptor> r) mutable {
+    if (r.ok()) note_access(r.value().range.base);
+    cb(std::move(r));
+  });
+}
+
+void Fabric::note_resolved(HitClass cls, Micros latency) {
+  (void)latency;  // per-class histograms live in the resolver
+  switch (cls) {
+    case HitClass::kHome: ins_.hits_home->inc(); break;
+    case HitClass::kRegionDir: ins_.hits_region_dir->inc(); break;
+    case HitClass::kManager: ins_.hits_manager->inc(); break;
+    case HitClass::kMapWalk: ins_.hits_map_walk->inc(); break;
+    case HitClass::kClusterWalk: ins_.hits_cluster_walk->inc(); break;
+    case HitClass::kFailed: ins_.failures->inc(); break;
+  }
+}
+
+void Fabric::on_node_down(NodeId node) {
+  const std::size_t n = cluster_.retract_node(node, host_.now());
+  if (n > 0) ins_.retractions->inc(n);
+}
+
+// --- hint anti-entropy ------------------------------------------------------
+
+std::uint64_t Fabric::sign(std::uint64_t digest, NodeId signer) {
+  std::uint64_t h = digest ^ 0x9e3779b97f4a7c15ull;
+  h ^= signer;
+  h *= 0x100000001b3ull;
+  h ^= h >> 29;
+  return h;
+}
+
+void Fabric::encode_entries(Encoder& e,
+                            const std::vector<ClusterState::Entry>& entries) {
+  e.u32(static_cast<std::uint32_t>(entries.size()));
+  for (const auto& entry : entries) {
+    e.addr(entry.base);
+    e.u64(entry.size);
+    e.u32(entry.node);
+    e.u64(static_cast<std::uint64_t>(entry.stamp));
+    e.boolean(entry.retracted);
+  }
+}
+
+std::vector<ClusterState::Entry> Fabric::decode_entries(Decoder& d) {
+  std::vector<ClusterState::Entry> out;
+  const std::uint32_t n = d.u32();
+  for (std::uint32_t i = 0; i < n && d.ok(); ++i) {
+    ClusterState::Entry e;
+    e.base = d.addr();
+    e.size = d.u64();
+    e.node = d.u32();
+    e.stamp = static_cast<Micros>(d.u64());
+    e.retracted = d.boolean();
+    out.push_back(e);
+  }
+  return out;
+}
+
+Bytes Fabric::encode_hint_sync() const {
+  const auto entries = cluster_.entries();
+  Encoder e;
+  e.u64(sign(ClusterState::digest_of(entries), host_.self()));
+  encode_entries(e, entries);
+  return std::move(e).take();
+}
+
+void Fabric::hint_sync_tick() {
+  sync_timer_ = 0;
+  if (!running_) return;
+  ins_.hint_sync_rounds->inc();
+  for (NodeId m : host_.managers()) {
+    if (m == host_.self() || host_.is_down(m)) continue;
+    sync_with(m);
+  }
+  sync_timer_ =
+      host_.schedule(config_.hint_sync_interval, [this] { hint_sync_tick(); });
+}
+
+void Fabric::sync_with(NodeId peer) {
+  Resolver::Host::CallSpec opts;
+  opts.max_attempts = 1;  // periodic: a lost round is repaired by the next
+  host_.call(
+      {peer}, MsgType::kHintSyncReq, encode_hint_sync(),
+      [this, peer](bool ok, Decoder& d) {
+        if (!ok) return;
+        if (d.u8() != 0) return;  // peer rejected our digest
+        const std::uint64_t sig = d.u64();
+        const auto entries = decode_entries(d);
+        if (!d.ok() ||
+            sig != sign(ClusterState::digest_of(entries), peer)) {
+          ins_.hint_sync_rejected->inc();
+          return;
+        }
+        if (entries.empty()) return;  // sets already matched
+        const std::size_t applied = cluster_.merge(
+            entries, [this](NodeId n) { return host_.is_down(n); });
+        if (applied > 0) ins_.hint_sync_merged->inc(applied);
+      },
+      std::move(opts));
+}
+
+Bytes Fabric::handle_hint_sync(NodeId from, Decoder& d) {
+  const std::uint64_t sig = d.u64();
+  const auto theirs = decode_entries(d);
+  Encoder resp;
+  if (!d.ok() || sig != sign(ClusterState::digest_of(theirs), from)) {
+    ins_.hint_sync_rejected->inc();
+    resp.u8(1);  // malformed or digest mismatch: reject, merge nothing
+    resp.u64(0);
+    resp.u32(0);
+    return std::move(resp).take();
+  }
+  const std::size_t applied = cluster_.merge(
+      theirs, [this](NodeId n) { return host_.is_down(n); });
+  if (applied > 0) ins_.hint_sync_merged->inc(applied);
+  resp.u8(0);
+  // Send our (merged) set back only when it still differs from what the
+  // peer showed us — equal digests end the exchange with an empty body.
+  const auto mine = cluster_.entries();
+  if (ClusterState::digest_of(mine) == ClusterState::digest_of(theirs)) {
+    const std::vector<ClusterState::Entry> none;
+    resp.u64(sign(ClusterState::digest_of(none), host_.self()));
+    encode_entries(resp, none);
+  } else {
+    resp.u64(sign(ClusterState::digest_of(mine), host_.self()));
+    encode_entries(resp, mine);
+  }
+  return std::move(resp).take();
+}
+
+// --- proactive descriptor refresh ------------------------------------------
+
+void Fabric::note_access(const GlobalAddress& base) {
+  if (config_.refresh_interval == 0) return;
+  AccessShard& shard = *access_[current_lane() % access_.size()];
+  std::lock_guard lk(shard.mu);
+  ++shard.counts[base];
+}
+
+void Fabric::refresh_tick() {
+  refresh_timer_ = 0;
+  if (!running_) return;
+  std::map<GlobalAddress, std::uint32_t> hot;
+  for (auto& shard : access_) {
+    std::lock_guard lk(shard->mu);
+    for (const auto& [base, count] : shard->counts) hot[base] += count;
+    shard->counts.clear();
+  }
+  const Micros now = host_.now();
+  for (const auto& [base, count] : hot) {
+    if (count < config_.refresh_hot_accesses) continue;
+    const auto stamp = regions_.stamp_of(base);
+    if (!stamp) continue;  // evicted since; the next miss re-resolves it
+    if (config_.refresh_age_us > 0 && now - *stamp < config_.refresh_age_us) {
+      continue;  // still fresh enough
+    }
+    refresh_descriptor(base);
+  }
+  refresh_timer_ =
+      host_.schedule(config_.refresh_interval, [this] { refresh_tick(); });
+}
+
+void Fabric::refresh_descriptor(const GlobalAddress& base) {
+  const auto cached = regions_.lookup(base);
+  if (!cached) return;
+  std::vector<NodeId> candidates = cached->home_nodes;
+  std::erase(candidates, host_.self());
+  std::erase_if(candidates,
+                [this](NodeId n) { return host_.is_down(n); });
+  if (candidates.empty()) return;
+  Encoder e;
+  e.addr(base);
+  Resolver::Host::CallSpec opts;
+  opts.max_attempts = static_cast<int>(candidates.size());
+  opts.accept = [](Decoder d) {
+    return static_cast<ErrorCode>(d.u8()) == ErrorCode::kOk;
+  };
+  host_.call(
+      std::move(candidates), MsgType::kDescLookupReq, std::move(e).take(),
+      [this, base](bool ok, Decoder& d) {
+        if (!ok) {
+          // Every cached home bounced or timed out: the descriptor is
+          // stale everywhere we know of. Drop it so the next access takes
+          // the full lookup path instead of chasing dead homes.
+          regions_.invalidate(base);
+          return;
+        }
+        (void)d.u8();  // status byte; accept saw kOk
+        RegionDescriptor fresh = RegionDescriptor::decode(d);
+        regions_.insert(fresh, host_.now());
+        ins_.refreshes->inc();
+      },
+      std::move(opts));
+}
+
+}  // namespace khz::location

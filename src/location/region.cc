@@ -1,6 +1,6 @@
-#include "core/region.h"
+#include "location/region.h"
 
-namespace khz::core {
+namespace khz::location {
 
 void RegionAttrs::encode(Encoder& e) const {
   e.u32(page_size);
@@ -59,4 +59,4 @@ RegionDescriptor map_region_descriptor(NodeId genesis) {
   return r;
 }
 
-}  // namespace khz::core
+}  // namespace khz::location

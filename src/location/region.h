@@ -1,0 +1,108 @@
+// Region attributes and descriptors (paper, Sections 2 and 3.1).
+//
+// "Khazana maintains a global region descriptor associated with each region
+// that stores various region attributes such as its security attributes,
+// page size, and desired consistency protocol. In addition, each region has
+// a home node that maintains a copy of the region's descriptor and keeps
+// track of all the nodes maintaining copies of the region's data."
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/global_address.h"
+#include "common/serialize.h"
+#include "common/types.h"
+#include "consistency/cm.h"
+
+namespace khz::location {
+
+/// Desired consistency level, interpreted together with the protocol
+/// (paper Section 2 lists "desired consistency level" and "consistency
+/// protocol" as separate attributes: the level states the requirement, the
+/// protocol is the mechanism chosen to meet it).
+enum class ConsistencyLevel : std::uint8_t {
+  kStrict = 0,   // every read sees the latest write (CREW)
+  kRelaxed = 1,  // reads may briefly see stale data (release)
+  kEventual = 2, // replicas converge; staleness bounded only by gossip
+};
+
+/// Access-control attribute. The paper defers full authentication design;
+/// this carries the owner and a Unix-like mode enforced on lock/attr ops.
+struct AccessControl {
+  std::uint32_t owner = 0;  // client-supplied principal id
+  bool world_read = true;
+  bool world_write = true;
+
+  friend bool operator==(const AccessControl&, const AccessControl&) = default;
+
+  [[nodiscard]] bool allows(std::uint32_t principal, bool write) const {
+    if (principal == owner) return true;
+    return write ? world_write : world_read;
+  }
+};
+
+/// Client-settable region attributes (get/set attribute operations).
+struct RegionAttrs {
+  std::uint32_t page_size = kDefaultPageSize;
+  ConsistencyLevel level = ConsistencyLevel::kStrict;
+  consistency::ProtocolId protocol = consistency::ProtocolId::kCrew;
+  AccessControl acl;
+  std::uint32_t min_replicas = 1;
+
+  friend bool operator==(const RegionAttrs&, const RegionAttrs&) = default;
+
+  void encode(Encoder& e) const;
+  static RegionAttrs decode(Decoder& d);
+};
+
+/// The global region descriptor.
+struct RegionDescriptor {
+  AddressRange range;
+  RegionAttrs attrs;
+  /// Home nodes, primary first. "a non-exhaustive list of home nodes"
+  /// (Section 3.1); replicas pushed for fault tolerance are appended.
+  std::vector<NodeId> home_nodes;
+  /// Backing storage has been allocated (allocate/free operations).
+  bool allocated = false;
+
+  [[nodiscard]] NodeId primary_home() const {
+    return home_nodes.empty() ? kNoNode : home_nodes.front();
+  }
+
+  [[nodiscard]] std::vector<NodeId> alternates() const {
+    if (home_nodes.size() <= 1) return {};
+    return {home_nodes.begin() + 1, home_nodes.end()};
+  }
+
+  /// The page (aligned to attrs.page_size) containing `addr`.
+  [[nodiscard]] GlobalAddress page_of(const GlobalAddress& addr) const {
+    const std::uint64_t off = range.base.distance_to(addr);
+    return range.base.plus(off - off % attrs.page_size);
+  }
+
+  void encode(Encoder& e) const;
+  static RegionDescriptor decode(Decoder& d);
+};
+
+/// Well-known bootstrap constants: the address map lives in Khazana itself,
+/// in a region starting at address 0 (paper, Section 3.1: "A well-known
+/// region beginning at address 0 stores the root node of the address map
+/// tree.").
+inline constexpr GlobalAddress kMapRegionBase{0, 0};
+inline constexpr std::uint64_t kMapRegionSize = 16ull << 20;  // 16 MiB of map
+/// First address handed out for client regions (leaves room for the map
+/// region and other bootstrap structures).
+inline constexpr GlobalAddress kFirstClientAddress{0, 1ull << 32};
+/// Size of the unreserved-space chunk a node requests from its cluster
+/// manager when its local pool runs dry (Section 3.1: "a large (e.g., one
+/// gigabyte) region of unreserved space").
+inline constexpr std::uint64_t kPoolChunkSize = 1ull << 30;
+
+/// Descriptor of the bootstrap map region, compiled into every node. The
+/// genesis node is the primary home; the map is replicated under release
+/// consistency ("the address map is replicated and kept consistent using a
+/// relaxed consistency protocol", Section 3.1).
+[[nodiscard]] RegionDescriptor map_region_descriptor(NodeId genesis);
+
+}  // namespace khz::location

@@ -1,6 +1,6 @@
-#include "core/region_directory.h"
+#include "location/region_directory.h"
 
-namespace khz::core {
+namespace khz::location {
 
 void RegionDirectory::bind_metrics(obs::MetricsRegistry& registry) {
   hits_ = &registry.counter("region_dir.hits");
@@ -32,24 +32,33 @@ std::optional<RegionDescriptor> RegionDirectory::lookup(
   return it->second.desc;
 }
 
-void RegionDirectory::insert(const RegionDescriptor& desc) {
+void RegionDirectory::insert(const RegionDescriptor& desc, Micros stamp) {
   std::lock_guard lk(mu_);
   auto it = cache_.find(desc.range.base);
   if (it != cache_.end()) {
     it->second.desc = desc;
+    it->second.stamp = stamp;
     lru_.erase(it->second.lru_pos);
     lru_.push_front(it->first);
     it->second.lru_pos = lru_.begin();
     return;
   }
   lru_.push_front(desc.range.base);
-  cache_.emplace(desc.range.base, Entry{desc, lru_.begin()});
+  cache_.emplace(desc.range.base, Entry{desc, lru_.begin(), stamp});
   while (capacity_ != 0 && cache_.size() > capacity_) {
     const GlobalAddress victim = lru_.back();
     lru_.pop_back();
     cache_.erase(victim);
     if (evictions_ != nullptr) evictions_->inc();
   }
+}
+
+std::optional<Micros> RegionDirectory::stamp_of(
+    const GlobalAddress& base) const {
+  std::lock_guard lk(mu_);
+  auto it = cache_.find(base);
+  if (it == cache_.end()) return std::nullopt;
+  return it->second.stamp;
 }
 
 std::vector<RegionDescriptor> RegionDirectory::snapshot() const {
@@ -70,4 +79,4 @@ void RegionDirectory::invalidate(const GlobalAddress& addr) {
   cache_.erase(it);
 }
 
-}  // namespace khz::core
+}  // namespace khz::location

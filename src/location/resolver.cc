@@ -1,13 +1,14 @@
-#include "core/resolver.h"
+#include "location/resolver.h"
 
+#include <algorithm>
 #include <memory>
 #include <utility>
 
 #include "common/serialize.h"
-#include "core/address_map.h"
+#include "location/address_map.h"
 #include "net/message.h"
 
-namespace khz::core {
+namespace khz::location {
 
 using net::MsgType;
 
@@ -17,9 +18,7 @@ ErrorCode from_wire(std::uint8_t b) { return static_cast<ErrorCode>(b); }
 
 }  // namespace
 
-Resolver::Resolver(Host& host, RpcEngine& engine,
-                   obs::MetricsRegistry& metrics)
-    : host_(host), engine_(engine) {
+Resolver::Resolver(Host& host, obs::MetricsRegistry& metrics) : host_(host) {
   ins_.cache_hits = &metrics.counter("node.resolve_cache_hits");
   ins_.manager_hits = &metrics.counter("node.resolve_manager_hits");
   ins_.map_walks = &metrics.counter("node.resolve_map_walks");
@@ -30,15 +29,29 @@ Resolver::Resolver(Host& host, RpcEngine& engine,
   ins_.cluster_walk_us = &metrics.histogram("resolve.cluster_walk_us");
 }
 
+obs::Histogram* Resolver::hist_for(HitClass cls) const {
+  switch (cls) {
+    case HitClass::kRegionDir: return ins_.region_dir_us;
+    case HitClass::kManager: return ins_.manager_hint_us;
+    case HitClass::kMapWalk: return ins_.map_walk_us;
+    case HitClass::kClusterWalk: return ins_.cluster_walk_us;
+    case HitClass::kHome:
+    case HitClass::kFailed: return nullptr;
+  }
+  return nullptr;
+}
+
 void Resolver::resolve(const GlobalAddress& addr, DescCb cb) {
   const Micros t0 = host_.now();
   // Level 0: well-known bootstrap region.
   if (AddressRange{kMapRegionBase, kMapRegionSize}.contains(addr)) {
+    host_.note_resolved(HitClass::kHome, 0);
     cb(map_region_descriptor(host_.genesis()));
     return;
   }
   // Level 0b: regions homed here are authoritative.
   if (auto homed = host_.homed_descriptor(addr)) {
+    host_.note_resolved(HitClass::kHome, 0);
     cb(*homed);
     return;
   }
@@ -48,6 +61,7 @@ void Resolver::resolve(const GlobalAddress& addr, DescCb cb) {
     // Effectively free, but recording it keeps the hit-class latency mix
     // comparable across the resolve.* histograms.
     ins_.region_dir_us->record(host_.now() - t0);
+    host_.note_resolved(HitClass::kRegionDir, host_.now() - t0);
     cb(*cached);
     return;
   }
@@ -61,7 +75,7 @@ void Resolver::resolve_via_manager(const GlobalAddress& addr, Micros t0,
     const auto nodes = host_.manager_hint(addr);
     if (!nodes.empty()) {
       ins_.manager_hits->inc();
-      fetch_descriptor(nodes, addr, t0, ins_.manager_hint_us, std::move(cb));
+      fetch_descriptor(nodes, addr, t0, HitClass::kManager, std::move(cb));
     } else {
       resolve_via_map_walk(addr, t0, std::move(cb));
     }
@@ -69,12 +83,23 @@ void Resolver::resolve_via_manager(const GlobalAddress& addr, Micros t0,
   }
   Encoder e;
   e.addr(addr);
-  RpcEngine::CallOptions opts;
+  Host::CallSpec opts;
+  // Rotate the candidate order by self id so cold resolves spread across
+  // the manager set instead of all landing on the first manager — under
+  // churn this is what lets anti-entropy-repaired backups absorb lookups
+  // that would otherwise fall through to the map walk.
+  std::vector<NodeId> mgrs = host_.managers();
+  if (mgrs.size() > 1) {
+    std::rotate(mgrs.begin(),
+                mgrs.begin() + static_cast<std::ptrdiff_t>(
+                                   host_.self() % mgrs.size()),
+                mgrs.end());
+  }
   // One probe per manager: a miss should fall through to the map walk
   // quickly, not sit in a retry loop against the same hint caches.
-  opts.max_attempts = static_cast<int>(host_.managers().size());
-  engine_.call(
-      host_.managers(), MsgType::kHintQueryReq, std::move(e).take(),
+  opts.max_attempts = static_cast<int>(mgrs.size());
+  host_.call(
+      std::move(mgrs), MsgType::kHintQueryReq, std::move(e).take(),
       [this, addr, t0, cb = std::move(cb)](bool ok, Decoder& d) mutable {
         if (ok) {
           const ErrorCode err = from_wire(d.u8());
@@ -86,8 +111,8 @@ void Resolver::resolve_via_manager(const GlobalAddress& addr, Micros t0,
             }
             if (!nodes.empty()) {
               ins_.manager_hits->inc();
-              fetch_descriptor(std::move(nodes), addr, t0,
-                               ins_.manager_hint_us, std::move(cb));
+              fetch_descriptor(std::move(nodes), addr, t0, HitClass::kManager,
+                               std::move(cb));
               return;
             }
           }
@@ -115,7 +140,7 @@ void Resolver::map_walk_step(std::uint32_t page_index, GlobalAddress addr,
         }
         const auto step = AddressMap::walk_step(r.value(), addr);
         if (step.found) {
-          fetch_descriptor(step.entry.homes, addr, t0, ins_.map_walk_us,
+          fetch_descriptor(step.entry.homes, addr, t0, HitClass::kMapWalk,
                            std::move(cb));
           return;
         }
@@ -133,7 +158,7 @@ void Resolver::map_walk_step(std::uint32_t page_index, GlobalAddress addr,
 
 void Resolver::fetch_descriptor(std::vector<NodeId> candidates,
                                 const GlobalAddress& addr, Micros t0,
-                                obs::Histogram* hist, DescCb cb) {
+                                HitClass cls, DescCb cb) {
   // Skip self (we would have answered from homed_regions_ already).
   std::erase(candidates, host_.self());
   if (candidates.empty()) {
@@ -142,7 +167,7 @@ void Resolver::fetch_descriptor(std::vector<NodeId> candidates,
   }
   Encoder e;
   e.addr(addr);
-  RpcEngine::CallOptions opts;
+  Host::CallSpec opts;
   // Each candidate gets exactly one probe; the engine rotates through them
   // on timeout or bounce.
   opts.max_attempts = static_cast<int>(candidates.size());
@@ -150,18 +175,19 @@ void Resolver::fetch_descriptor(std::vector<NodeId> candidates,
   // message being sent to a node that no longer is home" (Section 3.2) —
   // a well-formed non-kOk answer steers to the next candidate.
   opts.accept = [](Decoder d) { return from_wire(d.u8()) == ErrorCode::kOk; };
-  engine_.call(
+  host_.call(
       std::move(candidates), MsgType::kDescLookupReq, std::move(e).take(),
-      [this, addr, t0, hist, cb = std::move(cb)](bool ok,
-                                                 Decoder& d) mutable {
+      [this, addr, t0, cls, cb = std::move(cb)](bool ok, Decoder& d) mutable {
         if (!ok) {
           resolve_via_cluster_walk(addr, t0, std::move(cb));
           return;
         }
         (void)d.u8();  // status byte; the accept predicate saw kOk
         RegionDescriptor desc = RegionDescriptor::decode(d);
-        host_.region_cache().insert(desc);
-        if (hist != nullptr) hist->record(host_.now() - t0);
+        host_.region_cache().insert(desc, host_.now());
+        const Micros lat = host_.now() - t0;
+        if (auto* hist = hist_for(cls)) hist->record(lat);
+        host_.note_resolved(cls, lat);
         cb(std::move(desc));
       },
       std::move(opts));
@@ -175,6 +201,7 @@ void Resolver::resolve_via_cluster_walk(const GlobalAddress& addr, Micros t0,
     if (n != host_.self()) targets.push_back(n);
   }
   if (targets.empty()) {
+    host_.note_resolved(HitClass::kFailed, host_.now() - t0);
     cb(ErrorCode::kUnreachable);
     return;
   }
@@ -189,22 +216,25 @@ void Resolver::resolve_via_cluster_walk(const GlobalAddress& addr, Micros t0,
   for (NodeId t : targets) {
     Encoder e;
     e.addr(addr);
-    RpcEngine::CallOptions opts;
+    Host::CallSpec opts;
     opts.max_attempts = 1;  // parallel one-shot probes, first hit wins
-    engine_.call(
+    host_.call(
         {t}, MsgType::kClusterWalkReq, std::move(e).take(),
         [this, st, t0](bool ok, Decoder& d) {
           if (st->done) return;
           if (ok && d.boolean()) {
             RegionDescriptor desc = RegionDescriptor::decode(d);
             st->done = true;
-            host_.region_cache().insert(desc);
-            ins_.cluster_walk_us->record(host_.now() - t0);
+            const Micros lat = host_.now() - t0;
+            host_.region_cache().insert(desc, host_.now());
+            ins_.cluster_walk_us->record(lat);
+            host_.note_resolved(HitClass::kClusterWalk, lat);
             st->cb(std::move(desc));
             return;
           }
           if (--st->remaining == 0) {
             st->done = true;
+            host_.note_resolved(HitClass::kFailed, host_.now() - t0);
             st->cb(ErrorCode::kUnreachable);
           }
         },
@@ -212,4 +242,4 @@ void Resolver::resolve_via_cluster_walk(const GlobalAddress& addr, Micros t0,
   }
 }
 
-}  // namespace khz::core
+}  // namespace khz::location

@@ -53,6 +53,8 @@ std::string_view to_string(MsgType t) {
     case MsgType::kNack: return "Nack";
     case MsgType::kStatsReq: return "StatsReq";
     case MsgType::kStatsResp: return "StatsResp";
+    case MsgType::kHintSyncReq: return "HintSyncReq";
+    case MsgType::kHintSyncResp: return "HintSyncResp";
   }
   return "?";
 }
@@ -82,6 +84,7 @@ bool is_response(MsgType t) {
     // engine turns them into backoff + candidate rotation.
     case MsgType::kNack:
     case MsgType::kStatsResp:
+    case MsgType::kHintSyncResp:
       return true;
     default:
       return false;

@@ -111,6 +111,14 @@ enum class MsgType : std::uint16_t {
   // without polluting the trace rings they export.
   kStatsReq,
   kStatsResp,  // u8 status, u32 node, u64 now, u8 flags, sections per flag
+
+  // Manager hint anti-entropy (location fabric): periodic exchange of
+  // signed hint-cache record sets, merged newest-wins on both ends.
+  // Payload both ways: u64 signed digest, u32 n, n records of
+  // {addr base, u64 size, u32 node, u64 stamp, u8 retracted}; the response
+  // prefixes a u8 status and sends an empty set when the digests matched.
+  kHintSyncReq,
+  kHintSyncResp,
 };
 
 [[nodiscard]] std::string_view to_string(MsgType t);

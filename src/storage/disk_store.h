@@ -89,7 +89,9 @@ class DiskStore {
   /// Checkpoint/compaction: rewrites live pages out of cold segments and
   /// unlinks them. Returns pages rewritten. Runs on the owner's checkpoint
   /// timer rail, never on a lane hot path.
-  std::size_t compact() { return segments_->compact(); }
+  std::size_t compact(std::size_t max_pages = 0) {
+    return segments_->compact(max_pages);
+  }
 
   /// Registers the storage.* instruments (docs/observability.md).
   void bind_metrics(obs::MetricsRegistry& m) { segments_->bind_metrics(m); }

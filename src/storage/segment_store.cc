@@ -345,7 +345,7 @@ std::uint64_t SegmentStore::scan_segment_locked(std::uint64_t id) {
   return pos;
 }
 
-std::size_t SegmentStore::compact() {
+std::size_t SegmentStore::compact(std::size_t max_pages) {
   std::lock_guard lock(mu_);
   flush_buffer_locked();
   // Cold candidates: every non-head segment less than half live. A fully
@@ -360,11 +360,16 @@ std::size_t SegmentStore::compact() {
   if (cold.empty()) return 0;
   // Copy the survivors into the head segment, newest home for old data.
   std::size_t rewritten = 0;
+  std::vector<std::uint64_t> completed;
   for (std::uint64_t id : cold) {
     std::vector<std::pair<GlobalAddress, Locator>> live;
     for (const auto& [addr, loc] : index_) {
       if (loc.seg == id) live.emplace_back(addr, loc);
     }
+    // Work cap: only take a segment when its whole live set fits in the
+    // remaining budget — a half-rewritten segment could not be unlinked,
+    // so partial work would be wasted. Fully dead segments cost nothing.
+    if (max_pages > 0 && rewritten + live.size() > max_pages) continue;
     for (const auto& [addr, loc] : live) {
       const int fd = reader_locked(id);
       if (fd < 0) continue;
@@ -386,12 +391,13 @@ std::size_t SegmentStore::compact() {
       (void)append_locked(addr, &data);
       ++rewritten;
     }
+    completed.push_back(id);
   }
   // Commit the copies before unlinking their sources: a crash in between
   // must always leave at least one committed copy of every page.
   (void)commit_locked();
   std::error_code ec;
-  for (std::uint64_t id : cold) {
+  for (std::uint64_t id : completed) {
     auto it = segments_.find(id);
     if (it == segments_.end() || id == head_) continue;
     if (it->second.read_fd >= 0) ::close(it->second.read_fd);

@@ -191,5 +191,75 @@ TEST(ClusterState, FreeSpaceTracking) {
   EXPECT_EQ(cs.best_pool_node(10000), std::nullopt);
 }
 
+TEST(ClusterState, FreeSpaceOffersExpire) {
+  ClusterState cs;
+  cs.set_free_space_ttl(1'000'000);
+  cs.report_free_space(1, 5000, /*now=*/100);
+  cs.report_free_space(2, 1000, /*now=*/900'000);
+  // Within the TTL the biggest offer wins; once node 1's report ages out,
+  // best_pool_node stops recommending it even though the record remains.
+  EXPECT_EQ(cs.best_pool_node(100, /*now=*/500'000), 1u);
+  EXPECT_EQ(cs.best_pool_node(100, /*now=*/1'500'000), 2u);
+  EXPECT_EQ(cs.best_pool_node(100, /*now=*/3'000'000), std::nullopt);
+  EXPECT_EQ(cs.free_space_of(1), 5000u);  // raw record is still readable
+}
+
+TEST(ClusterState, RetractNodeTombstonesEverywhere) {
+  ClusterState cs;
+  cs.publish({0, 0}, 100, 1, /*now=*/10);
+  cs.publish({0, 0}, 100, 2, /*now=*/10);
+  cs.publish({0, 200}, 100, 1, /*now=*/10);
+  EXPECT_EQ(cs.retract_node(1, /*now=*/20), 2u);
+  EXPECT_EQ(cs.hint({0, 0}), (std::vector<NodeId>{2}));
+  EXPECT_TRUE(cs.hint({0, 200}).empty());
+  // Tombstones survive as records so anti-entropy can propagate them.
+  std::size_t tombstones = 0;
+  for (const auto& e : cs.entries()) tombstones += e.retracted ? 1 : 0;
+  EXPECT_EQ(tombstones, 2u);
+}
+
+TEST(ClusterState, MergeIsNewestWins) {
+  ClusterState a;
+  ClusterState b;
+  a.publish({0, 0}, 100, 1, /*now=*/10);
+  b.publish({0, 0}, 100, 1, /*now=*/10);
+  b.retract({0, 0}, 1, /*now=*/50);  // newer tombstone on b
+  a.publish({0, 400}, 100, 3, /*now=*/30);
+
+  // b's newer tombstone wins on a; a's record for the other region is new
+  // to b. After a full exchange both digests agree.
+  EXPECT_EQ(a.merge(b.entries()), 1u);
+  EXPECT_TRUE(a.hint({0, 0}).empty());
+  EXPECT_EQ(b.merge(a.entries()), 1u);
+  EXPECT_EQ(a.digest(), b.digest());
+
+  // Replaying either side is idempotent.
+  EXPECT_EQ(a.merge(b.entries()), 0u);
+}
+
+TEST(ClusterState, MergeNeverResurrectsDetectedFailure) {
+  ClusterState local;
+  ClusterState peer;
+  local.publish({0, 0}, 100, 7, /*now=*/10);
+  local.retract_node(7, /*now=*/20);
+  peer.publish({0, 0}, 100, 7, /*now=*/90);  // stale optimism, newer stamp
+  const auto is_down = [](NodeId n) { return n == 7; };
+  local.merge(peer.entries(), is_down);
+  EXPECT_TRUE(local.hint({0, 0}).empty());
+}
+
+TEST(ClusterState, DigestIsOrderIndependentAndStampSensitive) {
+  ClusterState a;
+  ClusterState b;
+  a.publish({0, 0}, 100, 1, /*now=*/10);
+  a.publish({0, 200}, 100, 2, /*now=*/20);
+  b.publish({0, 200}, 100, 2, /*now=*/20);
+  b.publish({0, 0}, 100, 1, /*now=*/10);
+  EXPECT_EQ(a.digest(), b.digest());
+  EXPECT_EQ(ClusterState::digest_of(a.entries()), a.digest());
+  b.publish({0, 0}, 100, 1, /*now=*/30);  // same record, newer stamp
+  EXPECT_NE(a.digest(), b.digest());
+}
+
 }  // namespace
 }  // namespace khz::core
